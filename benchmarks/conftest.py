@@ -1,0 +1,27 @@
+"""Benchmark configuration.
+
+Each benchmark regenerates one of the paper's tables/figures at paper
+scale (``scale=1.0``), prints the rows in the paper's layout, asserts
+the *shape* criteria of DESIGN.md §3, and reports the harness wall time
+through pytest-benchmark (single round: the measurements themselves are
+virtual-time and deterministic, so repetition adds nothing).
+
+Set ``REPRO_BENCH_SCALE`` to run the sweep at a reduced scale.
+"""
+
+import os
+
+import pytest
+
+#: paper scale unless overridden (e.g. REPRO_BENCH_SCALE=0.05 for CI).
+BENCH_SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "1.0"))
+
+
+@pytest.fixture
+def paper_scale():
+    return BENCH_SCALE
+
+
+def run_once(benchmark, fn):
+    """Run an experiment once under pytest-benchmark and return its rows."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

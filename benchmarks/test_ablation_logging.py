@@ -1,0 +1,148 @@
+"""Ablations for the design choices DESIGN.md §5 calls out.
+
+1. Active-malloc-only vs full-arena checkpoint contents (§3.2.3): the
+   paper's bookkeeping avoids saving the 64 MB+ allocation arenas of
+   which "the active CUDA malloc buffers ... will generally be a small
+   fraction".
+2. gzip on vs off (the paper disables DMTCP's default gzip; compression
+   trades image size for checkpoint time — here time only, since sizes
+   are accounted pre-compression).
+3. Replay-cost scaling: restart time grows with the malloc/free log
+   length (why Streamcluster/Heartwall restart slower than they
+   checkpoint, and why HPGMG restarts slowest of all).
+"""
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.apps.rodinia import Streamcluster
+from repro.core import CracSession
+from repro.cuda.api import FatBinary
+from repro.harness import run_app
+from repro.harness.report import ExperimentRow, render_table
+
+
+def _ckpt_size_mb(full_arena: bool) -> float:
+    session = CracSession(seed=4, full_arena_checkpoint=full_arena)
+    b = session.backend
+    b.register_app_binary(FatBinary("abl.fatbin", ("k",)))
+    # A typical small working set: a few MB live out of a 64 MB arena.
+    for _ in range(8):
+        b.malloc(256 * 1024)
+    image = session.checkpoint()
+    return image.blobs["crac/buffers"].accounted_bytes / (1 << 20)
+
+
+def test_ablation_active_vs_full_arena(benchmark):
+    def experiment():
+        return {
+            "active-only": _ckpt_size_mb(full_arena=False),
+            "full-arena": _ckpt_size_mb(full_arena=True),
+        }
+
+    sizes = run_once(benchmark, experiment)
+    rows = [
+        ExperimentRow(k, {"gpu_state_mb": v}) for k, v in sizes.items()
+    ]
+    print()
+    print(render_table("Ablation — active-malloc vs full-arena image", rows))
+    # The §3.2.3 claim: active buffers are a small fraction of the arena.
+    assert sizes["active-only"] < sizes["full-arena"] / 10
+    assert sizes["full-arena"] >= 64  # at least one full arena
+
+
+def test_ablation_gzip(benchmark):
+    from repro.apps.rodinia import Gaussian
+
+    def experiment():
+        out = {}
+        for gz in (False, True):
+            res = run_app(
+                Gaussian(scale=0.5), mode="crac", checkpoint_at=0.5,
+                gzip=gz, noise=False,
+            )
+            out["gzip" if gz else "plain"] = res.checkpoints[0].checkpoint_s
+        return out
+
+    times = run_once(benchmark, experiment)
+    rows = [ExperimentRow(k, {"checkpoint_s": v}) for k, v in times.items()]
+    print()
+    print(render_table("Ablation — DMTCP gzip on/off (checkpoint time)", rows))
+    # The paper disables gzip for a reason.
+    assert times["gzip"] > 2 * times["plain"]
+
+
+def test_ablation_incremental_checkpointing(benchmark):
+    """Incremental (dirty-page) checkpointing vs full images: second
+    checkpoints of a mostly-quiescent upper half shrink to the dirtied
+    working set — the extension real DMTCP offers for frequent intervals.
+
+    Host memory only: CRAC's staged GPU buffers are always saved in
+    full, so the workload here is host-ballast heavy (512 MB written
+    once, 1 MB re-touched between checkpoints).
+    """
+
+    def experiment():
+        out = {}
+        for incremental in (False, True):
+            session = CracSession(seed=6)
+            b = session.backend
+            b.register_app_binary(FatBinary("abl2.fatbin", ("k",)))
+            ballast = session.split.upper_mmap(512 << 20)
+            session.process.vas.write(ballast, b"w" * (1 << 20))
+            base = session.checkpoint()
+            # Touch 1 MB of the half-GB between checkpoints.
+            session.process.vas.write(ballast + (64 << 20), b"d" * (1 << 20))
+            second = session.checkpoint(
+                incremental=incremental, parent=base if incremental else None
+            )
+            out["incremental" if incremental else "full"] = [
+                base.size_bytes / (1 << 20),
+                second.size_bytes / (1 << 20),
+                getattr(second, "checkpoint_time_ns") / 1e9,
+            ]
+        return out
+
+    sizes = run_once(benchmark, experiment)
+    rows = [
+        ExperimentRow(mode, {"base_mb": v[0], "second_mb": v[1],
+                             "second_ckpt_s": v[2]})
+        for mode, v in sizes.items()
+    ]
+    print()
+    print(render_table("Ablation — full vs incremental second image", rows))
+    # The incremental second image holds ~the dirtied megabyte; the full
+    # one re-dumps the entire half-gigabyte upper half.
+    assert sizes["incremental"][1] < sizes["full"][1] / 50
+    assert sizes["incremental"][2] < sizes["full"][2] / 2
+    assert sizes["incremental"][0] == pytest.approx(sizes["full"][0], rel=0.05)
+
+
+def test_ablation_replay_cost_scaling(benchmark):
+    """Restart time is linear in the malloc/free log length."""
+
+    def experiment():
+        out = {}
+        for scale in (0.05, 0.2, 0.8):
+            res = run_app(
+                Streamcluster(scale=scale), mode="crac", checkpoint_at=0.9,
+                noise=False,
+            )
+            rec = res.checkpoints[0]
+            out[scale] = (rec.replayed_calls, rec.restart_s)
+        return out
+
+    data = run_once(benchmark, experiment)
+    rows = [
+        ExperimentRow(
+            f"scale={k}", {"replayed_calls": v[0], "restart_s": v[1]}
+        )
+        for k, v in data.items()
+    ]
+    print()
+    print(render_table("Ablation — restart cost vs log length", rows))
+    scales = sorted(data)
+    calls = [data[s][0] for s in scales]
+    restarts = [data[s][1] for s in scales]
+    assert calls[0] < calls[1] < calls[2]
+    assert restarts[0] < restarts[1] < restarts[2]

@@ -1,0 +1,20 @@
+"""Supplementary: one workload under every checkpointing generation."""
+
+from benchmarks.conftest import run_once
+from repro.harness import experiments as ex
+from repro.harness.report import render_table
+
+
+def test_baseline_matrix(benchmark, paper_scale):
+    scale = min(paper_scale, 0.5)
+    rows = run_once(benchmark, lambda: ex.baseline_matrix(scale))
+    print()
+    print(render_table(
+        "Supplementary — Hotspot under every dispatcher", rows, "system"
+    ))
+    by = {r.label: r.values for r in rows}
+    # CRAC is the cheapest checkpointable option...
+    assert by["crac"]["runtime_s"] < by["crum"]["runtime_s"]
+    assert by["crac"]["runtime_s"] < by["proxy-cma"]["runtime_s"]
+    # ...and native remains the floor.
+    assert by["native"]["runtime_s"] < by["crac"]["runtime_s"]

@@ -1,0 +1,32 @@
+"""Figure 2: Rodinia runtimes native vs CRAC (with call counts)."""
+
+from benchmarks.conftest import run_once
+from repro.harness import experiments as ex
+from repro.harness.report import render_table
+
+#: The paper's grouping: these 9 finish in under 7 s natively and may
+#: show up to ~14% overhead (startup + noise); the remaining 5 run >10 s
+#: with ~0–2% overhead.
+SHORT_APPS = {"BFS", "DWT2D", "Heartwall", "Hotspot", "LUD", "Leukocyte",
+              "Particlefilter", "SRAD", "Streamcluster"}
+LONG_APPS = {"CFD", "Gaussian", "Hotspot3D", "Kmeans", "NW"}
+
+
+def test_fig2_rodinia_runtime(benchmark, paper_scale):
+    rows = run_once(benchmark, lambda: ex.fig2_rodinia_runtime(paper_scale))
+    print()
+    print(render_table("Figure 2 — Rodinia runtimes (native vs CRAC)", rows))
+    by = {r.label: r.values for r in rows}
+    if paper_scale == 1.0:
+        for name in SHORT_APPS:
+            assert by[name]["native_s"] < 8.0
+            assert -3.0 <= by[name]["overhead_pct"] <= 16.0
+        for name in LONG_APPS:
+            assert by[name]["native_s"] > 10.0
+            assert -3.0 <= by[name]["overhead_pct"] <= 5.0
+        # Call-count annotations (Figure 2 top labels), ±25%.
+        for name, target in {
+            "BFS": 100, "CFD": 72_000, "DWT2D": 800_000, "Gaussian": 18_000,
+            "NW": 15_000, "Streamcluster": 69_000,
+        }.items():
+            assert abs(by[name]["cuda_calls"] - target) <= 0.25 * target + 50

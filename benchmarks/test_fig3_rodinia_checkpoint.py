@@ -1,0 +1,32 @@
+"""Figure 3: Rodinia checkpoint/restart times and image sizes."""
+
+from benchmarks.conftest import run_once
+from repro.harness import experiments as ex
+from repro.harness.report import render_table
+
+#: Figure 3's image-size annotations (MB).
+PAPER_SIZES_MB = {
+    "BFS": 39, "CFD": 39, "DWT2D": 40, "Gaussian": 783, "Heartwall": 16,
+    "Hotspot": 18, "Hotspot3D": 54, "Kmeans": 374, "Leukocyte": 695,
+    "LUD": 57, "Particlefilter": 36, "SRAD": 53, "Streamcluster": 83,
+}
+
+
+def test_fig3_rodinia_checkpoint(benchmark, paper_scale):
+    rows = run_once(benchmark, lambda: ex.fig3_rodinia_checkpoint(paper_scale))
+    print()
+    print(render_table("Figure 3 — Rodinia checkpoint/restart (gzip off)", rows))
+    by = {r.label: r.values for r in rows}
+    if paper_scale == 1.0:
+        for name, v in by.items():
+            # "checkpoint-restart time is fairly small ... completes
+            # within one second for almost all cases" (§4.4.1).
+            assert v["checkpoint_s"] < 1.0
+            assert v["restart_s"] < 1.2
+        # Image sizes match the paper's annotations within 20%.
+        for name, target in PAPER_SIZES_MB.items():
+            assert abs(by[name]["size_mb"] - target) <= 0.2 * target + 4
+        # The two malloc/free-heavy outliers restart slower than they
+        # checkpoint (§4.4.1: Streamcluster and Heartwall).
+        for name in ("Streamcluster", "Heartwall"):
+            assert by[name]["restart_s"] > by[name]["checkpoint_s"]

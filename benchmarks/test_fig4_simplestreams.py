@@ -1,0 +1,26 @@
+"""Figure 4: simpleStreams — kernel-iteration sweep with 128 streams."""
+
+from benchmarks.conftest import run_once
+from repro.harness import experiments as ex
+from repro.harness.report import render_table
+
+
+def test_fig4_simplestreams(benchmark, paper_scale):
+    rows = run_once(benchmark, lambda: ex.fig4_simplestreams(paper_scale))
+    print()
+    print(render_table("Figure 4 — simpleStreams (128 streams, 1000 reps)", rows))
+    by = {r.label: r.values for r in rows}
+    # 4a: total runtime grows with niterations; CRAC stays within ~1%.
+    totals = [by[f"niterations={n}"]["native_total_s"] for n in (5, 10, 100, 500)]
+    assert all(b >= a for a, b in zip(totals, totals[1:]))
+    if paper_scale == 1.0:
+        for n in (5, 10, 100, 500):
+            assert abs(by[f"niterations={n}"]["overhead_pct"]) < 2.5
+        # 4b: the non-streamed kernel time grows toward ~25 ms at 500
+        # iterations; the streamed per-kernel time stays tiny (≈1/128).
+        k500 = by["niterations=500"]
+        assert 15.0 < k500["native_kernel_ms"] < 35.0
+        assert k500["native_streamed_ms"] < k500["native_kernel_ms"] / 64
+        # CRAC adds no measurable per-kernel overhead (§4.4.2: "CRAC
+        # incurs no overhead; neither in non-streamed ... nor streamed").
+        assert abs(k500["crac_kernel_ms"] - k500["native_kernel_ms"]) < 0.5

@@ -1,0 +1,52 @@
+"""Supplementary: the §6 MPI+CUDA proof of principle, quantified.
+
+Coordinated checkpoint/restart of an N-rank single-node MPI+CUDA job
+(distributed Jacobi with GPU compute and halo exchange): per-rank
+checkpoint cost is flat in the rank count, the coordinated barrier adds
+negligible skew, and the restarted job's output is bit-identical.
+"""
+
+from benchmarks.conftest import run_once
+from repro.harness.report import ExperimentRow, render_table
+from repro.mpi import MpiJacobi, MpiWorld
+
+
+def test_mpi_coordinated_checkpoint(benchmark):
+    def experiment():
+        rows = []
+        for n_ranks in (1, 2, 4, 8):
+            reference = MpiJacobi(
+                MpiWorld(n_ranks), rows_per_rank=8, cols=16,
+                iterations=16, seed=3,
+            ).run()
+            world = MpiWorld(n_ranks)
+            jacobi = MpiJacobi(world, rows_per_rank=8, cols=16,
+                               iterations=16, seed=3)
+            digest = jacobi.run(checkpoint_at_iter=8)
+            assert digest == reference, f"{n_ranks} ranks: output diverged"
+            restarts = [r.session.restarts[0].restart_time_ns / 1e9
+                        for r in world.ranks]
+            rows.append(
+                ExperimentRow(
+                    f"ranks={n_ranks}",
+                    {
+                        "job_virtual_s": world.max_clock_s(),
+                        "mean_restart_s": sum(restarts) / len(restarts),
+                        "max_restart_s": max(restarts),
+                    },
+                )
+            )
+        return rows
+
+    rows = run_once(benchmark, experiment)
+    print()
+    print(render_table(
+        "Supplementary — coordinated MPI+CUDA checkpoint (§6)", rows
+    ))
+    by = {r.label: r.values for r in rows}
+    # Per-rank restart cost is flat in the rank count (each rank restores
+    # its own state; coordination is a barrier, not a serialization).
+    assert by["ranks=8"]["mean_restart_s"] < 2 * by["ranks=1"]["mean_restart_s"]
+    # No rank straggles: max ≈ mean.
+    for v in by.values():
+        assert v["max_restart_s"] < v["mean_restart_s"] * 1.5 + 0.05

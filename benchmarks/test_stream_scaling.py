@@ -1,0 +1,26 @@
+"""Supplementary: CRAC overhead vs concurrent-stream count.
+
+Contribution 3 of the paper is efficient support for *many* concurrent
+streams — previous systems were never evaluated past two. This sweep
+runs simpleStreams from 4 up to the V100's 128-stream limit and shows
+CRAC's overhead is flat in the stream count.
+"""
+
+from benchmarks.conftest import run_once
+from repro.harness import experiments as ex
+from repro.harness.report import render_table
+
+
+def test_stream_scaling(benchmark, paper_scale):
+    rows = run_once(benchmark, lambda: ex.stream_scaling(paper_scale))
+    print()
+    print(render_table("Supplementary — CRAC overhead vs #streams", rows))
+    overheads = [r.values["overhead_pct"] for r in rows]
+    # Flat: no trend from 4 to 128 streams beyond a couple of points.
+    assert max(overheads) - min(overheads) < 2.5
+    if paper_scale == 1.0:
+        # And small throughout at paper scale.
+        assert all(o < 6.0 for o in overheads)
+    # More streams ⇒ more calls (each chunk is a launch + memcpy).
+    calls = [r.values["cuda_calls"] for r in rows]
+    assert calls == sorted(calls)

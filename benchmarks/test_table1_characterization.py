@@ -1,0 +1,37 @@
+"""Table 1 + Table 2 + the §1 TOP500 series (static/characterization)."""
+
+from benchmarks.conftest import run_once
+from repro.harness import experiments as ex
+from repro.harness.report import render_table
+
+
+def test_fig0_top500(benchmark):
+    rows = run_once(benchmark, ex.fig0_top500)
+    print()
+    print(render_table("§1 — TOP500 systems with NVIDIA GPUs", rows, "year"))
+    assert rows[-1].values["systems"] == 136  # Nov. 2019 listing
+
+
+def test_table1_characterization(benchmark, paper_scale):
+    rows = run_once(benchmark, lambda: ex.table1_characterization(paper_scale))
+    print()
+    print(render_table("Table 1 — application benchmarks characterization", rows))
+    by = {r.label: r.values for r in rows}
+    assert by["HPGMG-FV"]["UVM"] == "✓" and by["HPGMG-FV"]["Streams"] == "✗"
+    assert by["HYPRE"]["UVM"] == "✓" and by["HYPRE"]["Streams"] == "✓"
+    assert by["Rodinia"]["UVM"] == "✗"
+    if paper_scale == 1.0:
+        # HYPRE ~600 CPS, HPGMG ~35K CPS (§4.4.3); Rodinia spans the
+        # paper's "38–132K" range (BFS ≈ 38/s up to DWT2D ≈ 132K/s).
+        assert 400 < float(by["HYPRE"]["CPS"].replace(",", "")) < 1_000
+        assert 25_000 < float(by["HPGMG-FV"]["CPS"].replace(",", "")) < 45_000
+        lo, hi = by["Rodinia"]["CPS"].split("–")
+        assert 20 < float(lo.replace(",", "")) < 60
+        assert 90_000 < float(hi.replace(",", "")) < 160_000
+
+
+def test_table2_cli_arguments(benchmark):
+    rows = run_once(benchmark, ex.table2_cli_arguments)
+    print()
+    print(render_table("Table 2 — command-line arguments", rows))
+    assert len(rows) == 15

@@ -1,0 +1,43 @@
+#!/usr/bin/env python
+"""Hybrid MPI+CUDA checkpointing — the paper's §6 proof of principle.
+
+Three MPI ranks on one node, each with its own CRAC session (its own
+upper/lower halves and CUDA library), cooperate on a distributed Jacobi
+solve with GPU compute and halo exchange. Mid-run, the DMTCP coordinator
+takes a *coordinated* checkpoint of all ranks; the whole job is killed
+and restarted; the solve finishes with results bit-identical to an
+uninterrupted run.
+
+Run:  python examples/mpi_cuda_checkpoint.py
+"""
+
+from repro.mpi import MpiJacobi, MpiWorld
+
+
+def main() -> None:
+    print("reference: uninterrupted 3-rank MPI+CUDA Jacobi solve")
+    ref_world = MpiWorld(3)
+    ref = MpiJacobi(ref_world, rows_per_rank=16, cols=32, iterations=24,
+                    seed=1)
+    r0 = ref.residual()
+    ref_digest = ref.run()
+    print(f"   residual {r0:.3e} → {ref.residual():.3e} "
+          f"(virtual time {ref_world.max_clock_s():.3f} s)")
+
+    print("fault-tolerant run: coordinated checkpoint at iteration 12")
+    world = MpiWorld(3)
+    jacobi = MpiJacobi(world, rows_per_rank=16, cols=32, iterations=24,
+                       seed=1)
+    digest = jacobi.run(checkpoint_at_iter=12)
+
+    for r in world.ranks:
+        (report,) = r.session.restarts
+        print(f"   rank {r.rank}: restarted in "
+              f"{report.restart_time_ns / 1e6:.0f} ms "
+              f"({report.replayed_calls} calls replayed)")
+    assert digest == ref_digest
+    print("all ranks restarted; global result identical ✓")
+
+
+if __name__ == "__main__":
+    main()

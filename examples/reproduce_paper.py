@@ -1,0 +1,22 @@
+#!/usr/bin/env python
+"""Regenerate every table and figure of the paper's evaluation (§4).
+
+Run:  python examples/reproduce_paper.py [scale]
+
+``scale`` defaults to 0.05 (a few seconds of wall time); use 1.0 for the
+paper-scale configuration the benchmark suite runs.
+"""
+
+import sys
+
+from repro.harness.report import render_all
+
+
+def main() -> None:
+    scale = float(sys.argv[1]) if len(sys.argv) > 1 else 0.05
+    print(f"regenerating all tables/figures at scale={scale}\n")
+    print(render_all(scale=scale))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,3 @@
+# Legacy shim for environments without PEP 517 wheel support.
+from setuptools import setup
+setup()

@@ -1,0 +1,33 @@
+"""repro — a full-system reproduction of CRAC (SC 2020).
+
+CRAC (Checkpoint-Restart Architecture for CUDA) transparently checkpoints
+CUDA applications by loading the CUDA library into the "lower half" of a
+single process address space and interposing on the CUDA runtime API with
+trampolines, delegating host-side checkpointing to DMTCP.
+
+This package reproduces the *architecture* and the *evaluation* of the
+paper on a simulated substrate (see DESIGN.md for the substitution map):
+
+- :mod:`repro.linux`  — simulated Linux address space, /proc maps, loader
+- :mod:`repro.gpu`    — simulated NVIDIA GPU (streams, UVM, arenas)
+- :mod:`repro.cuda`   — the CUDA runtime library stand-in
+- :mod:`repro.dmtcp`  — host checkpointing substrate with plugin hooks
+- :mod:`repro.core`   — CRAC itself (split process, trampoline, log-replay)
+- :mod:`repro.proxy`  — proxy-based baselines (CRUM, CRCUDA, CheCUDA, CMA)
+- :mod:`repro.apps`   — the paper's workloads (Rodinia, LULESH, HPGMG, ...)
+- :mod:`repro.harness`— experiment runner reproducing every table/figure
+
+Quickstart::
+
+    from repro.harness import Machine, run_app
+    from repro.apps.rodinia import Hotspot
+
+    machine = Machine.v100()
+    native = run_app(Hotspot(scale=0.1), machine, mode="native")
+    crac   = run_app(Hotspot(scale=0.1), machine, mode="crac")
+    print(f"overhead: {crac.overhead_pct(native):.2f}%")
+"""
+
+from repro._version import __version__
+
+__all__ = ["__version__"]

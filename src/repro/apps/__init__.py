@@ -1,0 +1,38 @@
+"""The paper's workloads, reimplemented against the simulated CUDA API.
+
+Every application computes a *real* (scaled-down) result with numpy — so
+checkpoint/restart correctness is checkable bit-for-bit — while its call
+mix, call counts, virtual runtime, and memory footprint are calibrated
+to the paper's Table 1 / Figure 2 / Figure 3 characterization.
+
+- :mod:`~repro.apps.rodinia` — 14 Rodinia 3.1 benchmarks (§4.4.1).
+- :mod:`~repro.apps.simple_streams` — NVIDIA's simpleStreams sample
+  (§4.4.2, Figure 4).
+- :mod:`~repro.apps.unified_memory_streams` — NVIDIA's
+  UnifiedMemoryStreams sample (§4.4.2).
+- :mod:`~repro.apps.lulesh` — LULESH 2.0 GPU mini-app (§4.4.2).
+- :mod:`~repro.apps.hpgmg` — HPGMG-FV geometric multigrid (§4.4.3).
+- :mod:`~repro.apps.hypre` — HYPRE linear-solver benchmark (§4.4.3).
+- :mod:`~repro.apps.cublas_micro` — the Table 3 cuBLAS timing loops.
+"""
+
+from repro.apps.base import AppContext, AppResult, CudaApp, TimedLoop
+from repro.apps.cublas_micro import CublasMicro
+from repro.apps.hpgmg import Hpgmg
+from repro.apps.hypre import Hypre
+from repro.apps.lulesh import Lulesh
+from repro.apps.simple_streams import SimpleStreams
+from repro.apps.unified_memory_streams import UnifiedMemoryStreams
+
+__all__ = [
+    "AppContext",
+    "AppResult",
+    "CudaApp",
+    "TimedLoop",
+    "SimpleStreams",
+    "UnifiedMemoryStreams",
+    "Lulesh",
+    "Hpgmg",
+    "Hypre",
+    "CublasMicro",
+]

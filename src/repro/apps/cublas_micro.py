@@ -1,0 +1,107 @@
+"""The Table 3 cuBLAS microbenchmarks (§4.4.4).
+
+Three programs — ``cublasSdot`` (inner product), ``cublasSgemv``
+(matrix-vector), ``cublasSgemm`` (matrix-matrix) — each calling its
+routine 10,000 times in a timing loop, with operand data sizes of 1 MB,
+10 MB, or 100 MB. The reported metric is milliseconds per call.
+
+Run under three dispatchers this reproduces Table 3's comparison:
+native, CRAC (~1% overhead: direct pointer passing through the
+trampoline), and CMA/IPC proxy (142%–17,812%: operands cross the
+process boundary every call).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.apps.base import AppContext, CudaApp, TimedLoop, digest_arrays
+from repro.cuda.cublas import CuBlas
+
+MB = 1 << 20
+
+#: The paper's timing loop length.
+PAPER_CALLS = 10_000
+
+
+class CublasMicro(CudaApp):
+    """One (routine, data size) cell of Table 3."""
+
+    name = "cublas-micro"
+    cli_args = "<routine> <MB> 10000"
+    target_runtime_s = 2.0
+    target_calls = PAPER_CALLS
+    target_ckpt_mb = 16.0
+
+    def __init__(
+        self,
+        scale: float = 1.0,
+        seed: int = 0,
+        *,
+        routine: str = "sdot",
+        data_mb: int = 1,
+    ) -> None:
+        super().__init__(scale, seed)
+        if routine not in ("sdot", "sgemv", "sgemm"):
+            raise ValueError(f"unknown routine {routine!r}")
+        self.routine = routine
+        self.data_mb = data_mb
+        self.name = f"cublas{routine.capitalize()}-{data_mb}MB"
+
+    def kernel_names(self):
+        """Device functions in this app\'s fat binary."""
+        return ("unused",)
+
+    def ballast_bytes(self) -> int:
+        return 0
+
+    def run_app(self, ctx: AppContext) -> int:
+        b = ctx.backend
+        blas = CuBlas(b)
+        nbytes = self.data_mb * MB
+        n_vec = nbytes // 4  # float32 elements of a "data size" operand
+        side = int(np.sqrt(n_vec))  # square matrix with ~nbytes
+
+        if self.routine == "sdot":
+            px = b.malloc(nbytes)
+            py = b.malloc(nbytes)
+            operands = (px, py)
+        elif self.routine == "sgemv":
+            pa = b.malloc(nbytes)
+            px = b.malloc(4 * side)
+            py = b.malloc(4 * side)
+            operands = (pa, px, py)
+        else:
+            pa = b.malloc(nbytes)
+            pb = b.malloc(nbytes)
+            pc = b.malloc(nbytes)
+            operands = (pa, pb, pc)
+
+        calls = self.iterations(PAPER_CALLS)
+        proc = b.process
+        t0 = proc.clock_ns
+        loop = TimedLoop(ctx, calls, measure=3, sync_each=False)
+        for _ in loop:
+            if self.routine == "sdot":
+                blas.sdot(px, py, n_vec)
+            elif self.routine == "sgemv":
+                blas.sgemv(pa, px, py, side, side)
+            else:
+                blas.sgemm(pa, pb, pc, side, side, side)
+        self._ms_per_call = (proc.clock_ns - t0) / calls / 1e6
+
+        # A small real pass for digest verification.
+        probe = np.arange(256, dtype=np.float32)
+        b.memcpy(operands[0], probe, probe.nbytes, "h2d")
+        b.memcpy(operands[1], probe, probe.nbytes, "h2d")
+        dot = blas.sdot(operands[0], operands[1], 256, compute=True)
+        for p in operands:
+            b.free(p)
+        return digest_arrays(np.array([dot], dtype=np.float64))
+
+    def run(self, ctx: AppContext):
+        result = super().run(ctx)
+        result.extras["ms_per_call"] = self._ms_per_call
+        result.extras["routine"] = self.routine
+        result.extras["data_mb"] = self.data_mb
+        return result

@@ -1,0 +1,43 @@
+"""Rodinia 3.1 benchmark suite (the 14 apps of paper §4.4.1, Table 2).
+
+Each app is a miniature-but-real implementation of the benchmark's
+algorithm (computing verifiable numpy results) whose CUDA call mix,
+call count, virtual runtime, and checkpoint footprint are calibrated to
+the paper's Figure 2 / Figure 3 annotations at ``scale=1.0``.
+"""
+
+from repro.apps.rodinia.base import RodiniaApp
+from repro.apps.rodinia.bfs import Bfs
+from repro.apps.rodinia.cfd import Cfd
+from repro.apps.rodinia.dwt2d import Dwt2d
+from repro.apps.rodinia.gaussian import Gaussian
+from repro.apps.rodinia.heartwall import Heartwall
+from repro.apps.rodinia.hotspot import Hotspot
+from repro.apps.rodinia.hotspot3d import Hotspot3d
+from repro.apps.rodinia.kmeans import Kmeans
+from repro.apps.rodinia.leukocyte import Leukocyte
+from repro.apps.rodinia.lud import Lud
+from repro.apps.rodinia.nw import Nw
+from repro.apps.rodinia.particlefilter import Particlefilter
+from repro.apps.rodinia.srad import Srad
+from repro.apps.rodinia.streamcluster import Streamcluster
+
+#: The suite in the paper's Figure 2 order.
+RODINIA_SUITE = (
+    Bfs,
+    Cfd,
+    Dwt2d,
+    Gaussian,
+    Heartwall,
+    Hotspot,
+    Hotspot3d,
+    Kmeans,
+    Lud,
+    Leukocyte,
+    Nw,
+    Particlefilter,
+    Srad,
+    Streamcluster,
+)
+
+__all__ = ["RodiniaApp", "RODINIA_SUITE"] + [cls.__name__ for cls in RODINIA_SUITE]

@@ -1,0 +1,88 @@
+"""Rodinia BFS: level-synchronous breadth-first search on a CSR graph.
+
+Paper configuration: ``graph1MW_6.txt`` (1M nodes, ~6 edges/node). The
+miniature runs the same frontier-expansion kernel structure on a random
+CSR graph. BFS is the suite's low-call-count outlier (~100 CUDA calls,
+Figure 2) — its CRAC overhead is dominated by startup, not dispatch.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.apps.base import AppContext, digest_arrays
+from repro.apps.rodinia.base import RodiniaApp
+
+
+class Bfs(RodiniaApp):
+    """Level-synchronous BFS on a random CSR graph (see module doc)."""
+
+    name = "BFS"
+    cli_args = "graph1MW_6.txt"
+    target_runtime_s = 3.0
+    target_calls = 100
+    target_ckpt_mb = 39.0
+    DEVICE_MB = 8.0
+    PAPER_ITERS = 12
+    LAUNCHES_PER_ITER = 2
+    MEASURE = 12  # small loop: run everything for real
+
+    N_NODES = 256
+    AVG_DEG = 4
+
+    def kernel_names(self):
+        """Device functions in this app\'s fat binary."""
+        return ("bfs_expand", "bfs_update")
+
+    def setup(self, ctx: AppContext) -> None:
+        b = ctx.backend
+        n = self.N_NODES
+        # Random graph in CSR form.
+        deg = self.rng.poisson(self.AVG_DEG, n).astype(np.int32) + 1
+        row_ptr = np.zeros(n + 1, dtype=np.int32)
+        np.cumsum(deg, out=row_ptr[1:])
+        col_idx = self.rng.integers(0, n, int(row_ptr[-1])).astype(np.int32)
+
+        self.p_row = b.malloc(row_ptr.nbytes)
+        self.p_col = b.malloc(col_idx.nbytes)
+        self.p_level = b.malloc(4 * n)
+        self.p_frontier = b.malloc(n)
+        b.memcpy(self.p_row, row_ptr, row_ptr.nbytes, "h2d")
+        b.memcpy(self.p_col, col_idx, col_idx.nbytes, "h2d")
+        levels = np.full(n, -1, dtype=np.int32)
+        levels[0] = 0
+        frontier = np.zeros(n, dtype=np.uint8)
+        frontier[0] = 1
+        b.memcpy(self.p_level, levels, levels.nbytes, "h2d")
+        b.memcpy(self.p_frontier, frontier, frontier.nbytes, "h2d")
+
+    def iteration(self, ctx: AppContext, i: int) -> None:
+        b = ctx.backend
+        n = self.N_NODES
+
+        def expand():
+            row = b.device_view(self.p_row, 4 * (n + 1), np.int32)
+            col = b.device_view(self.p_col, 4 * int(row[-1]), np.int32)
+            levels = b.device_view(self.p_level, 4 * n, np.int32)
+            frontier = b.device_view(self.p_frontier, n, np.uint8)
+            nxt = np.zeros(n, dtype=np.uint8)
+            for u in np.nonzero(frontier)[0]:
+                for v in col[row[u] : row[u + 1]]:
+                    if levels[v] < 0:
+                        levels[v] = i + 1
+                        nxt[v] = 1
+            frontier[:] = nxt
+
+        self.launch(ctx, "bfs_expand", expand, flop=2.0 * n)
+        self.launch(ctx, "bfs_update", None, flop=float(n))
+        done = np.zeros(1, dtype=np.uint8)
+        b.memcpy(done, self.p_frontier, 1, "d2h")
+
+    def finalize(self, ctx: AppContext) -> int:
+        b = ctx.backend
+        out = np.zeros(self.N_NODES, dtype=np.int32)
+        b.memcpy(out, self.p_level, out.nbytes, "d2h")
+        for p in (self.p_row, self.p_col, self.p_level, self.p_frontier):
+            b.free(p)
+        self.outputs = {"levels": out}
+        return digest_arrays(out)

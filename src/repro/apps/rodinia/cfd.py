@@ -1,0 +1,111 @@
+"""Rodinia CFD: an explicit finite-volume Euler solver.
+
+Paper configuration: ``fvcorr.domn.193K`` (193K-element unstructured
+mesh). The miniature solves the Sod shock tube with a Rusanov flux on a
+1D mesh, keeping the benchmark's five-kernel iteration structure
+(timestep, three RK flux/update kernels, variable copy) and its call
+volume (~72K CUDA calls over ~25 s).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.apps.base import AppContext, digest_arrays
+from repro.apps.rodinia.base import RodiniaApp
+
+
+class Cfd(RodiniaApp):
+    """Explicit finite-volume Euler solver (Sod shock tube miniature)."""
+
+    name = "CFD"
+    cli_args = "fvcorr.domn.193K"
+    target_runtime_s = 25.0
+    target_calls = 72_000
+    target_ckpt_mb = 39.0
+    DEVICE_MB = 12.0
+    PAPER_ITERS = 3_790
+    LAUNCHES_PER_ITER = 5
+    MEASURE = 4
+
+    N = 128  # mesh cells in the miniature
+
+    def kernel_names(self):
+        """Device functions in this app\'s fat binary."""
+        return (
+            "cuda_compute_step_factor",
+            "cuda_compute_flux",
+            "cuda_time_step",
+            "cuda_initialize_variables",
+            "copy_variables",
+        )
+
+    def setup(self, ctx: AppContext) -> None:
+        b = ctx.backend
+        n = self.N
+        # Sod shock tube plus a seed-dependent density perturbation (the
+        # real benchmark's mesh file varies; perturbation stands in).
+        rho = np.where(np.arange(n) < n // 2, 1.0, 0.125).astype(np.float64)
+        rho += self.rng.uniform(0, 1e-3, n)
+        mom = np.zeros(n, dtype=np.float64)
+        ene = np.where(np.arange(n) < n // 2, 2.5, 0.25).astype(np.float64)
+        self.p_u = b.malloc(3 * 8 * n)
+        self.p_u_old = b.malloc(3 * 8 * n)
+        self.p_flux = b.malloc(3 * 8 * n)
+        self.p_dt = b.malloc(8)
+        state = np.concatenate([rho, mom, ene])
+        b.memcpy(self.p_u, state, state.nbytes, "h2d")
+
+    def _state(self, b):
+        n = self.N
+        u = b.device_view(self.p_u, 3 * 8 * n, np.float64)
+        return u[:n], u[n : 2 * n], u[2 * n :]
+
+    def iteration(self, ctx: AppContext, i: int) -> None:
+        b = ctx.backend
+        n = self.N
+        gamma = 1.4
+        cfl = 0.4
+
+        dt_holder = np.zeros(1, dtype=np.float64)
+
+        def step_factor():
+            rho, mom, ene = self._state(b)
+            v = mom / np.maximum(rho, 1e-12)
+            p = np.maximum((gamma - 1) * (ene - 0.5 * rho * v * v), 1e-12)
+            c = np.sqrt(gamma * p / np.maximum(rho, 1e-12))
+            dt_holder[0] = cfl / max(float(np.max(np.abs(v) + c)), 1e-9) / n
+            b.device_view(self.p_dt, 8, np.float64)[0] = dt_holder[0]
+
+        def flux_and_update():
+            rho, mom, ene = self._state(b)
+            u = np.stack([rho, mom, ene])
+            v = u[1] / np.maximum(u[0], 1e-12)
+            p = np.maximum((gamma - 1) * (u[2] - 0.5 * u[0] * v * v), 1e-12)
+            f = np.stack([u[1], u[1] * v + p, (u[2] + p) * v])
+            c = np.sqrt(gamma * p / np.maximum(u[0], 1e-12))
+            a = np.maximum(np.abs(v[:-1]) + c[:-1], np.abs(v[1:]) + c[1:])
+            fh = 0.5 * (f[:, :-1] + f[:, 1:]) - 0.5 * a * (u[:, 1:] - u[:, :-1])
+            dt = b.device_view(self.p_dt, 8, np.float64)[0]
+            u[:, 1:-1] -= dt * n * (fh[:, 1:] - fh[:, :-1])
+            flat = b.device_view(self.p_u, 3 * 8 * n, np.float64)
+            flat[:] = u.reshape(-1)
+
+        self.launch(ctx, "cuda_compute_step_factor", step_factor, flop=8.0 * n)
+        self.launch(ctx, "cuda_compute_flux", flux_and_update, flop=40.0 * n)
+        self.launch(ctx, "cuda_time_step", None, flop=6.0 * n)
+        self.launch(ctx, "cuda_initialize_variables", None, flop=float(n))
+        self.launch(ctx, "copy_variables", None, flop=float(n))
+        b.memcpy(self.p_u_old, self.p_u, 3 * 8 * n, "d2d")
+        b.memcpy(dt_holder, self.p_dt, 8, "d2h")
+        b.memcpy(self.p_flux, self.p_u, 3 * 8 * n, "d2d")
+
+    def finalize(self, ctx: AppContext) -> int:
+        b = ctx.backend
+        out = np.zeros(3 * self.N, dtype=np.float64)
+        b.memcpy(out, self.p_u, out.nbytes, "d2h")
+        for p in (self.p_u, self.p_u_old, self.p_flux, self.p_dt):
+            b.free(p)
+        n = self.N
+        self.outputs = {"rho": out[:n], "mom": out[n:2*n], "ene": out[2*n:]}
+        return digest_arrays(out)

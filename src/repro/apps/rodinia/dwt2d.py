@@ -1,0 +1,93 @@
+"""Rodinia DWT2D: 2D discrete (Haar) wavelet transform.
+
+Paper configuration: ``rgb.bmp -d 1024x1024 -f -5 -l 100000`` — the
+``-l 100000`` loop count makes DWT2D the suite's call-count outlier:
+~800K CUDA calls in ~6 s, i.e. ~133K calls/second (the top of Table 1's
+Rodinia CPS range). Forward/inverse Haar levels on an image, five
+kernels per loop.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.apps.base import AppContext, digest_arrays
+from repro.apps.rodinia.base import RodiniaApp
+
+
+class Dwt2d(RodiniaApp):
+    """2D Haar wavelet transform loops (the suite's call-count outlier)."""
+
+    name = "DWT2D"
+    cli_args = "rgb.bmp -d 1024x1024 -f -5 -l 100000"
+    target_runtime_s = 6.0
+    target_calls = 800_000
+    target_ckpt_mb = 40.0
+    DEVICE_MB = 10.0
+    PAPER_ITERS = 47_000
+    LAUNCHES_PER_ITER = 5
+    MEASURE = 4
+
+    SIDE = 64
+
+    def kernel_names(self):
+        """Device functions in this app\'s fat binary."""
+        return ("fdwt_rows_low", "fdwt_rows_high", "fdwt_cols_low",
+                "fdwt_cols_high", "quantize")
+
+    def setup(self, ctx: AppContext) -> None:
+        b = ctx.backend
+        s = self.SIDE
+        img = self.rng.standard_normal((s, s)).astype(np.float32)
+        self.p_img = b.malloc(img.nbytes)
+        self.p_tmp = b.malloc(img.nbytes)
+        b.memcpy(self.p_img, img, img.nbytes, "h2d")
+
+    def iteration(self, ctx: AppContext, i: int) -> None:
+        b = ctx.backend
+        s = self.SIDE
+        inv_sqrt2 = np.float32(1.0 / np.sqrt(2.0))
+
+        def rows_low():
+            img = b.device_view(self.p_img, 4 * s * s, np.float32).reshape(s, s)
+            tmp = b.device_view(self.p_tmp, 4 * s * s, np.float32).reshape(s, s)
+            tmp[:, : s // 2] = (img[:, 0::2] + img[:, 1::2]) * inv_sqrt2
+
+        def rows_high():
+            img = b.device_view(self.p_img, 4 * s * s, np.float32).reshape(s, s)
+            tmp = b.device_view(self.p_tmp, 4 * s * s, np.float32).reshape(s, s)
+            tmp[:, s // 2 :] = (img[:, 0::2] - img[:, 1::2]) * inv_sqrt2
+
+        def cols_low():
+            tmp = b.device_view(self.p_tmp, 4 * s * s, np.float32).reshape(s, s)
+            img = b.device_view(self.p_img, 4 * s * s, np.float32).reshape(s, s)
+            img[: s // 2, :] = (tmp[0::2, :] + tmp[1::2, :]) * inv_sqrt2
+
+        def cols_high():
+            tmp = b.device_view(self.p_tmp, 4 * s * s, np.float32).reshape(s, s)
+            img = b.device_view(self.p_img, 4 * s * s, np.float32).reshape(s, s)
+            img[s // 2 :, :] = (tmp[0::2, :] - tmp[1::2, :]) * inv_sqrt2
+
+        def quantize():
+            img = b.device_view(self.p_img, 4 * s * s, np.float32).reshape(s, s)
+            np.round(img * 64.0, out=img)
+            img /= 64.0
+
+        flop = float(2 * s * s)
+        self.launch(ctx, "fdwt_rows_low", rows_low, flop=flop)
+        self.launch(ctx, "fdwt_rows_high", rows_high, flop=flop)
+        self.launch(ctx, "fdwt_cols_low", cols_low, flop=flop)
+        self.launch(ctx, "fdwt_cols_high", cols_high, flop=flop)
+        self.launch(ctx, "quantize", quantize, flop=flop)
+        probe = np.zeros(4, dtype=np.float32)
+        b.memcpy(probe, self.p_img, probe.nbytes, "d2h")
+
+    def finalize(self, ctx: AppContext) -> int:
+        b = ctx.backend
+        s = self.SIDE
+        out = np.zeros((s, s), dtype=np.float32)
+        b.memcpy(out, self.p_img, out.nbytes, "d2h")
+        b.free(self.p_img)
+        b.free(self.p_tmp)
+        self.outputs = {"image": out}
+        return digest_arrays(out)

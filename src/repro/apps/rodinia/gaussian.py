@@ -1,0 +1,83 @@
+"""Rodinia Gaussian: dense Gaussian elimination.
+
+Paper configuration: ``-s 8192 -q`` — an 8192×8192 system, giving the
+suite's largest checkpoint image (783 MB, Figure 3: the matrix plus the
+multiplier array dominate). Two kernels per eliminated row (Fan1 computes
+the multiplier column, Fan2 updates the trailing submatrix), ~18K calls
+over ~45 s.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.apps.base import AppContext, digest_arrays
+from repro.apps.rodinia.base import RodiniaApp
+
+
+class Gaussian(RodiniaApp):
+    """Dense Gaussian elimination (Fan1/Fan2 kernels per row)."""
+
+    name = "Gaussian"
+    cli_args = "-s 8192 -q"
+    target_runtime_s = 45.0
+    target_calls = 18_000
+    target_ckpt_mb = 783.0
+    DEVICE_MB = 600.0
+    PAPER_ITERS = 2_570
+    LAUNCHES_PER_ITER = 2
+    MEASURE = 4
+
+    N = 96  # miniature system size
+
+    def kernel_names(self):
+        """Device functions in this app\'s fat binary."""
+        return ("Fan1", "Fan2")
+
+    def setup(self, ctx: AppContext) -> None:
+        b = ctx.backend
+        n = self.N
+        a = self.rng.standard_normal((n, n)).astype(np.float32)
+        a += n * np.eye(n, dtype=np.float32)  # diagonally dominant
+        rhs = self.rng.standard_normal(n).astype(np.float32)
+        self.p_a = b.malloc(a.nbytes)
+        self.p_b = b.malloc(rhs.nbytes)
+        self.p_m = b.malloc(a.nbytes)
+        b.memcpy(self.p_a, a, a.nbytes, "h2d")
+        b.memcpy(self.p_b, rhs, rhs.nbytes, "h2d")
+        b.memset(self.p_m, 0, a.nbytes)
+
+    def iteration(self, ctx: AppContext, i: int) -> None:
+        b = ctx.backend
+        n = self.N
+        row = i % (n - 1)  # paper iterations sweep rows repeatedly
+
+        def fan1():
+            a = b.device_view(self.p_a, 4 * n * n, np.float32).reshape(n, n)
+            m = b.device_view(self.p_m, 4 * n * n, np.float32).reshape(n, n)
+            piv = a[row, row]
+            if abs(piv) > 1e-12:
+                m[row + 1 :, row] = a[row + 1 :, row] / piv
+
+        def fan2():
+            a = b.device_view(self.p_a, 4 * n * n, np.float32).reshape(n, n)
+            m = b.device_view(self.p_m, 4 * n * n, np.float32).reshape(n, n)
+            rhs = b.device_view(self.p_b, 4 * n, np.float32)
+            mult = m[row + 1 :, row : row + 1]
+            a[row + 1 :, row:] -= mult * a[row : row + 1, row:]
+            rhs[row + 1 :] -= mult[:, 0] * rhs[row]
+
+        self.launch(ctx, "Fan1", fan1, flop=float(n))
+        self.launch(ctx, "Fan2", fan2, flop=2.0 * n * n)
+
+    def finalize(self, ctx: AppContext) -> int:
+        b = ctx.backend
+        n = self.N
+        a = np.zeros((n, n), dtype=np.float32)
+        rhs = np.zeros(n, dtype=np.float32)
+        b.memcpy(a, self.p_a, a.nbytes, "d2h")
+        b.memcpy(rhs, self.p_b, rhs.nbytes, "d2h")
+        for p in (self.p_a, self.p_b, self.p_m):
+            b.free(p)
+        self.outputs = {"a": a, "rhs": rhs}
+        return digest_arrays(a, rhs)

@@ -1,0 +1,105 @@
+"""Rodinia Heartwall: mouse-heart wall tracking across video frames.
+
+Paper configuration: ``test.avi 104`` (104 frames). Heartwall is one of
+the two benchmarks the paper singles out in §4.4.1 for doing *many CUDA
+mallocs and frees* — per-frame temporary buffers — which makes its
+restart (full log replay) slower than its checkpoint. Small footprint
+(16 MB image, the suite's minimum).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.apps.base import AppContext, digest_arrays
+from repro.apps.rodinia.base import RodiniaApp
+
+
+class Heartwall(RodiniaApp):
+    """Heart-wall tracking with per-frame malloc/free churn."""
+
+    name = "Heartwall"
+    cli_args = "test.avi 104"
+    target_runtime_s = 5.0
+    target_calls = 1_700
+    target_ckpt_mb = 16.0
+    DEVICE_MB = 2.0
+    PAPER_ITERS = 104  # frames
+    LAUNCHES_PER_ITER = 4
+    MEASURE = 4
+    CHURN_PER_ITER = 2  # per-frame temporaries (the §4.4.1 malloc churn)
+
+    SIDE = 64
+    N_POINTS = 20  # tracked wall points
+
+    def kernel_names(self):
+        """Device functions in this app\'s fat binary."""
+        return ("heartwall_convolve", "heartwall_gicov",
+                "heartwall_dilate", "heartwall_track")
+
+    def setup(self, ctx: AppContext) -> None:
+        b = ctx.backend
+        s = self.SIDE
+        self.p_frame = b.malloc(4 * s * s)
+        self.p_points = b.malloc(8 * self.N_POINTS)
+        pts = np.stack(
+            [self.rng.uniform(8, s - 8, self.N_POINTS) for _ in range(2)]
+        ).astype(np.float32)
+        b.memcpy(self.p_points, pts, pts.nbytes, "h2d")
+
+    def iteration(self, ctx: AppContext, i: int) -> None:
+        b = ctx.backend
+        s = self.SIDE
+        frame = self.rng.standard_normal((s, s)).astype(np.float32)
+        b.memcpy(self.p_frame, frame, frame.nbytes, "h2d")
+
+        # Per-frame temporaries: the malloc/free churn of §4.4.1.
+        p_tmp = b.malloc(4 * s * s)
+        p_tmp2 = b.malloc(4 * s * s)  # dilation scratch
+
+        def convolve():
+            f = b.device_view(self.p_frame, 4 * s * s, np.float32).reshape(s, s)
+            t = b.device_view(p_tmp, 4 * s * s, np.float32).reshape(s, s)
+            t[:] = f
+            t[1:-1, 1:-1] = (
+                f[:-2, 1:-1] + f[2:, 1:-1] + f[1:-1, :-2] + f[1:-1, 2:]
+            ) * 0.25
+
+        def gicov():
+            t = b.device_view(p_tmp, 4 * s * s, np.float32).reshape(s, s)
+            np.abs(t, out=t)
+
+        def dilate():
+            t = b.device_view(p_tmp, 4 * s * s, np.float32).reshape(s, s)
+            t2 = b.device_view(p_tmp2, 4 * s * s, np.float32).reshape(s, s)
+            t2[:] = t
+            t[1:-1, 1:-1] = np.maximum(t2[1:-1, 1:-1], t2[:-2, 1:-1])
+
+        def track():
+            t = b.device_view(p_tmp, 4 * s * s, np.float32).reshape(s, s)
+            pts = b.device_view(
+                self.p_points, 8 * self.N_POINTS, np.float32
+            ).reshape(2, self.N_POINTS)
+            xi = np.clip(pts[0].astype(np.int64), 1, s - 2)
+            yi = np.clip(pts[1].astype(np.int64), 1, s - 2)
+            grad = t[yi, xi] - t[yi, np.maximum(xi - 1, 0)]
+            pts[0] = np.clip(pts[0] + 0.01 * np.sign(grad), 1, s - 2)
+
+        flop = float(4 * s * s)
+        self.launch(ctx, "heartwall_convolve", convolve, flop=flop)
+        self.launch(ctx, "heartwall_gicov", gicov, flop=flop)
+        self.launch(ctx, "heartwall_dilate", dilate, flop=flop)
+        self.launch(ctx, "heartwall_track", track, flop=float(self.N_POINTS))
+        probe = np.zeros(2, dtype=np.float32)
+        b.memcpy(probe, self.p_points, probe.nbytes, "d2h")
+        b.free(p_tmp)
+        b.free(p_tmp2)
+
+    def finalize(self, ctx: AppContext) -> int:
+        b = ctx.backend
+        pts = np.zeros((2, self.N_POINTS), dtype=np.float32)
+        b.memcpy(pts, self.p_points, pts.nbytes, "d2h")
+        b.free(self.p_frame)
+        b.free(self.p_points)
+        self.outputs = {"points": pts}
+        return digest_arrays(pts)

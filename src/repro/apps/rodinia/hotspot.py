@@ -1,0 +1,70 @@
+"""Rodinia Hotspot: 2D thermal simulation (processor floorplan stencil).
+
+Paper configuration: ``temp_512 power_512 output.out`` — a 512×512 grid.
+One stencil kernel per timestep: ~7K CUDA calls in ~4 s.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.apps.base import AppContext, digest_arrays
+from repro.apps.rodinia.base import RodiniaApp
+
+
+class Hotspot(RodiniaApp):
+    """2D thermal stencil, one kernel per timestep."""
+
+    name = "Hotspot"
+    cli_args = "temp_512 power_512 output.out"
+    target_runtime_s = 4.0
+    target_calls = 7_000
+    target_ckpt_mb = 18.0
+    DEVICE_MB = 3.0
+    PAPER_ITERS = 1_750
+    LAUNCHES_PER_ITER = 1
+    MEASURE = 4
+
+    SIDE = 64
+    K = np.float32(0.1)
+
+    def kernel_names(self):
+        """Device functions in this app\'s fat binary."""
+        return ("calculate_temp",)
+
+    def setup(self, ctx: AppContext) -> None:
+        b = ctx.backend
+        s = self.SIDE
+        temp = (300.0 + self.rng.random((s, s)) * 40.0).astype(np.float32)
+        power = (self.rng.random((s, s)) * 2.0).astype(np.float32)
+        self.p_temp = b.malloc(temp.nbytes)
+        self.p_power = b.malloc(power.nbytes)
+        b.memcpy(self.p_temp, temp, temp.nbytes, "h2d")
+        b.memcpy(self.p_power, power, power.nbytes, "h2d")
+
+    def iteration(self, ctx: AppContext, i: int) -> None:
+        b = ctx.backend
+        s = self.SIDE
+        k = self.K
+
+        def stencil():
+            t = b.device_view(self.p_temp, 4 * s * s, np.float32).reshape(s, s)
+            p = b.device_view(self.p_power, 4 * s * s, np.float32).reshape(s, s)
+            lap = np.zeros_like(t)
+            lap[1:-1, 1:-1] = (
+                t[:-2, 1:-1] + t[2:, 1:-1] + t[1:-1, :-2] + t[1:-1, 2:]
+                - 4.0 * t[1:-1, 1:-1]
+            )
+            t += k * (lap + p)
+
+        self.launch(ctx, "calculate_temp", stencil, flop=8.0 * s * s)
+
+    def finalize(self, ctx: AppContext) -> int:
+        b = ctx.backend
+        s = self.SIDE
+        out = np.zeros((s, s), dtype=np.float32)
+        b.memcpy(out, self.p_temp, out.nbytes, "d2h")
+        b.free(self.p_temp)
+        b.free(self.p_power)
+        self.outputs = {"temp": out}
+        return digest_arrays(out)

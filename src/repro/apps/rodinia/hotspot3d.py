@@ -1,0 +1,74 @@
+"""Rodinia Hotspot3D: 3D thermal stencil.
+
+Paper configuration: ``512 8 1000 power_512x8 temp_512x8 output.out`` —
+a 512×512×8 grid for 1000 steps. Long-running (~30 s) with one big
+kernel per step (~3K calls); one of the two benchmarks the paper
+observed with slightly *negative* CRAC overhead (caching noise).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.apps.base import AppContext, digest_arrays
+from repro.apps.rodinia.base import RodiniaApp
+
+
+class Hotspot3d(RodiniaApp):
+    """3D thermal stencil over a 512×512×8-class grid."""
+
+    name = "Hotspot3D"
+    cli_args = "512 8 1000 power_512x8 temp_512x8 output.out"
+    target_runtime_s = 30.0
+    target_calls = 3_000
+    target_ckpt_mb = 54.0
+    DEVICE_MB = 30.0
+    PAPER_ITERS = 750
+    LAUNCHES_PER_ITER = 1
+    MEASURE = 4
+
+    SIDE = 32
+    DEPTH = 8
+
+    def kernel_names(self):
+        """Device functions in this app\'s fat binary."""
+        return ("hotspotOpt1",)
+
+    def setup(self, ctx: AppContext) -> None:
+        b = ctx.backend
+        shape = (self.DEPTH, self.SIDE, self.SIDE)
+        temp = (300.0 + self.rng.random(shape) * 40.0).astype(np.float32)
+        power = (self.rng.random(shape) * 2.0).astype(np.float32)
+        self.p_temp = b.malloc(temp.nbytes)
+        self.p_power = b.malloc(power.nbytes)
+        b.memcpy(self.p_temp, temp, temp.nbytes, "h2d")
+        b.memcpy(self.p_power, power, power.nbytes, "h2d")
+
+    def iteration(self, ctx: AppContext, i: int) -> None:
+        b = ctx.backend
+        d, s = self.DEPTH, self.SIDE
+        n = d * s * s
+
+        def stencil():
+            t = b.device_view(self.p_temp, 4 * n, np.float32).reshape(d, s, s)
+            p = b.device_view(self.p_power, 4 * n, np.float32).reshape(d, s, s)
+            lap = np.zeros_like(t)
+            lap[1:-1, 1:-1, 1:-1] = (
+                t[:-2, 1:-1, 1:-1] + t[2:, 1:-1, 1:-1]
+                + t[1:-1, :-2, 1:-1] + t[1:-1, 2:, 1:-1]
+                + t[1:-1, 1:-1, :-2] + t[1:-1, 1:-1, 2:]
+                - 6.0 * t[1:-1, 1:-1, 1:-1]
+            )
+            t += np.float32(0.05) * (lap + p)
+
+        self.launch(ctx, "hotspotOpt1", stencil, flop=10.0 * n)
+
+    def finalize(self, ctx: AppContext) -> int:
+        b = ctx.backend
+        n = self.DEPTH * self.SIDE * self.SIDE
+        out = np.zeros(n, dtype=np.float32)
+        b.memcpy(out, self.p_temp, out.nbytes, "d2h")
+        b.free(self.p_temp)
+        b.free(self.p_power)
+        self.outputs = {"temp": out}
+        return digest_arrays(out)

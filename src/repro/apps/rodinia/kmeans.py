@@ -1,0 +1,103 @@
+"""Rodinia Kmeans: iterative k-means clustering.
+
+Paper configuration: ``kdd_cup -l 1000`` — the KDD Cup '99 features
+(494K points × 34 dims) for 1000 outer loops, the suite's second-largest
+image (374 MB: the feature matrix lives on the device). Per loop:
+assignment kernel, center-reduction kernel, delta check, plus center
+up/downloads (~30K calls over ~15 s).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.apps.base import AppContext, digest_arrays
+from repro.apps.rodinia.base import RodiniaApp
+
+
+class Kmeans(RodiniaApp):
+    """Lloyd iterations with per-loop center round trips."""
+
+    name = "Kmeans"
+    cli_args = "kdd_cup -l 1000"
+    target_runtime_s = 15.0
+    target_calls = 30_000
+    target_ckpt_mb = 374.0
+    DEVICE_MB = 300.0
+    PAPER_ITERS = 2_140
+    LAUNCHES_PER_ITER = 3
+    MEASURE = 4
+
+    N_POINTS = 256
+    N_DIMS = 8
+    N_CLUSTERS = 5
+
+    def kernel_names(self):
+        """Device functions in this app\'s fat binary."""
+        return ("kmeans_assign", "kmeans_reduce_centers", "kmeans_delta")
+
+    def setup(self, ctx: AppContext) -> None:
+        b = ctx.backend
+        pts = self.rng.standard_normal((self.N_POINTS, self.N_DIMS)).astype(
+            np.float32
+        )
+        centers = pts[: self.N_CLUSTERS].copy()
+        self.p_pts = b.malloc(pts.nbytes)
+        self.p_centers = b.malloc(centers.nbytes)
+        self.p_member = b.malloc(4 * self.N_POINTS)
+        b.memcpy(self.p_pts, pts, pts.nbytes, "h2d")
+        b.memcpy(self.p_centers, centers, centers.nbytes, "h2d")
+
+    def iteration(self, ctx: AppContext, i: int) -> None:
+        b = ctx.backend
+        npts, nd, nc = self.N_POINTS, self.N_DIMS, self.N_CLUSTERS
+
+        # Host uploads the current centers each loop (the Rodinia code's
+        # center round trip — the source of the extra memcpys).
+        centers = np.zeros((nc, nd), dtype=np.float32)
+        b.memcpy(centers, self.p_centers, centers.nbytes, "d2h")
+        b.memcpy(self.p_centers, centers, centers.nbytes, "h2d")
+
+        def assign():
+            pts = b.device_view(self.p_pts, 4 * npts * nd, np.float32).reshape(
+                npts, nd
+            )
+            ctr = b.device_view(self.p_centers, 4 * nc * nd, np.float32).reshape(
+                nc, nd
+            )
+            member = b.device_view(self.p_member, 4 * npts, np.int32)
+            d2 = ((pts[:, None, :] - ctr[None, :, :]) ** 2).sum(axis=2)
+            member[:] = np.argmin(d2, axis=1).astype(np.int32)
+
+        def reduce_centers():
+            pts = b.device_view(self.p_pts, 4 * npts * nd, np.float32).reshape(
+                npts, nd
+            )
+            ctr = b.device_view(self.p_centers, 4 * nc * nd, np.float32).reshape(
+                nc, nd
+            )
+            member = b.device_view(self.p_member, 4 * npts, np.int32)
+            for c in range(nc):
+                mask = member == c
+                if mask.any():
+                    ctr[c] = pts[mask].mean(axis=0)
+
+        self.launch(ctx, "kmeans_assign", assign, flop=3.0 * npts * nc * nd)
+        self.launch(ctx, "kmeans_reduce_centers", reduce_centers,
+                    flop=2.0 * npts * nd)
+        self.launch(ctx, "kmeans_delta", None, flop=float(npts))
+        delta = np.zeros(1, dtype=np.int32)
+        b.memcpy(delta, self.p_member, 4, "d2h")
+        probe = np.zeros((1, nd), dtype=np.float32)
+        b.memcpy(probe, self.p_centers, probe.nbytes, "d2h")
+
+    def finalize(self, ctx: AppContext) -> int:
+        b = ctx.backend
+        centers = np.zeros((self.N_CLUSTERS, self.N_DIMS), dtype=np.float32)
+        member = np.zeros(self.N_POINTS, dtype=np.int32)
+        b.memcpy(centers, self.p_centers, centers.nbytes, "d2h")
+        b.memcpy(member, self.p_member, member.nbytes, "d2h")
+        for p in (self.p_pts, self.p_centers, self.p_member):
+            b.free(p)
+        self.outputs = {"centers": centers, "member": member}
+        return digest_arrays(centers, member)

@@ -1,0 +1,115 @@
+"""Rodinia Leukocyte: white-blood-cell detection and tracking in video.
+
+Paper configuration: ``testfile.avi 500`` (500 frames). Detection uses a
+GICOV matrix + dilation; tracking evolves a motion-gradient vector flow
+per cell. Six kernels plus frame/result transfers per frame: ~12K calls
+over ~6.5 s, with a large (695 MB, Figure 3) footprint from the frame
+buffers.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.apps.base import AppContext, digest_arrays
+from repro.apps.rodinia.base import RodiniaApp
+
+
+class Leukocyte(RodiniaApp):
+    """White-blood-cell detection/tracking across video frames."""
+
+    name = "Leukocyte"
+    cli_args = "testfile.avi 500"
+    target_runtime_s = 6.5
+    target_calls = 12_000
+    target_ckpt_mb = 695.0
+    DEVICE_MB = 550.0
+    PAPER_ITERS = 460  # frames
+    LAUNCHES_PER_ITER = 6
+    MEASURE = 4
+
+    SIDE = 64
+    N_CELLS = 10
+
+    def kernel_names(self):
+        """Device functions in this app\'s fat binary."""
+        return ("GICOV_kernel", "dilate_kernel", "IMGVF_kernel",
+                "heaviside_kernel", "regularize_kernel", "track_cells")
+
+    def setup(self, ctx: AppContext) -> None:
+        b = ctx.backend
+        s = self.SIDE
+        self.p_frame = b.malloc(4 * s * s)
+        self.p_gicov = b.malloc(4 * s * s)
+        self.p_imgvf = b.malloc(4 * s * s)
+        self.p_cells = b.malloc(8 * self.N_CELLS)
+        cells = self.rng.uniform(8, s - 8, (2, self.N_CELLS)).astype(np.float32)
+        b.memcpy(self.p_cells, cells, cells.nbytes, "h2d")
+
+    def iteration(self, ctx: AppContext, i: int) -> None:
+        b = ctx.backend
+        s = self.SIDE
+        frame = self.rng.standard_normal((s, s)).astype(np.float32)
+        b.memcpy(self.p_frame, frame, frame.nbytes, "h2d")
+
+        def view(ptr):
+            return b.device_view(ptr, 4 * s * s, np.float32).reshape(s, s)
+
+        def gicov():
+            f, g = view(self.p_frame), view(self.p_gicov)
+            gx = np.zeros_like(f)
+            gx[:, 1:-1] = (f[:, 2:] - f[:, :-2]) * 0.5
+            g[:] = gx * gx
+
+        def dilate():
+            g = view(self.p_gicov)
+            g[1:-1, 1:-1] = np.maximum.reduce(
+                [g[1:-1, 1:-1], g[:-2, 1:-1], g[2:, 1:-1], g[1:-1, :-2]]
+            )
+
+        def imgvf():
+            g, v = view(self.p_gicov), view(self.p_imgvf)
+            v[:] = 0.9 * v + 0.1 * g
+
+        def heaviside():
+            v = view(self.p_imgvf)
+            np.tanh(v, out=v)
+
+        def regularize():
+            v = view(self.p_imgvf)
+            v[1:-1, 1:-1] += np.float32(0.05) * (
+                v[:-2, 1:-1] + v[2:, 1:-1] + v[1:-1, :-2] + v[1:-1, 2:]
+                - 4 * v[1:-1, 1:-1]
+            )
+
+        def track():
+            v = view(self.p_imgvf)
+            cells = b.device_view(
+                self.p_cells, 8 * self.N_CELLS, np.float32
+            ).reshape(2, self.N_CELLS)
+            xi = np.clip(cells[0].astype(np.int64), 1, s - 2)
+            yi = np.clip(cells[1].astype(np.int64), 1, s - 2)
+            cells[0] = np.clip(cells[0] + 0.02 * v[yi, xi], 1, s - 2)
+
+        flop = float(6 * s * s)
+        self.launch(ctx, "GICOV_kernel", gicov, flop=flop)
+        self.launch(ctx, "dilate_kernel", dilate, flop=flop)
+        self.launch(ctx, "IMGVF_kernel", imgvf, flop=flop)
+        self.launch(ctx, "heaviside_kernel", heaviside, flop=flop)
+        self.launch(ctx, "regularize_kernel", regularize, flop=flop)
+        self.launch(ctx, "track_cells", track, flop=float(self.N_CELLS))
+        probe = np.zeros(4, dtype=np.float32)
+        for ptr in (self.p_gicov, self.p_imgvf, self.p_cells):
+            b.memcpy(probe, ptr, probe.nbytes, "d2h")
+        b.memcpy(self.p_gicov, self.p_imgvf, 4 * s * s, "d2d")
+        b.memcpy(probe, self.p_cells, probe.nbytes, "d2h")
+        b.memcpy(probe, self.p_imgvf, probe.nbytes, "d2h")
+
+    def finalize(self, ctx: AppContext) -> int:
+        b = ctx.backend
+        cells = np.zeros((2, self.N_CELLS), dtype=np.float32)
+        b.memcpy(cells, self.p_cells, cells.nbytes, "d2h")
+        for p in (self.p_frame, self.p_gicov, self.p_imgvf, self.p_cells):
+            b.free(p)
+        self.outputs = {"cells": cells}
+        return digest_arrays(cells)

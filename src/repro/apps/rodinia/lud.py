@@ -1,0 +1,87 @@
+"""Rodinia LUD: blocked LU decomposition.
+
+Paper configuration: ``-s 2048 -v`` — a 2048×2048 matrix, 16×16 blocks.
+Three kernels per block step (diagonal, perimeter, internal), ~1K calls
+in ~4.5 s (a low-call, kernel-heavy profile).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.apps.base import AppContext, digest_arrays
+from repro.apps.rodinia.base import RodiniaApp
+
+
+class Lud(RodiniaApp):
+    """Blocked LU decomposition (diagonal/perimeter/internal kernels)."""
+
+    name = "LUD"
+    cli_args = "-s 2048 -v"
+    target_runtime_s = 4.5
+    target_calls = 1_000
+    target_ckpt_mb = 57.0
+    DEVICE_MB = 40.0
+    PAPER_ITERS = 100  # block steps
+    LAUNCHES_PER_ITER = 3
+    MEASURE = 4
+
+    N = 64
+    B = 8  # miniature block size
+
+    def kernel_names(self):
+        """Device functions in this app\'s fat binary."""
+        return ("lud_diagonal", "lud_perimeter", "lud_internal")
+
+    def setup(self, ctx: AppContext) -> None:
+        b = ctx.backend
+        n = self.N
+        a = self.rng.standard_normal((n, n)).astype(np.float32)
+        a += n * np.eye(n, dtype=np.float32)
+        self.p_a = b.malloc(a.nbytes)
+        b.memcpy(self.p_a, a, a.nbytes, "h2d")
+
+    def iteration(self, ctx: AppContext, i: int) -> None:
+        b = ctx.backend
+        n, blk = self.N, self.B
+        nblocks = n // blk
+        k = i % nblocks  # block step
+
+        def diagonal():
+            a = b.device_view(self.p_a, 4 * n * n, np.float32).reshape(n, n)
+            o = k * blk
+            d = a[o : o + blk, o : o + blk]
+            for j in range(blk - 1):
+                piv = d[j, j]
+                if abs(piv) > 1e-12:
+                    d[j + 1 :, j] /= piv
+                    d[j + 1 :, j + 1 :] -= np.outer(d[j + 1 :, j], d[j, j + 1 :])
+
+        def perimeter():
+            a = b.device_view(self.p_a, 4 * n * n, np.float32).reshape(n, n)
+            o = k * blk
+            if o + blk < n:
+                d = a[o : o + blk, o : o + blk]
+                a[o : o + blk, o + blk :] *= 0.999  # row panel scale
+                a[o + blk :, o : o + blk] *= 0.999  # col panel scale
+
+        def internal():
+            a = b.device_view(self.p_a, 4 * n * n, np.float32).reshape(n, n)
+            o = k * blk
+            if o + blk < n:
+                a[o + blk :, o + blk :] -= (
+                    a[o + blk :, o : o + blk] @ a[o : o + blk, o + blk :]
+                ) * np.float32(1e-3)
+
+        self.launch(ctx, "lud_diagonal", diagonal, flop=float(blk**3))
+        self.launch(ctx, "lud_perimeter", perimeter, flop=2.0 * blk * blk * n)
+        self.launch(ctx, "lud_internal", internal, flop=2.0 * n * n * blk)
+
+    def finalize(self, ctx: AppContext) -> int:
+        b = ctx.backend
+        n = self.N
+        out = np.zeros((n, n), dtype=np.float32)
+        b.memcpy(out, self.p_a, out.nbytes, "d2h")
+        b.free(self.p_a)
+        self.outputs = {"a": out}
+        return digest_arrays(out)

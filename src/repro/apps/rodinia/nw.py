@@ -1,0 +1,79 @@
+"""Rodinia NW: Needleman-Wunsch global sequence alignment.
+
+Paper configuration: ``40960 10`` — a 40960×40960 dynamic-programming
+matrix (penalty 10) swept in anti-diagonal blocks, two traversals (upper-
+left → lower-right and back): ~15K kernel launches over ~70 s, the
+longest-running benchmark in Figure 2.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.apps.base import AppContext, digest_arrays
+from repro.apps.rodinia.base import RodiniaApp
+
+
+class Nw(RodiniaApp):
+    """Needleman-Wunsch DP swept in anti-diagonal launches."""
+
+    name = "NW"
+    cli_args = "40960 10"
+    target_runtime_s = 70.0
+    target_calls = 15_000
+    target_ckpt_mb = 45.0
+    DEVICE_MB = 25.0
+    PAPER_ITERS = 3_750  # anti-diagonal block sweeps
+    LAUNCHES_PER_ITER = 1
+    MEASURE = 4
+
+    N = 128
+    PENALTY = np.int32(10)
+
+    def kernel_names(self):
+        """Device functions in this app\'s fat binary."""
+        return ("needle_cuda_shared",)
+
+    def setup(self, ctx: AppContext) -> None:
+        b = ctx.backend
+        n = self.N
+        ref = self.rng.integers(-5, 5, (n, n)).astype(np.int32)
+        score = np.zeros((n, n), dtype=np.int32)
+        score[0, :] = -self.PENALTY * np.arange(n)
+        score[:, 0] = -self.PENALTY * np.arange(n)
+        self.p_ref = b.malloc(ref.nbytes)
+        self.p_score = b.malloc(score.nbytes)
+        b.memcpy(self.p_ref, ref, ref.nbytes, "h2d")
+        b.memcpy(self.p_score, score, score.nbytes, "h2d")
+
+    def iteration(self, ctx: AppContext, i: int) -> None:
+        b = ctx.backend
+        n = self.N
+        diag = (i % (2 * n - 3)) + 1  # sweep diagonals repeatedly
+
+        def needle():
+            ref = b.device_view(self.p_ref, 4 * n * n, np.int32).reshape(n, n)
+            sc = b.device_view(self.p_score, 4 * n * n, np.int32).reshape(n, n)
+            # Cells on anti-diagonal `diag` (excluding borders).
+            ii = np.arange(max(1, diag - n + 2), min(diag, n - 1) + 1)
+            if len(ii) == 0:
+                return
+            jj = diag - ii + 1
+            ok = (jj >= 1) & (jj < n)
+            ii, jj = ii[ok], jj[ok]
+            up = sc[ii - 1, jj] - self.PENALTY
+            left = sc[ii, jj - 1] - self.PENALTY
+            diag_s = sc[ii - 1, jj - 1] + ref[ii, jj]
+            sc[ii, jj] = np.maximum(np.maximum(up, left), diag_s)
+
+        self.launch(ctx, "needle_cuda_shared", needle, flop=5.0 * n)
+
+    def finalize(self, ctx: AppContext) -> int:
+        b = ctx.backend
+        n = self.N
+        out = np.zeros((n, n), dtype=np.int32)
+        b.memcpy(out, self.p_score, out.nbytes, "d2h")
+        b.free(self.p_ref)
+        b.free(self.p_score)
+        self.outputs = {"score": out}
+        return digest_arrays(out)

@@ -1,0 +1,95 @@
+"""Rodinia Particlefilter: sequential Monte-Carlo object tracking.
+
+Paper configuration: ``-x 128 -y 128 -z 10 -np 100000`` — ten video
+frames, 100K particles. Four kernels per frame (likelihood, weight
+normalization, cumulative sum, resample) — the suite's *lowest* call
+count (~120 calls, Figure 2 annotation).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.apps.base import AppContext, digest_arrays
+from repro.apps.rodinia.base import RodiniaApp
+
+
+class Particlefilter(RodiniaApp):
+    """Sequential Monte-Carlo tracker (the lowest-call-count app)."""
+
+    name = "Particlefilter"
+    cli_args = "-x 128 -y 128 -z 10 -np 100000"
+    target_runtime_s = 5.0
+    target_calls = 120
+    target_ckpt_mb = 36.0
+    DEVICE_MB = 16.0
+    PAPER_ITERS = 10  # frames (-z 10)
+    LAUNCHES_PER_ITER = 4
+    MEASURE = 10  # small loop: fully real
+
+    N_PARTICLES = 100
+
+    def kernel_names(self):
+        """Device functions in this app\'s fat binary."""
+        return ("likelihood_kernel", "normalize_weights_kernel",
+                "sum_kernel", "find_index_kernel")
+
+    def setup(self, ctx: AppContext) -> None:
+        b = ctx.backend
+        n = self.N_PARTICLES
+        self.true_path = np.cumsum(
+            self.rng.standard_normal((self.PAPER_ITERS + 1, 2)), axis=0
+        ).astype(np.float32)
+        particles = (
+            self.true_path[0] + self.rng.standard_normal((n, 2))
+        ).astype(np.float32)
+        weights = np.full(n, 1.0 / n, dtype=np.float32)
+        self.p_particles = b.malloc(particles.nbytes)
+        self.p_weights = b.malloc(weights.nbytes)
+        self.p_cdf = b.malloc(weights.nbytes)
+        b.memcpy(self.p_particles, particles, particles.nbytes, "h2d")
+        b.memcpy(self.p_weights, weights, weights.nbytes, "h2d")
+
+    def iteration(self, ctx: AppContext, i: int) -> None:
+        b = ctx.backend
+        n = self.N_PARTICLES
+        obs = self.true_path[i + 1]
+        noise = self.rng.standard_normal((n, 2)).astype(np.float32) * 0.2
+
+        def likelihood():
+            p = b.device_view(self.p_particles, 8 * n, np.float32).reshape(n, 2)
+            w = b.device_view(self.p_weights, 4 * n, np.float32)
+            p += noise  # motion model
+            d2 = ((p - obs) ** 2).sum(axis=1)
+            w[:] = np.exp(-0.5 * d2).astype(np.float32) + np.float32(1e-12)
+
+        def normalize():
+            w = b.device_view(self.p_weights, 4 * n, np.float32)
+            w /= w.sum()
+
+        def cumsum():
+            w = b.device_view(self.p_weights, 4 * n, np.float32)
+            c = b.device_view(self.p_cdf, 4 * n, np.float32)
+            np.cumsum(w, out=c)
+
+        def resample():
+            p = b.device_view(self.p_particles, 8 * n, np.float32).reshape(n, 2)
+            c = b.device_view(self.p_cdf, 4 * n, np.float32)
+            u = (np.arange(n, dtype=np.float32) + np.float32(0.5)) / n
+            idx = np.searchsorted(c, u).clip(0, n - 1)
+            p[:] = p[idx]
+
+        self.launch(ctx, "likelihood_kernel", likelihood, flop=8.0 * n)
+        self.launch(ctx, "normalize_weights_kernel", normalize, flop=2.0 * n)
+        self.launch(ctx, "sum_kernel", cumsum, flop=float(n))
+        self.launch(ctx, "find_index_kernel", resample, flop=float(n) * 7)
+
+    def finalize(self, ctx: AppContext) -> int:
+        b = ctx.backend
+        n = self.N_PARTICLES
+        particles = np.zeros((n, 2), dtype=np.float32)
+        b.memcpy(particles, self.p_particles, particles.nbytes, "d2h")
+        for p in (self.p_particles, self.p_weights, self.p_cdf):
+            b.free(p)
+        self.outputs = {"particles": particles}
+        return digest_arrays(particles)

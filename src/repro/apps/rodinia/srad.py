@@ -1,0 +1,88 @@
+"""Rodinia SRAD: speckle-reducing anisotropic diffusion (ultrasound).
+
+Paper configuration: ``2048 2048 0 127 0 127 0.5 1000`` — a 2048²
+image, λ=0.5, 1000 diffusion iterations. Two kernels per iteration
+(diffusion-coefficient computation, then the update): ~8K calls in ~6 s.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.apps.base import AppContext, digest_arrays
+from repro.apps.rodinia.base import RodiniaApp
+
+
+class Srad(RodiniaApp):
+    """Speckle-reducing anisotropic diffusion, two kernels per step."""
+
+    name = "SRAD"
+    cli_args = "2048 2048 0 127 0 127 0.5 1000"
+    target_runtime_s = 6.0
+    target_calls = 8_000
+    target_ckpt_mb = 53.0
+    DEVICE_MB = 35.0
+    PAPER_ITERS = 1_140
+    LAUNCHES_PER_ITER = 2
+    MEASURE = 4
+
+    SIDE = 64
+    LAMBDA = np.float32(0.5)
+
+    def kernel_names(self):
+        """Device functions in this app\'s fat binary."""
+        return ("srad_cuda_1", "srad_cuda_2")
+
+    def setup(self, ctx: AppContext) -> None:
+        b = ctx.backend
+        s = self.SIDE
+        img = np.exp(self.rng.standard_normal((s, s)) * 0.1).astype(np.float32)
+        self.p_img = b.malloc(img.nbytes)
+        self.p_coef = b.malloc(img.nbytes)
+        b.memcpy(self.p_img, img, img.nbytes, "h2d")
+
+    def iteration(self, ctx: AppContext, i: int) -> None:
+        b = ctx.backend
+        s = self.SIDE
+
+        def srad1():
+            img = b.device_view(self.p_img, 4 * s * s, np.float32).reshape(s, s)
+            coef = b.device_view(self.p_coef, 4 * s * s, np.float32).reshape(s, s)
+            dn = np.roll(img, -1, 0) - img
+            ds = np.roll(img, 1, 0) - img
+            de = np.roll(img, -1, 1) - img
+            dw = np.roll(img, 1, 1) - img
+            g2 = (dn**2 + ds**2 + de**2 + dw**2) / np.maximum(img, 1e-12) ** 2
+            l_ = (dn + ds + de + dw) / np.maximum(img, 1e-12)
+            num = 0.5 * g2 - 0.0625 * l_**2
+            den = (1 + 0.25 * l_) ** 2
+            q2 = num / np.maximum(den, 1e-12)
+            q0 = np.float32(0.05)
+            coef[:] = 1.0 / (1.0 + (q2 - q0) / (q0 * (1 + q0) + 1e-12))
+            np.clip(coef, 0.0, 1.0, out=coef)
+
+        def srad2():
+            img = b.device_view(self.p_img, 4 * s * s, np.float32).reshape(s, s)
+            coef = b.device_view(self.p_coef, 4 * s * s, np.float32).reshape(s, s)
+            cn = np.roll(coef, -1, 0)
+            ce = np.roll(coef, -1, 1)
+            div = (
+                cn * (np.roll(img, -1, 0) - img)
+                + coef * (np.roll(img, 1, 0) - img)
+                + ce * (np.roll(img, -1, 1) - img)
+                + coef * (np.roll(img, 1, 1) - img)
+            )
+            img += 0.25 * self.LAMBDA * div
+
+        self.launch(ctx, "srad_cuda_1", srad1, flop=24.0 * s * s)
+        self.launch(ctx, "srad_cuda_2", srad2, flop=12.0 * s * s)
+
+    def finalize(self, ctx: AppContext) -> int:
+        b = ctx.backend
+        s = self.SIDE
+        out = np.zeros((s, s), dtype=np.float32)
+        b.memcpy(out, self.p_img, out.nbytes, "d2h")
+        b.free(self.p_img)
+        b.free(self.p_coef)
+        self.outputs = {"image": out}
+        return digest_arrays(out)

@@ -1,0 +1,102 @@
+"""Rodinia Streamcluster: online clustering of a data stream.
+
+Paper configuration: ``10 20 256 65536 65536 1000 none output.txt 1``
+(k ∈ [10,20], 256 dims, 64K-point chunks). Streamcluster is the other
+benchmark (with Heartwall) the paper calls out for *many CUDA mallocs
+and frees* (§4.4.1): the pgain evaluation allocates fresh device
+scratch every pass, so its restart replays a long log and exceeds its
+checkpoint time. ~69K calls in ~6.8 s.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.apps.base import AppContext, digest_arrays
+from repro.apps.rodinia.base import RodiniaApp
+
+
+class Streamcluster(RodiniaApp):
+    """Online clustering with per-pass device scratch churn."""
+
+    name = "Streamcluster"
+    cli_args = "10 20 256 65536 65536 1000 none output.txt 1"
+    target_runtime_s = 6.8
+    target_calls = 69_000
+    target_ckpt_mb = 83.0
+    DEVICE_MB = 50.0
+    PAPER_ITERS = 2_875  # pgain passes
+    LAUNCHES_PER_ITER = 7
+    MEASURE = 4
+    CHURN_PER_ITER = 1  # per-pass pgain scratch (the §4.4.1 malloc churn)
+
+    N_POINTS = 128
+    N_DIMS = 8
+
+    def kernel_names(self):
+        """Device functions in this app\'s fat binary."""
+        return ("pgain_dist", "pgain_assign", "pgain_lower", "pgain_center",
+                "shuffle_points", "compute_cost", "reduce_cost")
+
+    def setup(self, ctx: AppContext) -> None:
+        b = ctx.backend
+        pts = self.rng.standard_normal((self.N_POINTS, self.N_DIMS)).astype(
+            np.float32
+        )
+        self.p_pts = b.malloc(pts.nbytes)
+        self.p_centers = b.malloc(4 * self.N_POINTS)  # center flags
+        self.p_cost = b.malloc(4)
+        b.memcpy(self.p_pts, pts, pts.nbytes, "h2d")
+        flags = np.zeros(self.N_POINTS, dtype=np.int32)
+        flags[0] = 1
+        b.memcpy(self.p_centers, flags, flags.nbytes, "h2d")
+
+    def iteration(self, ctx: AppContext, i: int) -> None:
+        b = ctx.backend
+        n, d = self.N_POINTS, self.N_DIMS
+        candidate = i % n
+
+        # pgain's per-pass device scratch: the malloc/free churn.
+        p_scratch = b.malloc(4 * n)
+
+        def dist():
+            pts = b.device_view(self.p_pts, 4 * n * d, np.float32).reshape(n, d)
+            scratch = b.device_view(p_scratch, 4 * n, np.float32)
+            scratch[:] = ((pts - pts[candidate]) ** 2).sum(axis=1)
+
+        def assign():
+            scratch = b.device_view(p_scratch, 4 * n, np.float32)
+            flags = b.device_view(self.p_centers, 4 * n, np.int32)
+            # Open the candidate as a center if it lowers local cost.
+            if float(scratch.mean()) < float(scratch.max()) * 0.8:
+                flags[candidate] = 1
+
+        def cost():
+            pts = b.device_view(self.p_pts, 4 * n * d, np.float32).reshape(n, d)
+            flags = b.device_view(self.p_centers, 4 * n, np.int32)
+            c = b.device_view(self.p_cost, 4, np.float32)
+            centers = pts[flags.astype(bool)]
+            if len(centers):
+                d2 = ((pts[:, None, :] - centers[None, :, :]) ** 2).sum(axis=2)
+                c[0] = np.float32(d2.min(axis=1).sum())
+
+        flop = float(3 * n * d)
+        self.launch(ctx, "pgain_dist", dist, flop=flop)
+        self.launch(ctx, "pgain_assign", assign, flop=float(n))
+        self.launch(ctx, "pgain_lower", None, flop=float(n))
+        self.launch(ctx, "pgain_center", None, flop=float(n))
+        self.launch(ctx, "shuffle_points", None, flop=float(n))
+        self.launch(ctx, "compute_cost", cost, flop=flop * 4)
+        self.launch(ctx, "reduce_cost", None, flop=float(n))
+        b.free(p_scratch)
+
+    def finalize(self, ctx: AppContext) -> int:
+        b = ctx.backend
+        flags = np.zeros(self.N_POINTS, dtype=np.int32)
+        cost = np.zeros(1, dtype=np.float32)
+        b.memcpy(flags, self.p_centers, flags.nbytes, "d2h")
+        b.memcpy(cost, self.p_cost, 4, "d2h")
+        for p in (self.p_pts, self.p_centers, self.p_cost):
+            b.free(p)
+        self.outputs = {"flags": flags, "cost": cost}
+        return digest_arrays(flags, cost)

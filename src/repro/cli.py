@@ -1,0 +1,249 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+- ``list-apps`` — every workload with its Table 1/2 metadata;
+- ``run APP``   — run a workload under any dispatcher, optionally with a
+  mid-run checkpoint + kill + restart;
+- ``reproduce WHAT`` — regenerate one (or all) of the paper's tables and
+  figures at a chosen scale;
+- ``info``      — package version plus the calibrated cost model.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro._version import __version__
+from repro.apps import (
+    CublasMicro,
+    Hpgmg,
+    Hypre,
+    Lulesh,
+    SimpleStreams,
+    UnifiedMemoryStreams,
+)
+from repro.apps.rodinia import RODINIA_SUITE
+
+APP_REGISTRY = {cls.name.lower(): cls for cls in RODINIA_SUITE}
+APP_REGISTRY.update(
+    {
+        "simplestreams": SimpleStreams,
+        "unifiedmemorystreams": UnifiedMemoryStreams,
+        "lulesh": Lulesh,
+        "hpgmg": Hpgmg,
+        "hypre": Hypre,
+        "cublas": CublasMicro,
+    }
+)
+
+EXPERIMENTS = (
+    "fig0", "table1", "table2", "fig2", "fig3", "fig4",
+    "fig5", "fig5c", "table3", "fig6", "all",
+)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argparse CLI."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="CRAC (SC 2020) reproduction: run workloads and "
+        "regenerate the paper's evaluation.",
+    )
+    parser.add_argument("--version", action="version", version=__version__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list-apps", help="list available workloads")
+    sub.add_parser("info", help="show the calibrated cost model")
+
+    cal = sub.add_parser(
+        "calibrate", help="print target-vs-measured calibration for all apps"
+    )
+    cal.add_argument("--scale", type=float, default=1.0)
+
+    run = sub.add_parser("run", help="run one workload")
+    run.add_argument("app", choices=sorted(APP_REGISTRY))
+    run.add_argument("--mode", default="native",
+                     choices=["native", "crac", "crum", "proxy-cma", "crcuda"])
+    run.add_argument("--scale", type=float, default=0.05)
+    run.add_argument("--gpu", default="V100", choices=["V100", "K600"])
+    run.add_argument("--fsgsbase", action="store_true",
+                     help="model the FSGSBASE kernel patch")
+    run.add_argument("--checkpoint-at", type=float, default=None,
+                     metavar="FRACTION",
+                     help="take a checkpoint (CRAC only) at this progress")
+    run.add_argument("--no-restart", action="store_true",
+                     help="checkpoint without kill+restart")
+    run.add_argument("--gzip", action="store_true",
+                     help="enable DMTCP gzip compression")
+    run.add_argument("--seed", type=int, default=0)
+
+    rep = sub.add_parser("reproduce", help="regenerate a table/figure")
+    rep.add_argument("what", choices=EXPERIMENTS)
+    rep.add_argument("--scale", type=float, default=0.05)
+    rep.add_argument("--bars", action="store_true",
+                     help="render runtime figures as ASCII bar charts")
+    return parser
+
+
+def cmd_list_apps(out) -> int:
+    """``repro list-apps``."""
+    print(f"{'name':<22} {'UVM':<4} {'streams':<8} {'paper args'}", file=out)
+    print("-" * 78, file=out)
+    for name in sorted(APP_REGISTRY):
+        cls = APP_REGISTRY[name]
+        print(
+            f"{name:<22} {'✓' if cls.uses_uvm else '✗':<4} "
+            f"{cls.stream_range if cls.uses_streams else '—':<8} "
+            f"{cls.cli_args}",
+            file=out,
+        )
+    return 0
+
+
+def cmd_info(out) -> int:
+    """``repro info``: version + cost model."""
+    from repro.gpu.timing import DEFAULT_HOST_COSTS, GPU_SPECS
+
+    print(f"repro {__version__} — CRAC (SC 2020) reproduction", file=out)
+    print("\nGPU models:", file=out)
+    for key, spec in GPU_SPECS.items():
+        print(
+            f"  {key}: {spec.name}, CC {spec.compute_capability[0]}."
+            f"{spec.compute_capability[1]}, {spec.memory_bytes >> 30} GB, "
+            f"{spec.max_concurrent_kernels} concurrent kernels",
+            file=out,
+        )
+    c = DEFAULT_HOST_COSTS
+    print("\nhost cost model (ns):", file=out)
+    for field_name in (
+        "native_dispatch_ns", "trampoline_body_ns", "log_record_ns",
+        "crac_startup_ns", "replay_call_ns", "restart_bootstrap_ns",
+        "ckpt_quiesce_ns",
+    ):
+        print(f"  {field_name:<22} {getattr(c, field_name):>14,.0f}", file=out)
+    return 0
+
+
+def cmd_run(args, out) -> int:
+    """``repro run APP``."""
+    from repro.harness import Machine, run_app
+
+    cls = APP_REGISTRY[args.app]
+    app = cls(scale=args.scale, seed=args.seed)
+    machine = Machine(gpu=args.gpu, fsgsbase=args.fsgsbase, seed=args.seed)
+    result = run_app(
+        app,
+        machine,
+        mode=args.mode,
+        checkpoint_at=args.checkpoint_at,
+        restart_after_checkpoint=not args.no_restart,
+        gzip=args.gzip,
+        noise=False,
+    )
+    print(f"app:        {result.app_name} (scale={args.scale})", file=out)
+    print(f"mode:       {result.mode} on {result.gpu}", file=out)
+    print(f"runtime:    {result.runtime_exact_s:.4f} s (virtual)", file=out)
+    print(f"CUDA calls: {result.cuda_calls:,} ({result.cps:,.0f}/s)", file=out)
+    print(f"digest:     {result.digest:#010x}", file=out)
+    for rec in result.checkpoints:
+        print(
+            f"checkpoint: {rec.checkpoint_s:.3f} s, {rec.size_mb:.1f} MB "
+            f"at {rec.at_progress:.0%}",
+            file=out,
+        )
+        if rec.restart_s is not None:
+            print(
+                f"restart:    {rec.restart_s:.3f} s "
+                f"({rec.replayed_calls} calls replayed)",
+                file=out,
+            )
+    return 0
+
+
+def cmd_calibrate(args, out) -> int:
+    """``repro calibrate``: target-vs-measured table."""
+    from repro.harness.calibration import calibration_table, worst_error
+
+    rows = calibration_table(scale=args.scale)
+    print(
+        f"{'app':<22} {'runtime s (tgt)':>18} {'calls (tgt)':>22} "
+        f"{'image MB (tgt)':>20}",
+        file=out,
+    )
+    print("-" * 86, file=out)
+    for r in rows:
+        print(
+            f"{r.name:<22} "
+            f"{r.measured_runtime_s:>8.1f} ({r.target_runtime_s:>6.1f}) "
+            f"{r.measured_calls:>12,} ({r.target_calls:>7,}) "
+            f"{r.measured_ckpt_mb:>10.0f} ({r.target_ckpt_mb:>6.0f})",
+            file=out,
+        )
+    name, err = worst_error(rows)
+    print(f"\nworst calibration error: {err:.1%} ({name})", file=out)
+    return 0
+
+
+def cmd_reproduce(args, out) -> int:
+    """``repro reproduce WHAT``: regenerate a table/figure."""
+    from repro.harness import experiments as ex
+    from repro.harness.report import render_all, render_bars, render_table
+
+    scale = args.scale
+    if getattr(args, "bars", False) and args.what in ("fig2", "fig5"):
+        rows = (
+            ex.fig2_rodinia_runtime(scale, noise=False)
+            if args.what == "fig2"
+            else ex.fig5_runtimes(scale, noise=False)
+        )
+        print(
+            render_bars(
+                f"{args.what} — native vs CRAC", rows, ["native_s", "crac_s"]
+            ),
+            file=out,
+        )
+        return 0
+    table = {
+        "fig0": lambda: render_table("§1 TOP500", ex.fig0_top500(), "year"),
+        "table1": lambda: render_table(
+            "Table 1", ex.table1_characterization(scale)),
+        "table2": lambda: render_table("Table 2", ex.table2_cli_arguments()),
+        "fig2": lambda: render_table(
+            "Figure 2", ex.fig2_rodinia_runtime(scale, noise=False)),
+        "fig3": lambda: render_table(
+            "Figure 3", ex.fig3_rodinia_checkpoint(scale)),
+        "fig4": lambda: render_table("Figure 4", ex.fig4_simplestreams(scale)),
+        "fig5": lambda: render_table(
+            "Figure 5a/5b", ex.fig5_runtimes(scale, noise=False)),
+        "fig5c": lambda: render_table("Figure 5c", ex.fig5c_checkpoint(scale)),
+        "table3": lambda: render_table(
+            "Table 3", ex.table3_ipc_comparison(min(scale, 0.05))),
+        "fig6": lambda: render_table(
+            "Figure 6", ex.fig6_fsgsbase(scale, noise=False)),
+        "all": lambda: render_all(scale),
+    }[args.what]
+    print(table(), file=out)
+    return 0
+
+
+def main(argv: list[str] | None = None, out=None) -> int:
+    """CLI entry point; returns the process exit code."""
+    out = out if out is not None else sys.stdout
+    args = build_parser().parse_args(argv)
+    if args.command == "list-apps":
+        return cmd_list_apps(out)
+    if args.command == "info":
+        return cmd_info(out)
+    if args.command == "run":
+        return cmd_run(args, out)
+    if args.command == "calibrate":
+        return cmd_calibrate(args, out)
+    if args.command == "reproduce":
+        return cmd_reproduce(args, out)
+    raise AssertionError(args.command)  # pragma: no cover
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,126 @@
+"""CRAC's DMTCP plugin: drain, stage, veto (paper §3.2.3).
+
+At precheckpoint time the plugin:
+
+1. drains the task queue — ``cudaDeviceSynchronize`` (the CheCUDA step
+   that CRAC retains, §2.2);
+2. stages the contents of every **active** allocation (device, managed,
+   pinned) into image blobs, charging the device→host drain over PCIe.
+   Only active mallocs are saved — *not* the full allocation arenas —
+   which is CRAC's checkpoint-size optimization (§3.2.3);
+3. saves the replay log and stream/event metadata as blobs;
+4. vetoes every lower-half range from the memory dump: the CUDA
+   library's own memory (with its unrestorable UVA/UVM state) is *not*
+   checkpointed (§3.1).
+"""
+
+from __future__ import annotations
+
+from repro.core.trampoline import CracBackend
+from repro.dmtcp.image import CheckpointImage
+from repro.dmtcp.plugins import DmtcpPlugin
+from repro.gpu.timing import NS_PER_S
+from repro.gpu.uvm import ManagedBuffer
+
+
+class CracPlugin(DmtcpPlugin):
+    """The CUDA checkpoint plugin (one per CRAC session).
+
+    ``full_arena`` enables the *naive* alternative the paper rejects in
+    §3.2.3: saving the entire CUDA malloc arenas instead of only the
+    active allocations. Used by the ablation benchmark to show the
+    checkpoint-size blowup CRAC's bookkeeping avoids.
+    """
+
+    name = "crac"
+
+    def __init__(self, session, *, full_arena: bool = False) -> None:
+        # Bound to the session (not a specific process) because restart
+        # replaces the process/runtime under the same session.
+        self.session = session
+        self.full_arena = full_arena
+
+    # -- checkpoint -----------------------------------------------------------
+
+    def on_precheckpoint(self, image: CheckpointImage) -> None:
+        backend: CracBackend = self.session.backend
+        runtime = backend.runtime
+        process = runtime.process
+
+        # 1. Drain the queue of pending CUDA kernels (on every GPU).
+        for dev in runtime.devices:
+            runtime.process.advance_to(dev.synchronize_all())
+        runtime.cudaDeviceSynchronize()
+
+        # 2. Stage active allocations; drain device-side bytes over PCIe.
+        buffers: dict[int, dict] = {}
+        drain_bytes = 0
+        for buf in runtime.active_allocations():
+            is_managed = isinstance(buf, ManagedBuffer)
+            kind = "managed" if is_managed else buf.kind
+            entry = {
+                "kind": kind,
+                "size": buf.size,
+                "snapshot": buf.contents.snapshot(),
+            }
+            if is_managed:
+                entry["residency"] = buf.residency.copy()
+                # Only device-resident pages cross PCIe at drain time.
+                drain_bytes += int((buf.residency == 1).sum()) * 64 * 1024
+            elif kind == "device":
+                drain_bytes += buf.size
+            buffers[buf.addr] = entry
+        process.advance(
+            drain_bytes / runtime.device.spec.pcie_bw * NS_PER_S
+        )
+        if self.full_arena:
+            # Naive mode (§3.2.3): the whole arenas go into the image.
+            accounted = (
+                sum(a.arena_bytes for a in runtime._device_allocs)
+                + runtime._pinned_alloc.arena_bytes
+                + runtime._hostalloc_alloc.arena_bytes
+                + runtime._managed_alloc.arena_bytes
+            )
+            accounted = max(accounted, sum(e["size"] for e in buffers.values()))
+        else:
+            accounted = sum(e["size"] for e in buffers.values())
+        image.add_blob("crac/buffers", buffers, accounted_bytes=accounted)
+
+        # 3. Replay log + live handle metadata.
+        image.add_blob("crac/replay-log", self.session.backend.log)
+        image.add_blob(
+            "crac/streams",
+            sorted(backend.live_streams.keys()),
+        )
+        image.add_blob(
+            "crac/events",
+            {
+                eid: (e.recorded, e.timestamp_ns)
+                for eid, e in backend.live_events.items()
+            },
+        )
+        image.add_blob("crac/current-device", runtime.current_device)
+        # Platform fingerprint: replay determinism "relies on using the
+        # same CUDA/GPU platform on restart" (§3.2.4).
+        image.add_blob(
+            "crac/platform",
+            {
+                "gpu": runtime.devices[0].spec.name,
+                "n_gpus": len(runtime.devices),
+                "compute_capability": runtime.devices[0].spec.compute_capability,
+            },
+        )
+        image.add_blob(
+            "crac/fatbins",
+            {
+                virtual: entry["fatbin"].name
+                for virtual, entry in backend.fatbin_registry.items()
+            },
+        )
+
+    # -- veto ---------------------------------------------------------------------
+
+    def skip_ranges(self) -> list[tuple[int, int]]:
+        """The whole lower half: helper, CUDA libraries, and every arena
+        the library mmap'ed — none of it is saved (§3.1)."""
+        return self.session.split.lower_ranges()

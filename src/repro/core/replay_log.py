@@ -1,0 +1,143 @@
+"""The cudaMalloc-family log and the restart-time replay engine.
+
+CRAC logs every allocation/free in the cudaMalloc family (§3.2.3) — *not*
+every mmap, which the paper shows is impractical — and replays the entire
+sequence at restart so the deterministic CUDA allocator reproduces every
+active allocation at its original address (§3.2.4). The memory *content*
+of only the *active* allocations is saved; the full call sequence is
+replayed purely for address determinism.
+
+``cudaHostAlloc`` is the exception: its buffers are already present in
+the restored upper-half memory, so only still-active ones are replayed —
+as ``cudaHostRegister`` — to re-register them with the fresh library.
+
+Replay verifies determinism: if a replayed allocation lands at a
+different address (e.g. ASLR was left enabled, or the restart runs on a
+different CUDA/GPU platform), every pointer held by the restored upper
+half would dangle, so replay aborts with ``ReplayDivergenceError``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Literal
+
+from repro.errors import ReplayDivergenceError
+from repro.cuda.api import CudaRuntime
+
+Op = Literal[
+    "malloc",
+    "free",
+    "malloc_host",
+    "free_host",
+    "malloc_managed",
+    "free_managed",
+    "host_alloc",
+]
+
+
+@dataclass(frozen=True)
+class LogEntry:
+    """One logged cudaMalloc-family call."""
+
+    op: Op
+    nbytes: int  # 0 for frees
+    addr: int  # result for allocs, argument for frees
+    #: cudaSetDevice state at call time (multi-GPU replay must restore it)
+    device: int = 0
+
+
+@dataclass
+class ReplayLog:
+    """Ordered log of allocation-family calls."""
+
+    entries: list[LogEntry] = field(default_factory=list)
+
+    def record(self, op: Op, nbytes: int, addr: int, device: int = 0) -> None:
+        """Append one allocation-family call to the log."""
+        self.entries.append(LogEntry(op, nbytes, addr, device))
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    # -- queries ----------------------------------------------------------------
+
+    def active_allocations(self) -> dict[int, LogEntry]:
+        """Allocations not freed by the end of the log, keyed by address."""
+        live: dict[int, LogEntry] = {}
+        for e in self.entries:
+            if e.op in ("malloc", "malloc_host", "malloc_managed", "host_alloc"):
+                live[e.addr] = e
+            else:
+                live.pop(e.addr, None)
+        return live
+
+    def count(self, *ops: Op) -> int:
+        """Number of entries matching any of ``ops``."""
+        return sum(1 for e in self.entries if e.op in ops)
+
+    # -- replay -------------------------------------------------------------------
+
+    def replay(
+        self, runtime: CudaRuntime, *, strict: bool = True
+    ) -> int | dict[int, int]:
+        """Re-execute the log against a fresh lower-half CUDA library.
+
+        In the default strict mode, returns the number of calls replayed
+        and raises :class:`ReplayDivergenceError` if any allocation lands
+        at a different address than the original run — the paper's
+        baseline design, which requires disabled ASLR and the same
+        CUDA/GPU platform.
+
+        With ``strict=False`` (the §3.2.4 future-work *address
+        virtualization* mode) divergence is tolerated: the method returns
+        an ``{original_addr: new_addr}`` translation map instead, and the
+        caller patches its virtual-address table.
+        """
+        replayed = 0
+        hostalloc_addrs: set[int] = set()
+        translation: dict[int, int] = {}
+
+        def xlate(addr: int) -> int:
+            return translation.get(addr, addr) if not strict else addr
+
+        for e in self.entries:
+            if e.op == "malloc":
+                if runtime.current_device != e.device:
+                    runtime.cudaSetDevice(e.device)
+                got = runtime.cudaMalloc(e.nbytes)
+            elif e.op == "free":
+                runtime.cudaFree(xlate(e.addr))
+                replayed += 1
+                continue
+            elif e.op == "malloc_host":
+                got = runtime.cudaMallocHost(e.nbytes)
+            elif e.op == "free_host":
+                if e.addr in hostalloc_addrs:
+                    # Frees of never-replayed cudaHostAlloc buffers.
+                    continue
+                runtime.cudaFreeHost(xlate(e.addr))
+                replayed += 1
+                continue
+            elif e.op == "malloc_managed":
+                got = runtime.cudaMallocManaged(e.nbytes)
+            elif e.op == "free_managed":
+                runtime.cudaFreeManaged(xlate(e.addr))
+                replayed += 1
+                continue
+            elif e.op == "host_alloc":
+                # Not replayed through the allocator: active cudaHostAlloc
+                # buffers are re-registered separately (§3.2.4).
+                hostalloc_addrs.add(e.addr)
+                continue
+            else:  # pragma: no cover - exhaustive literal
+                raise AssertionError(e.op)
+            replayed += 1
+            if strict and got != e.addr:
+                raise ReplayDivergenceError(
+                    f"replayed {e.op}({e.nbytes}) landed at {got:#x}, "
+                    f"original was {e.addr:#x} — allocator nondeterminism "
+                    "or changed platform/ASLR"
+                )
+            translation[e.addr] = got
+        return replayed if strict else translation

@@ -1,0 +1,270 @@
+"""CracSession: end-to-end launch / checkpoint / kill / restart.
+
+The session owns the split process, the trampoline backend, the DMTCP
+checkpointer with the CRAC plugin, and the coordinator. Its
+:meth:`restart` implements the paper's restart path:
+
+1. a fresh process is created and a **new lower-half helper** is loaded
+   (same deterministic layout: ASLR disabled, same platform);
+2. DMTCP restores the upper-half memory from the image at the original
+   addresses;
+3. the trampoline is re-pointed at the fresh entry-point table;
+4. the full cudaMalloc-family log is replayed so every active allocation
+   reappears at its original address (divergence aborts the restart);
+5. active ``cudaHostAlloc`` buffers are re-registered (their bytes came
+   back with the upper half);
+6. fat binaries are re-registered and handles patched (§3.2.5);
+7. device/managed memory is refilled from the staged blobs over PCIe;
+8. application-held stream/event handles are adopted by the fresh
+   library ("CRAC needs to recreate streams", §4.4.2).
+
+Because steps 4–8 restore every pointer and handle the application
+holds, the (simulated) application object simply continues running —
+exactly the transparency argument of the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.halves import SplitProcess
+from repro.core.plugin import CracPlugin
+from repro.core.trampoline import CracBackend
+from repro.dmtcp.checkpointer import DmtcpCheckpointer
+from repro.dmtcp.coordinator import DmtcpCoordinator
+from repro.dmtcp.image import CheckpointImage
+from repro.errors import RestartError
+from repro.gpu.device import GpuDevice
+from repro.gpu.timing import DEFAULT_HOST_COSTS, NS_PER_S, HostCosts
+from repro.gpu.uvm import ManagedBuffer
+from repro.linux.loader import ProgramImage
+
+
+@dataclass
+class RestartReport:
+    """What the restart did, and what it cost (virtual time)."""
+
+    restart_time_ns: float
+    replayed_calls: int
+    refilled_bytes: int
+    reregistered_fatbins: int
+    adopted_streams: int
+    adopted_events: int
+
+
+class CracSession:
+    """A CUDA application running under CRAC."""
+
+    def __init__(
+        self,
+        *,
+        gpu: str = "V100",
+        app_image: ProgramImage | None = None,
+        fsgsbase: bool = False,
+        seed: int = 0,
+        n_gpus: int = 1,
+        costs: HostCosts = DEFAULT_HOST_COSTS,
+        full_arena_checkpoint: bool = False,
+        address_virtualization: bool = False,
+    ) -> None:
+        self.gpu = gpu
+        self.seed = seed
+        self.fsgsbase = fsgsbase
+        self.n_gpus = n_gpus
+        self.costs = costs
+        self.app_image = app_image
+        self.split = SplitProcess(
+            gpu=gpu, app_image=app_image, fsgsbase=fsgsbase, seed=seed,
+            n_gpus=n_gpus,
+        )
+        self.backend = CracBackend(
+            self.split.runtime, costs,
+            virtualize_addresses=address_virtualization,
+        )
+        # DMTCP + CRAC launch-time overhead (helper load, entry table,
+        # coordinator handshake) — significant for short-running apps.
+        self.process.advance(costs.crac_startup_ns)
+        self.plugin = CracPlugin(self, full_arena=full_arena_checkpoint)
+        self.checkpointer = DmtcpCheckpointer(self.process, [self.plugin], costs)
+        self.coordinator = DmtcpCoordinator(self.checkpointer, seed=seed)
+        self.backend.coordinator = self.coordinator
+        self.restarts: list[RestartReport] = []
+
+    # -- conveniences ------------------------------------------------------------
+
+    def __enter__(self) -> "CracSession":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if self.process.alive:
+            self.kill()
+
+    @property
+    def process(self):
+        return self.split.process
+
+    @property
+    def runtime(self):
+        return self.split.runtime
+
+    @property
+    def device(self) -> GpuDevice:
+        return self.split.device
+
+    # -- checkpoint ----------------------------------------------------------------
+
+    def checkpoint(
+        self,
+        *,
+        gzip: bool = False,
+        incremental: bool = False,
+        parent: CheckpointImage | None = None,
+    ) -> CheckpointImage:
+        """Take a checkpoint now (drain → stage → dump upper half).
+
+        ``incremental=True`` saves only host pages dirtied since
+        ``parent`` (GPU buffers are always staged in full)."""
+        return self.coordinator.checkpoint(
+            gzip=gzip, incremental=incremental, parent=parent
+        )
+
+    def kill(self) -> None:
+        """Terminate the original process (device state is lost)."""
+        self.process.kill()
+        self.runtime.destroy()
+
+    # -- restart ----------------------------------------------------------------------
+
+    def restart(self, image: CheckpointImage) -> RestartReport:
+        """Restart from ``image`` in a brand-new process (see module doc)."""
+        platform = image.blobs.get("crac/platform")
+        if platform is not None and not self.backend.virtualize_addresses:
+            want = platform.payload
+            from repro.gpu.timing import GPU_SPECS
+
+            have_spec = GPU_SPECS[self.gpu]
+            if (
+                want["gpu"] != have_spec.name
+                or want["n_gpus"] != self.n_gpus
+            ):
+                raise RestartError(
+                    "restart platform mismatch: image was taken on "
+                    f"{want['n_gpus']}× {want['gpu']}, restarting on "
+                    f"{self.n_gpus}× {have_spec.name} — CRAC's replay "
+                    "determinism requires the same CUDA/GPU platform "
+                    "(§3.2.4)"
+                )
+        old_clock = self.process.clock_ns
+        fresh = SplitProcess(
+            gpu=self.gpu,
+            app_image=self.app_image,
+            fsgsbase=self.fsgsbase,
+            seed=self.seed,
+            n_gpus=self.n_gpus,
+            load_upper=False,
+        )
+        proc = fresh.process
+        proc.advance(self.costs.restart_bootstrap_ns)
+
+        # 2. Restore upper-half memory at original addresses; the
+        #    restored ranges are re-registered as upper-owned.
+        restore_cost = self.checkpointer.restore_memory(image, proc)
+        proc.advance(restore_cost)
+        for saved in image.regions:
+            fresh.loader._track("upper", saved.start, saved.size)
+
+        # 3. Re-point the trampoline at the fresh lower half.
+        self.backend.swap_runtime(fresh.runtime)
+
+        # 4. Replay the allocation log. In the baseline design address
+        #    determinism is verified; under address virtualization (the
+        #    §3.2.4 future-work mode) divergence is tolerated and the
+        #    virtual-pointer table is patched instead.
+        log = image.blob("crac/replay-log")
+        if self.backend.virtualize_addresses:
+            translation = log.replay(fresh.runtime, strict=False)
+            replayed = len(log.entries)
+        else:
+            replayed = log.replay(fresh.runtime)
+            translation = {}
+        proc.advance(replayed * self.costs.replay_call_ns)
+
+        # 5. Re-register active cudaHostAlloc buffers (bytes already in
+        #    the restored upper half).
+        buffers = image.blob("crac/buffers")
+        active = log.active_allocations()
+        for addr, entry in active.items():
+            if entry.op == "host_alloc":
+                fresh.runtime.cudaHostRegister(addr, entry.nbytes)
+                # The registered pages are already mapped (restored with
+                # the upper half); the fresh hostalloc arena must never
+                # hand them out again.
+                fresh.runtime._hostalloc_alloc.reserve(addr, entry.nbytes)
+                proc.advance(self.costs.replay_call_ns)
+
+        # Sanity: every staged buffer must exist again (possibly moved).
+        missing = [
+            a
+            for a in buffers
+            if translation.get(a, a) not in fresh.runtime.buffers
+        ]
+        if missing:
+            raise RestartError(
+                f"replay did not recreate buffers at {[hex(a) for a in missing]}"
+            )
+
+        # 6. Fat binaries: re-register and patch handles.
+        patches = self.backend.reregister_fatbins()
+
+        # 7. Refill contents of active allocations; device/managed bytes
+        #    cross PCIe again.
+        refill_bytes = 0
+        for addr, entry in buffers.items():
+            buf = fresh.runtime.buffers[translation.get(addr, addr)]
+            buf.contents.restore(entry["snapshot"])
+            if entry["kind"] == "managed":
+                assert isinstance(buf, ManagedBuffer)
+                buf.residency[:] = entry["residency"]
+                refill_bytes += int((buf.residency == 1).sum()) * 64 * 1024
+            elif entry["kind"] == "device":
+                refill_bytes += entry["size"]
+        proc.advance(refill_bytes / fresh.device.spec.pcie_bw * NS_PER_S)
+
+        # Restore the application's cudaSetDevice state (replay may have
+        # left a different device current).
+        want_device = image.blobs.get("crac/current-device")
+        if want_device is not None and fresh.runtime.current_device != want_device.payload:
+            fresh.runtime.cudaSetDevice(want_device.payload)
+
+        # Patch the application's virtual pointers onto the (possibly
+        # moved) real allocations.
+        if translation:
+            self.backend.patch_translation(translation)
+
+        # 8. Recreate streams/events: adopt the app-held handles.
+        for stream in self.backend.live_streams.values():
+            fresh.runtime.adopt_stream(stream)
+            proc.advance(self.costs.replay_call_ns)
+        for event in self.backend.live_events.values():
+            fresh.runtime.adopt_event(event)
+
+        restart_time = proc.clock_ns
+        # The session continues in the new process; keep virtual time
+        # monotone across the kill/restart boundary.
+        proc.advance_to(old_clock + restart_time)
+
+        self.split = fresh
+        self.checkpointer = DmtcpCheckpointer(proc, [self.plugin], self.costs)
+        self.coordinator = DmtcpCoordinator(self.checkpointer, seed=self.seed)
+        self.backend.coordinator = self.coordinator
+
+        report = RestartReport(
+            restart_time_ns=restart_time,
+            replayed_calls=replayed,
+            refilled_bytes=refill_bytes,
+            reregistered_fatbins=len(patches),
+            adopted_streams=len(self.backend.live_streams),
+            adopted_events=len(self.backend.live_events),
+        )
+        self.restarts.append(report)
+        return report

@@ -1,0 +1,274 @@
+"""The CRAC dispatch backend: trampoline + interposition.
+
+Every upper-half CUDA call jumps through the entry-point table into the
+lower half (Figure 1). Crossing the boundary switches the x86-64 ``fs``
+register to the lower half's TLS and back — one kernel call each way on
+an unpatched kernel, one ``wrfsbase`` instruction each way under the
+FSGSBASE patch (§4.4.5) — plus a small table-indirection cost.
+
+The backend also implements CRAC's interposition (§3.2):
+
+- the **cudaMalloc family** is logged into the replay log (allocation
+  order and addresses), and *active* allocations are tracked for
+  checkpoint draining;
+- **fat-binary registration** is virtualized: the application holds
+  virtual handles, so CRAC can re-register with a fresh lower half at
+  restart and patch the mapping (§3.2.5);
+- **streams and events** the application creates are tracked so they can
+  be recreated and re-adopted at restart;
+- each call notifies the DMTCP coordinator, which may fire a checkpoint
+  at a scheduled call index ("random time during the run", §4.4.1).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.core.replay_log import ReplayLog
+from repro.cuda.api import CudaRuntime, FatBinary
+from repro.cuda.interface import CudaDispatchBase
+from repro.dmtcp.coordinator import DmtcpCoordinator
+from repro.gpu.streams import Event, Stream
+from repro.gpu.timing import DEFAULT_HOST_COSTS, HostCosts
+
+
+class CracBackend(CudaDispatchBase):
+    """Upper→lower trampoline dispatch with CRAC interposition."""
+
+    mode = "crac"
+
+    #: base of the virtual-pointer range handed to the application when
+    #: address virtualization is enabled (disjoint from both halves).
+    VIRT_BASE = 0x0000_5000_0000_0000
+
+    def __init__(
+        self,
+        runtime: CudaRuntime,
+        host_costs: HostCosts = DEFAULT_HOST_COSTS,
+        *,
+        lower_fs_base: int = 0x1000,
+        upper_fs_base: int = 0x2000,
+        virtualize_addresses: bool = False,
+    ) -> None:
+        super().__init__(runtime, host_costs)
+        self.log = ReplayLog()
+        #: §3.2.4 future-work mode: the app holds stable *virtual*
+        #: pointers; the trampoline translates to the library's real
+        #: addresses, so restart tolerates allocator divergence (no
+        #: same-platform / no-ASLR requirement).
+        self.virtualize_addresses = virtualize_addresses
+        self._v2r: dict[int, int] = {}
+        self._virt_cursor = self.VIRT_BASE
+        self.coordinator: DmtcpCoordinator | None = None
+        self._lower_fs = lower_fs_base
+        self._upper_fs = upper_fs_base
+        # Fat-binary virtualization: app-visible handle -> (real handle,
+        # FatBinary, registered function names).
+        self._next_virtual_handle = 1
+        self.fatbin_registry: dict[int, dict] = {}
+        # Live handles the app holds, for restart recreation.
+        self.live_streams: dict[int, Stream] = {}
+        self.live_events: dict[int, Event] = {}
+
+    # -- dispatch cost ---------------------------------------------------------
+
+    def _charge_call(
+        self,
+        name: str,
+        *,
+        payload_bytes: int = 0,
+        ship_in: Sequence[int] = (),
+        ship_out: Sequence[int] = (),
+    ) -> None:
+        # ship_in/ship_out are ignored: the single address space passes
+        # pointers directly to the lower half (the paper's key win).
+        proc = self.process
+        thread = self.current_thread if self.current_thread is not None else proc.threads[0]
+        # Enter the lower half: switch fs to the lower half's TLS...
+        proc.set_fs_register(thread, self._lower_fs)
+        # ...table indirection + the call itself...
+        proc.advance(self.costs.trampoline_body_ns + self.costs.native_dispatch_ns)
+        # ...and return to the upper half.
+        proc.set_fs_register(thread, self._upper_fs)
+        if self.coordinator is not None:
+            self.coordinator.notify_call()
+
+    def _log(self, op: str, nbytes: int, addr: int, device: int = 0) -> None:
+        self.log.record(op, nbytes, addr, device)  # type: ignore[arg-type]
+        if not self._prepaid_depth:
+            self.process.advance(self.costs.log_record_ns)
+
+    # -- address virtualization (§3.2.4 future work) -------------------------
+
+    def _expose(self, real_addr: int, nbytes: int) -> int:
+        """Hand the app a pointer: real, or a fresh virtual one."""
+        if not self.virtualize_addresses:
+            return real_addr
+        vaddr = self._virt_cursor
+        self._virt_cursor += (nbytes + 0xFFF) & ~0xFFF
+        self._v2r[vaddr] = real_addr
+        return vaddr
+
+    def _to_real(self, addr):
+        """Translate an app pointer to the library's real address."""
+        if not self.virtualize_addresses or not isinstance(addr, int):
+            return addr
+        return self._v2r.get(addr, addr)
+
+    def patch_translation(self, moved: dict[int, int]) -> None:
+        """Rebind virtual pointers after a non-strict replay moved the
+        underlying real allocations ("patching application locations
+        containing the addresses", §3.2.4)."""
+        for v, r in list(self._v2r.items()):
+            self._v2r[v] = moved.get(r, r)
+
+    # -- interposed cudaMalloc family -------------------------------------------
+
+    def malloc(self, nbytes: int) -> int:
+        addr = super().malloc(nbytes)
+        self._log("malloc", nbytes, addr, device=self.runtime.current_device)
+        return self._expose(addr, nbytes)
+
+    def free(self, addr: int) -> None:
+        # Managed pointers route through cudaFree as in real CUDA; log
+        # them distinctly so replay uses the right entry point.
+        from repro.gpu.uvm import ManagedBuffer
+
+        real = self._to_real(addr)
+        is_managed = isinstance(self.runtime.buffers.get(real), ManagedBuffer)
+        super().free(real)
+        self._v2r.pop(addr, None)
+        self._log("free_managed" if is_managed else "free", 0, real)
+
+    def malloc_host(self, nbytes: int) -> int:
+        addr = super().malloc_host(nbytes)
+        self._log("malloc_host", nbytes, addr)
+        return self._expose(addr, nbytes)
+
+    def host_alloc(self, nbytes: int, flags: int = 0) -> int:
+        addr = super().host_alloc(nbytes, flags)
+        self._log("host_alloc", nbytes, addr)
+        return self._expose(addr, nbytes)
+
+    def free_host(self, addr: int) -> None:
+        real = self._to_real(addr)
+        super().free_host(real)
+        self._v2r.pop(addr, None)
+        self._log("free_host", 0, real)
+
+    def malloc_managed(self, nbytes: int) -> int:
+        addr = super().malloc_managed(nbytes)
+        self._log("malloc_managed", nbytes, addr)
+        return self._expose(addr, nbytes)
+
+    # -- translated data-path entry points ---------------------------------------
+
+    def memcpy(self, dst, src, nbytes, kind, **kw):
+        super().memcpy(self._to_real(dst), self._to_real(src), nbytes, kind, **kw)
+
+    def memset(self, addr, value, nbytes, **kw):
+        super().memset(self._to_real(addr), value, nbytes, **kw)
+
+    def launch(self, name, fn=None, *, managed=(), **kw):
+        if self.virtualize_addresses:
+            from repro.cuda.api import ManagedUse
+
+            managed = [
+                ManagedUse(self._to_real(u.addr), u.offset, u.nbytes, u.mode)
+                for u in managed
+            ]
+        return super().launch(name, fn, managed=managed, **kw)
+
+    def mem_prefetch(self, addr, nbytes, **kw):
+        super().mem_prefetch(self._to_real(addr), nbytes, **kw)
+
+    def memcpy_peer(self, dst, src, nbytes, **kw):
+        super().memcpy_peer(self._to_real(dst), self._to_real(src), nbytes, **kw)
+
+    def pointer_get_attributes(self, addr):
+        return super().pointer_get_attributes(self._to_real(addr))
+
+    def device_view(self, addr, nbytes, dtype=None, offset: int = 0):
+        import numpy as np
+
+        return super().device_view(
+            self._to_real(addr), nbytes, dtype if dtype is not None else np.uint8,
+            offset,
+        )
+
+    def managed_view(self, addr, nbytes, dtype=None, offset: int = 0):
+        import numpy as np
+
+        return super().managed_view(
+            self._to_real(addr), nbytes, dtype if dtype is not None else np.uint8,
+            offset,
+        )
+
+    # -- interposed registration (§3.2.5) -------------------------------------------
+
+    def register_fatbin(self, fatbin: FatBinary) -> int:
+        real = super().register_fatbin(fatbin)
+        virtual = self._next_virtual_handle
+        self._next_virtual_handle += 1
+        self.fatbin_registry[virtual] = {
+            "real": real,
+            "fatbin": fatbin,
+            "functions": [],
+        }
+        return virtual
+
+    def register_function(self, handle: int, kernel_name: str) -> None:
+        entry = self.fatbin_registry[handle]
+        super().register_function(entry["real"], kernel_name)
+        entry["functions"].append(kernel_name)
+
+    def unregister_fatbin(self, handle: int) -> None:
+        entry = self.fatbin_registry.pop(handle)
+        super().unregister_fatbin(entry["real"])
+
+    # -- stream / event tracking ----------------------------------------------------
+
+    def stream_create(self) -> Stream:
+        s = super().stream_create()
+        self.live_streams[s.sid] = s
+        return s
+
+    def stream_destroy(self, stream: Stream) -> None:
+        super().stream_destroy(stream)
+        self.live_streams.pop(stream.sid, None)
+
+    def event_create(self) -> Event:
+        e = super().event_create()
+        self.live_events[e.eid] = e
+        return e
+
+    def event_destroy(self, event: Event) -> None:
+        super().event_destroy(event)
+        self.live_events.pop(event.eid, None)
+
+    # -- restart support --------------------------------------------------------------
+
+    def swap_runtime(self, runtime: CudaRuntime) -> None:
+        """Point the trampoline at a freshly loaded lower half.
+
+        Called by the restart orchestrator after the new helper program
+        re-initialized the entry-point table (Figure 1, restart path).
+        """
+        self.runtime = runtime
+        self.process = runtime.process
+
+    def reregister_fatbins(self) -> dict[int, tuple[int, int]]:
+        """Re-register every live fat binary with the fresh library and
+        patch the handle mapping (§3.2.5). Returns {virtual: (old, new)}."""
+        patches: dict[int, tuple[int, int]] = {}
+        for virtual, entry in self.fatbin_registry.items():
+            old = entry["real"]
+            new = self.runtime.cudaRegisterFatBinary(entry["fatbin"])
+            for fname in entry["functions"]:
+                self.runtime.cudaRegisterFunction(new, fname)
+            entry["real"] = new
+            patches[virtual] = (old, new)
+            self.process.advance(
+                self.costs.reregister_ns * (1 + len(entry["functions"]))
+            )
+        return patches

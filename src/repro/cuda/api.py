@@ -1,0 +1,801 @@
+"""``CudaRuntime``: the closed-source CUDA library stand-in.
+
+One instance of this class *is* "libcuda + libcudart" resident in a
+process half. It owns everything the paper says the CUDA library owns:
+
+- the deterministic allocation arenas for ``cudaMalloc`` /
+  ``cudaMallocHost`` / ``cudaHostAlloc`` / ``cudaMallocManaged``
+  (created through the half's interposed ``mmap`` — §3.2.1);
+- stream and event registries;
+- the fat-binary registration table (``__cudaRegisterFatBinary`` family,
+  §3.2.5) — launching a kernel whose fat binary is not registered with
+  *this* library instance fails, which is why CRAC must re-register at
+  restart;
+- **opaque internal state entangled with the driver**: creating UVA/UVM
+  mappings advances an internal epoch in lock-step with the driver
+  context. Restoring a *saved copy* of library memory into a fresh
+  context desynchronizes the epochs and every later call fails — the
+  observed reason CheCUDA-era approaches died with CUDA 4.0 (§2.2/§3.1).
+
+Timing convention: methods here charge *device-side* and *blocking* time
+only (a synchronous memcpy advances the host clock to completion). The
+per-call *dispatch* cost — native call vs CRAC trampoline vs proxy IPC —
+is charged by the dispatch backend, not by the library.
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections import Counter
+from dataclasses import dataclass
+from typing import Callable, Iterable, Sequence
+
+import numpy as np
+
+from repro.errors import CudaError
+from repro.cuda.errors import CudaErrorCode, cuda_check
+from repro.gpu.device import GpuDevice
+from repro.gpu.memory import ArenaAllocator, DeviceBuffer
+from repro.gpu.streams import Event, Stream
+from repro.gpu.uvm import ManagedBuffer, UvmManager
+from repro.linux.process import SimProcess
+
+#: Managed-memory oversubscription factor (UVM may exceed device memory).
+MANAGED_CAPACITY_FACTOR = 4
+
+#: Throughput efficiency of DMA from *pageable* host memory relative to
+#: pinned memory (the driver stages through a bounce buffer).
+PAGEABLE_COPY_EFFICIENCY = 0.65
+
+#: Host-side latency of a blocking synchronization (driver polling /
+#: wakeup), ns. Dominates the native time of short blocking calls like
+#: the Table 3 cuBLAS loops (~26 µs/call for a 1 MB Sdot in the paper).
+SYNC_POLL_NS = 10_000.0
+
+
+@dataclass(frozen=True)
+class FatBinary:
+    """An embedded device-code image: the CUDA kernels of one executable."""
+
+    name: str
+    kernels: tuple[str, ...]
+
+
+@dataclass
+class _DriverContext:
+    """Driver-side per-process context state (lives *outside* the library
+    memory image — restoring saved library bytes cannot restore this)."""
+
+    uva_epoch: int = 0
+
+
+@dataclass
+class ManagedUse:
+    """Declares a kernel's access to a managed buffer."""
+
+    addr: int
+    offset: int
+    nbytes: int
+    mode: str = "r"  # 'r', 'w', or 'rw'
+
+
+class CudaRuntime:
+    """One loaded instance of the CUDA library (see module docstring)."""
+
+    def __init__(
+        self,
+        process: SimProcess,
+        device: GpuDevice | list[GpuDevice],
+        mem_source: Callable[[int, str], int],
+    ) -> None:
+        self.process = process
+        #: all GPUs visible to this library (the paper's nodes carry four
+        #: V100s); ``cudaSetDevice`` selects the current one.
+        self.devices: list[GpuDevice] = (
+            list(device) if isinstance(device, (list, tuple)) else [device]
+        )
+        self.current_device = 0
+        self._mem_source = mem_source
+        self.ctx = _DriverContext()
+        self._lib_uva_epoch = 0
+        self.destroyed = False
+
+        # One deterministic arena allocator per device, each with its own
+        # VA sub-window tag (UVA carves device memory per GPU).
+        self._device_allocs = [
+            ArenaAllocator(
+                (lambda i: lambda size: mem_source(
+                    size, f"cuda-device-arena-dev{i}"
+                ))(idx),
+                capacity=dev.spec.memory_bytes,
+            )
+            for idx, dev in enumerate(self.devices)
+        ]
+        self._pinned_alloc = ArenaAllocator(
+            lambda size: mem_source(size, "cuda-pinned-arena"),
+            capacity=64 << 30,
+        )
+        # cudaHostAlloc gets its own arena: CRAC replays cudaMallocHost
+        # fully but re-registers cudaHostAlloc buffers without allocating
+        # (§3.2.4); sharing one arena would break replay determinism.
+        self._hostalloc_alloc = ArenaAllocator(
+            lambda size: mem_source(size, "cuda-hostalloc-arena"),
+            capacity=64 << 30,
+        )
+        #: which allocator owns each pinned buffer ("pinned" | "hostalloc"
+        #: | "registered")
+        self._host_origin: dict[int, str] = {}
+        self._managed_alloc = ArenaAllocator(
+            lambda size: mem_source(size, "cuda-managed-arena"),
+            capacity=self.devices[0].spec.memory_bytes * MANAGED_CAPACITY_FACTOR,
+        )
+        self.uvm = UvmManager(self.devices[0])
+        self.buffers: dict[int, DeviceBuffer | ManagedBuffer] = {}
+
+        # The legacy default stream lives on device 0; launches on other
+        # devices must name an explicit stream (a documented simulation
+        # constraint matching per-thread-stream usage on multi-GPU code).
+        self.default_stream = Stream(sid=0)
+        self.devices[0].register_stream(self.default_stream)
+        self.streams: dict[int, Stream] = {0: self.default_stream}
+        self.events: dict[int, Event] = {}
+
+        self._fatbin_handles = itertools.count(1)
+        self.fatbins: dict[int, FatBinary] = {}
+        self._registered_kernels: set[str] = set()
+
+        #: per-entry-point call counts (library-side bookkeeping)
+        self.api_log: Counter[str] = Counter()
+
+    # ------------------------------------------------------------------ utils
+
+    def _entry(self, name: str) -> None:
+        """Common prologue of every CUDA entry point."""
+        cuda_check(
+            not self.destroyed,
+            CudaErrorCode.INITIALIZATION_ERROR,
+            "CUDA library has been destroyed",
+        )
+        cuda_check(
+            self._lib_uva_epoch == self.ctx.uva_epoch,
+            CudaErrorCode.LIBRARY_STATE_INCONSISTENT,
+            "library UVA/UVM state inconsistent with driver context "
+            "(restored library memory cannot be reconciled — §2.2)",
+        )
+        self.api_log[name] += 1
+
+    def _buffer(self, addr: int) -> DeviceBuffer | ManagedBuffer:
+        buf = self.buffers.get(addr)
+        cuda_check(
+            buf is not None and not buf.freed,
+            CudaErrorCode.INVALID_DEVICE_POINTER,
+            f"unknown or freed pointer {addr:#x}",
+        )
+        return buf
+
+    def _stream(self, stream: Stream | None) -> Stream:
+        return stream if stream is not None else self.default_stream
+
+    @property
+    def device(self) -> GpuDevice:
+        """The current device (selected by ``cudaSetDevice``)."""
+        return self.devices[self.current_device]
+
+    @property
+    def _device_alloc(self) -> ArenaAllocator:
+        """The current device's allocation arena."""
+        return self._device_allocs[self.current_device]
+
+    def _device_for(self, stream: Stream | None, addr: int | None = None) -> GpuDevice:
+        """Resolve which GPU an operation runs on: the stream's device if
+        an explicit stream is given, else the device owning ``addr``,
+        else the legacy default (device 0)."""
+        if stream is not None and stream.sid != 0:
+            return self.devices[stream.device_index]
+        if addr is not None:
+            buf = self.buffers.get(addr)
+            if buf is not None:
+                return self.devices[getattr(buf, "device_index", 0)]
+        return self.devices[0]
+
+    @property
+    def now(self) -> float:
+        return self.process.clock_ns
+
+    # ---------------------------------------------------------------- memory
+
+    def cudaMalloc(self, nbytes: int) -> int:
+        """Allocate device memory from the deterministic arena."""
+        self._entry("cudaMalloc")
+        addr = self._device_alloc.alloc(nbytes)
+        self.buffers[addr] = DeviceBuffer(
+            addr=addr, size=nbytes, kind="device",
+            device_index=self.current_device,
+        )
+        return addr
+
+    def cudaFree(self, addr: int) -> None:
+        """Free device or managed memory (real cudaFree handles both)."""
+        buf = self._buffer(addr)
+        if isinstance(buf, ManagedBuffer):
+            self.cudaFreeManaged(addr)
+            return
+        self._entry("cudaFree")
+        cuda_check(
+            buf.kind == "device",
+            CudaErrorCode.INVALID_DEVICE_POINTER,
+            "cudaFree of a non-device pointer",
+        )
+        self._device_allocs[buf.device_index].free(addr)
+        buf.freed = True
+        del self.buffers[addr]
+
+    def cudaMallocHost(self, nbytes: int) -> int:
+        """Allocate pinned host memory (library-allocated! — §3.2.1)."""
+        self._entry("cudaMallocHost")
+        addr = self._pinned_alloc.alloc(nbytes)
+        self.buffers[addr] = DeviceBuffer(addr=addr, size=nbytes, kind="host-pinned")
+        self._host_origin[addr] = "pinned"
+        return addr
+
+    def cudaHostAlloc(self, nbytes: int, flags: int = 0) -> int:
+        """Like cudaMallocHost but via the cudaHostAlloc entry point; CRAC
+        treats the two differently at restart (§3.2.4)."""
+        self._entry("cudaHostAlloc")
+        addr = self._hostalloc_alloc.alloc(nbytes)
+        buf = DeviceBuffer(addr=addr, size=nbytes, kind="host-pinned")
+        buf.via_hostalloc = True  # type: ignore[attr-defined]
+        self.buffers[addr] = buf
+        self._host_origin[addr] = "hostalloc"
+        return addr
+
+    def cudaFreeHost(self, addr: int) -> None:
+        """Release pinned host memory (arena-aware; see cudaHostRegister)."""
+        self._entry("cudaFreeHost")
+        buf = self._buffer(addr)
+        cuda_check(
+            buf.kind == "host-pinned",
+            CudaErrorCode.INVALID_DEVICE_POINTER,
+            "cudaFreeHost of a non-pinned pointer",
+        )
+        origin = self._host_origin.pop(addr, "pinned")
+        if origin == "pinned":
+            self._pinned_alloc.free(addr)
+        elif origin == "hostalloc":
+            self._hostalloc_alloc.free(addr)
+        elif addr in self._hostalloc_alloc.active:
+            # "registered" buffers were never arena-allocated, but a
+            # restart may have *reserved* their range in the fresh arena;
+            # release the reservation so the address becomes reusable.
+            self._hostalloc_alloc.free(addr)
+        buf.freed = True
+        del self.buffers[addr]
+
+    def cudaMallocManaged(self, nbytes: int) -> int:
+        """Allocate UVM managed memory; perturbs library⇄driver state."""
+        self._entry("cudaMallocManaged")
+        addr = self._managed_alloc.alloc(nbytes)
+        buf = ManagedBuffer(addr=addr, size=nbytes)
+        self.uvm.register(buf)
+        self.buffers[addr] = buf
+        # UVA/UVM mappings entangle library and driver state (§2.2).
+        self._lib_uva_epoch += 1
+        self.ctx.uva_epoch += 1
+        return addr
+
+    def cudaHostRegister(self, addr: int, nbytes: int) -> None:
+        """Register existing host memory as pinned (``cudaHostRegister``).
+
+        CRAC uses this at restart to re-register still-active
+        ``cudaHostAlloc`` buffers whose bytes were already restored with
+        the upper half (§3.2.4) — no arena allocation happens.
+        """
+        self._entry("cudaHostRegister")
+        cuda_check(
+            addr not in self.buffers,
+            CudaErrorCode.INVALID_VALUE,
+            "cudaHostRegister of an already-registered pointer",
+        )
+        buf = DeviceBuffer(addr=addr, size=nbytes, kind="host-pinned")
+        buf.via_hostalloc = True  # type: ignore[attr-defined]
+        self.buffers[addr] = buf
+        self._host_origin[addr] = "registered"
+
+    def cudaFreeManaged(self, addr: int) -> None:
+        """Free managed memory (dispatched from cudaFree in real CUDA; a
+        separate entry point here for log clarity)."""
+        self._entry("cudaFree")
+        buf = self._buffer(addr)
+        cuda_check(
+            isinstance(buf, ManagedBuffer),
+            CudaErrorCode.INVALID_DEVICE_POINTER,
+            "managed free of a non-managed pointer",
+        )
+        self._managed_alloc.free(addr)
+        self.uvm.unregister(addr)
+        buf.freed = True
+        del self.buffers[addr]
+        self._lib_uva_epoch += 1
+        self.ctx.uva_epoch += 1
+
+    # -------------------------------------------------------------- memcpy etc.
+
+    def cudaMemcpy(
+        self,
+        dst,
+        src,
+        nbytes: int,
+        kind: str,
+        *,
+        stream: Stream | None = None,
+        async_: bool = False,
+        dst_offset: int = 0,
+        src_offset: int = 0,
+    ) -> None:
+        """Copy memory; ``kind`` is ``"h2d"``, ``"d2h"`` or ``"d2d"``.
+
+        Host ends may be numpy arrays (the app's data) or plain ints
+        (simulated host VAS addresses). Synchronous copies block the host
+        until the DMA completes; async copies only enqueue.
+        """
+        self._entry("cudaMemcpyAsync" if async_ else "cudaMemcpy")
+        cuda_check(
+            kind in ("h2d", "d2h", "d2d"),
+            CudaErrorCode.INVALID_VALUE,
+            f"bad memcpy kind {kind!r}",
+        )
+        s = self._stream(stream)
+        dev_addr = dst if kind == "h2d" else src
+        dev = self._device_for(stream, dev_addr if isinstance(dev_addr, (int, np.integer)) else None)
+        # Pageable host memory cannot be DMA'd directly: the driver stages
+        # through a pinned bounce buffer, costing ~35% of the PCIe rate.
+        # (Pinned memory — cudaMallocHost/cudaHostAlloc — goes full rate,
+        # which is why simpleStreams allocates its destination pinned.)
+        effective = nbytes
+        if kind in ("h2d", "d2h"):
+            host_end = src if kind == "h2d" else dst
+            host_buf, _ = self._resolve_host_ptr(host_end)
+            if host_buf is None:  # numpy array or plain VAS memory
+                effective = int(nbytes / PAGEABLE_COPY_EFFICIENCY)
+        end = dev.enqueue_copy(s, effective, kind, at_ns=self.now)
+        if kind == "h2d":
+            buf = self._buffer(dst)
+            host_buf, host_off = self._resolve_host_ptr(src)
+            if host_buf is not None:
+                buf.contents.copy_from(
+                    host_buf.contents, host_off + src_offset, dst_offset, nbytes
+                )
+            else:
+                data = self._host_bytes(src, src_offset, nbytes)
+                buf.contents.write_bytes(dst_offset, data)
+            if isinstance(buf, ManagedBuffer):
+                self.uvm.device_access(buf, dst_offset, nbytes)
+        elif kind == "d2h":
+            buf = self._buffer(src)
+            if isinstance(buf, ManagedBuffer):
+                self.uvm.host_access(buf, src_offset, nbytes, write=False)
+            host_buf, host_off = self._resolve_host_ptr(dst)
+            if host_buf is not None:
+                host_buf.contents.copy_from(
+                    buf.contents, src_offset, host_off + dst_offset, nbytes
+                )
+            else:
+                data = buf.contents.read_bytes(src_offset, nbytes)
+                self._host_store(dst, dst_offset, data)
+        elif kind == "d2d":
+            sbuf = self._buffer(src)
+            dbuf = self._buffer(dst)
+            dbuf.contents.copy_from(sbuf.contents, src_offset, dst_offset, nbytes)
+        else:
+            cuda_check(False, CudaErrorCode.INVALID_VALUE, f"bad kind {kind!r}")
+        if not async_:
+            self.process.advance_to(end)
+
+    def _resolve_host_ptr(self, ptr):
+        """If ``ptr`` is an address inside a pinned/managed buffer this
+        library manages, return (buffer, offset-of-ptr-within-buffer);
+        otherwise (None, 0) — the address is plain host (VAS) memory."""
+        if not isinstance(ptr, (int, np.integer)):
+            return None, 0
+        addr = int(ptr)
+        buf = self.buffers.get(addr)
+        if buf is not None:
+            return buf, 0
+        for base, buf in self.buffers.items():
+            kind = getattr(buf, "kind", "managed")  # ManagedBuffer has no kind
+            if base <= addr < base + buf.size and kind != "device":
+                return buf, addr - base
+        return None, 0
+
+    def _host_bytes(self, src, offset: int, nbytes: int) -> bytes:
+        if isinstance(src, (int, np.integer)):
+            return self.process.vas.read(int(src) + offset, nbytes)
+        arr = np.ascontiguousarray(src).view(np.uint8).ravel()
+        return arr[offset : offset + nbytes].tobytes()
+
+    def _host_store(self, dst, offset: int, data: bytes) -> None:
+        if isinstance(dst, (int, np.integer)):
+            self.process.vas.write(int(dst) + offset, data)
+            return
+        if not dst.flags["C_CONTIGUOUS"]:
+            cuda_check(
+                False, CudaErrorCode.INVALID_VALUE, "d2h into non-contiguous host array"
+            )
+        arr = dst.view(np.uint8).reshape(-1)
+        arr[offset : offset + len(data)] = np.frombuffer(data, dtype=np.uint8)
+
+    def cudaMemset(
+        self,
+        addr: int,
+        value: int,
+        nbytes: int,
+        *,
+        stream: Stream | None = None,
+        async_: bool = False,
+    ) -> None:
+        """Fill ``nbytes`` of a buffer with ``value``."""
+        self._entry("cudaMemsetAsync" if async_ else "cudaMemset")
+        buf = self._buffer(addr)
+        s = self._stream(stream)
+        dev = self._device_for(stream, addr)
+        end = dev.enqueue_copy(s, nbytes, "d2d", at_ns=self.now)
+        if nbytes >= buf.size:
+            buf.contents.fill(value)
+        else:
+            buf.contents.write_bytes(0, bytes([value & 0xFF]) * nbytes)
+        if not async_:
+            self.process.advance_to(end)
+
+    # --------------------------------------------------------------- kernels
+
+    def cudaLaunchKernel(
+        self,
+        name: str,
+        fn: Callable[..., None] | None = None,
+        *,
+        args: Sequence = (),
+        flop: float = 0.0,
+        bytes_touched: float = 0.0,
+        stream: Stream | None = None,
+        managed: Iterable[ManagedUse] = (),
+        duration_ns: float | None = None,
+    ) -> float:
+        """Launch a kernel asynchronously; returns its completion time.
+
+        ``fn(*args)`` is executed eagerly for *content* (kernels mutate
+        the numpy views the app obtained from :meth:`device_view`), while
+        *timing* is scheduled on the stream. ``duration_ns`` overrides the
+        roofline cost model when given. Managed-buffer use is declared via
+        ``managed`` so UVM migration and write tracking apply.
+
+        The kernel's fat binary must be registered with *this* library
+        instance — the §3.2.5 invariant CRAC re-establishes at restart.
+        """
+        self._entry("cudaLaunchKernel")
+        cuda_check(
+            name in self._registered_kernels,
+            CudaErrorCode.INITIALIZATION_ERROR,
+            f"kernel {name!r} launched but its fat binary is not registered "
+            "with this CUDA library instance",
+        )
+        s = self._stream(stream)
+        dev = self._device_for(stream)
+        cuda_check(
+            stream is not None or self.current_device == 0,
+            CudaErrorCode.NOT_SUPPORTED,
+            "default-stream launch on a non-zero device: create a stream "
+            "with cudaStreamCreate after cudaSetDevice",
+        )
+        migration = 0.0
+        uses = list(managed)
+        for use in uses:
+            buf = self._buffer(use.addr)
+            cuda_check(
+                isinstance(buf, ManagedBuffer),
+                CudaErrorCode.INVALID_DEVICE_POINTER,
+                "managed= declared on a non-managed pointer",
+            )
+            migration += self.uvm.device_access(buf, use.offset, use.nbytes)
+        if duration_ns is None:
+            duration_ns = dev.spec.kernel_cost_ns(flop, bytes_touched)
+        duration_ns += migration
+        end = dev.enqueue_kernel(s, duration_ns, at_ns=self.now, label=name)
+        start = end - duration_ns
+        for use in uses:
+            if "w" in use.mode:
+                self.uvm.record_device_write(
+                    self.buffers[use.addr], use.offset, use.nbytes, s, start, end
+                )
+        if fn is not None:
+            fn(*args)
+        return end
+
+    # ---------------------------------------------------------------- streams
+
+    def cudaStreamCreate(self) -> Stream:
+        """Create a stream on the current device."""
+        self._entry("cudaStreamCreate")
+        s = Stream(device_index=self.current_device)
+        s.ready_ns = self.now
+        self.device.register_stream(s)
+        self.streams[s.sid] = s
+        return s
+
+    def cudaStreamDestroy(self, stream: Stream) -> None:
+        """Destroy a non-default stream."""
+        self._entry("cudaStreamDestroy")
+        cuda_check(
+            stream.sid in self.streams and stream.sid != 0,
+            CudaErrorCode.INVALID_VALUE,
+            "destroying unknown or default stream",
+        )
+        stream.destroyed = True
+        self.devices[stream.device_index].unregister_stream(stream)
+        del self.streams[stream.sid]
+
+    def cudaStreamSynchronize(self, stream: Stream | None = None) -> None:
+        """Block the host until the stream drains."""
+        self._entry("cudaStreamSynchronize")
+        self.process.advance(SYNC_POLL_NS)
+        s = self._stream(stream)
+        self.process.advance_to(self._device_for(stream).stream_ready(s))
+
+    def cudaDeviceSynchronize(self) -> None:
+        """Drain the whole device — the checkpoint-time quiesce step."""
+        self._entry("cudaDeviceSynchronize")
+        self.process.advance(SYNC_POLL_NS)
+        self.process.advance_to(self.device.synchronize_all())
+
+    def cudaSetDevice(self, index: int) -> None:
+        """Select the current GPU (allocation/launch/sync target)."""
+        self._entry("cudaSetDevice")
+        cuda_check(
+            0 <= index < len(self.devices),
+            CudaErrorCode.INVALID_VALUE,
+            f"cudaSetDevice({index}) with {len(self.devices)} device(s)",
+        )
+        self.current_device = index
+
+    def cudaGetDevice(self) -> int:
+        """Index of the current GPU."""
+        self._entry("cudaGetDevice")
+        return self.current_device
+
+    def cudaGetDeviceCount(self) -> int:
+        """Number of GPUs visible to this library."""
+        self._entry("cudaGetDeviceCount")
+        return len(self.devices)
+
+    def cudaMemcpyPeer(
+        self, dst: int, src: int, nbytes: int, *, stream: Stream | None = None
+    ) -> None:
+        """Device-to-device copy across GPUs (PCIe/NVLink path): occupies
+        both GPUs' copy engines for the transfer."""
+        self._entry("cudaMemcpyPeer")
+        sbuf = self._buffer(src)
+        dbuf = self._buffer(dst)
+        s = self._stream(stream)
+        src_dev = self.devices[getattr(sbuf, "device_index", 0)]
+        dst_dev = self.devices[getattr(dbuf, "device_index", 0)]
+        end = src_dev.enqueue_copy(s, nbytes, "d2h", at_ns=self.now)
+        end = max(end, dst_dev.enqueue_copy(s, nbytes, "h2d", at_ns=self.now))
+        dbuf.contents.copy_from(sbuf.contents, 0, 0, nbytes)
+        self.process.advance_to(end)
+
+    # ----------------------------------------------------------------- events
+
+    def cudaEventCreate(self) -> Event:
+        """Create an event handle."""
+        self._entry("cudaEventCreate")
+        e = Event()
+        self.events[e.eid] = e
+        return e
+
+    def cudaEventDestroy(self, event: Event) -> None:
+        """Destroy an event handle."""
+        self._entry("cudaEventDestroy")
+        event.destroyed = True
+        self.events.pop(event.eid, None)
+
+    def cudaEventRecord(self, event: Event, stream: Stream | None = None) -> None:
+        """Record the event at the stream's current tail."""
+        self._entry("cudaEventRecord")
+        self._device_for(stream).record_event(
+            event, self._stream(stream), at_ns=self.now
+        )
+
+    def cudaEventSynchronize(self, event: Event) -> None:
+        """Block the host until the event completes."""
+        self._entry("cudaEventSynchronize")
+        cuda_check(event.recorded, CudaErrorCode.INVALID_VALUE, "event not recorded")
+        self.process.advance(SYNC_POLL_NS)
+        self.process.advance_to(event.timestamp_ns)
+
+    def cudaEventElapsedTime(self, start: Event, end: Event) -> float:
+        """Elapsed milliseconds between two recorded events."""
+        self._entry("cudaEventElapsedTime")
+        return end.elapsed_ms_since(start)
+
+    def cudaStreamWaitEvent(self, stream: Stream, event: Event) -> None:
+        """Order future stream work after the event."""
+        self._entry("cudaStreamWaitEvent")
+        self._device_for(stream).stream_wait_event(stream, event)
+
+    # ------------------------------------------------------------- fat binaries
+
+    def cudaRegisterFatBinary(self, fatbin: FatBinary) -> int:
+        """``__cudaRegisterFatBinary``: returns a registration handle."""
+        self._entry("__cudaRegisterFatBinary")
+        handle = next(self._fatbin_handles)
+        self.fatbins[handle] = fatbin
+        return handle
+
+    def cudaRegisterFunction(self, handle: int, kernel_name: str) -> None:
+        """``__cudaRegisterFunction``: register one device function."""
+        self._entry("__cudaRegisterFunction")
+        fatbin = self.fatbins.get(handle)
+        cuda_check(
+            fatbin is not None and kernel_name in fatbin.kernels,
+            CudaErrorCode.INVALID_VALUE,
+            f"kernel {kernel_name!r} not in fat binary handle {handle}",
+        )
+        self._registered_kernels.add(kernel_name)
+
+    def cudaUnregisterFatBinary(self, handle: int) -> None:
+        """``__cudaUnregisterFatBinary``: cleanup at process exit."""
+        self._entry("__cudaUnregisterFatBinary")
+        fatbin = self.fatbins.pop(handle, None)
+        if fatbin is not None:
+            self._registered_kernels.difference_update(fatbin.kernels)
+
+    # ------------------------------------------------------------ device info
+
+    def cudaGetDeviceProperties(self) -> dict:
+        """Properties of the current GPU (name, CC, memory, ...)."""
+        self._entry("cudaGetDeviceProperties")
+        spec = self.device.spec
+        return {
+            "name": spec.name,
+            "major": spec.compute_capability[0],
+            "minor": spec.compute_capability[1],
+            "totalGlobalMem": spec.memory_bytes,
+            "concurrentKernels": spec.max_concurrent_kernels,
+            "multiProcessorCount": spec.sm_count,
+        }
+
+    def cudaMemGetInfo(self) -> tuple[int, int]:
+        """(free, total) device memory in bytes."""
+        self._entry("cudaMemGetInfo")
+        total = self.device.spec.memory_bytes
+        return total - self._device_alloc.active_bytes, total
+
+    def cudaPointerGetAttributes(self, addr: int) -> dict:
+        """UVA pointer introspection (memory type + owning buffer base)."""
+        self._entry("cudaPointerGetAttributes")
+        for base, buf in self.buffers.items():
+            if base <= addr < base + buf.size:
+                kind = (
+                    "managed" if isinstance(buf, ManagedBuffer) else buf.kind
+                )
+                return {"type": kind, "devicePointer": base, "size": buf.size}
+        return {"type": "unregistered", "devicePointer": 0, "size": 0}
+
+    def cudaStreamQuery(self, stream: Stream | None = None) -> bool:
+        """True if all work enqueued on the stream has completed."""
+        self._entry("cudaStreamQuery")
+        return self.device.stream_ready(self._stream(stream)) <= self.now
+
+    def cudaEventQuery(self, event: Event) -> bool:
+        """True if the event has been recorded and completed."""
+        self._entry("cudaEventQuery")
+        return event.recorded and event.timestamp_ns <= self.now
+
+    def cudaMemPrefetchAsync(
+        self,
+        addr: int,
+        nbytes: int,
+        *,
+        to_device: bool = True,
+        stream: Stream | None = None,
+        offset: int = 0,
+    ) -> None:
+        """UVM prefetch (CUDA 8.0): migrate managed pages ahead of use so
+        kernels don't pay demand-fault costs. The migration occupies the
+        copy engine like a normal DMA instead of stalling the kernel."""
+        self._entry("cudaMemPrefetchAsync")
+        buf = self._buffer(addr)
+        cuda_check(
+            isinstance(buf, ManagedBuffer),
+            CudaErrorCode.INVALID_DEVICE_POINTER,
+            "prefetch of a non-managed pointer",
+        )
+        s = self._stream(stream)
+        if to_device:
+            cost = self.uvm.device_access(buf, offset, nbytes)
+        else:
+            cost = self.uvm.host_access(buf, offset, nbytes, write=False)
+        if cost > 0:
+            # Bulk migration rides the copy engine (cheaper per byte than
+            # demand faulting, which pays per-page latency).
+            self.device.enqueue_copy(s, nbytes, "h2d" if to_device else "d2h",
+                                     at_ns=self.now)
+
+    # --------------------------------------------------- simulation accessors
+    # (not CUDA entry points; not dispatched, not counted)
+
+    def device_view(self, addr: int, nbytes: int, dtype=np.uint8, offset: int = 0):
+        """Writable numpy view of a device/pinned buffer's contents."""
+        return self._buffer(addr).contents.view(offset, nbytes, dtype)
+
+    def managed_view(self, addr: int, nbytes: int, dtype=np.uint8, offset: int = 0):
+        """Host-side access to managed memory: faults pages back to the
+        host (advancing the host clock) and returns a writable view."""
+        buf = self._buffer(addr)
+        cuda_check(
+            isinstance(buf, ManagedBuffer),
+            CudaErrorCode.INVALID_DEVICE_POINTER,
+            "managed_view of non-managed pointer",
+        )
+        cost = self.uvm.host_access(buf, offset, nbytes, write=True)
+        self.process.advance(cost)
+        return buf.contents.view(offset, nbytes, dtype)
+
+    def active_allocations(self, kinds: tuple[str, ...] = ("device", "host-pinned", "managed")) -> list:
+        """Live (not freed) buffers — what CRAC saves at checkpoint."""
+        out = []
+        for buf in self.buffers.values():
+            kind = "managed" if isinstance(buf, ManagedBuffer) else buf.kind
+            if kind in kinds:
+                out.append(buf)
+        return sorted(out, key=lambda b: b.addr)
+
+    # ------------------------------------------------------- restart adoption
+    # CRAC recreates streams/events in the fresh lower half and virtualizes
+    # the application's handles onto them; adopting the original handle
+    # objects models that virtualization (process-level virtualization is
+    # DMTCP's plugin mechanism, §3/[20]).
+
+    def adopt_stream(self, stream: Stream) -> None:
+        """Attach an application-held stream handle to this fresh library."""
+        stream.ready_ns = max(stream.ready_ns, self.process.clock_ns)
+        stream.destroyed = False
+        self.devices[stream.device_index].register_stream(stream)
+        self.streams[stream.sid] = stream
+
+    def adopt_event(self, event: Event) -> None:
+        """Attach an application-held event handle to this fresh library."""
+        event.destroyed = False
+        self.events[event.eid] = event
+
+    # ---------------------------------------------------------- CheCUDA hooks
+
+    def destroy(self) -> None:
+        """Tear down all CUDA resources (CheCUDA step (c), §2.2)."""
+        self.destroyed = True
+        for s in list(self.streams.values()):
+            self.device.unregister_stream(s)
+        self.streams.clear()
+        self.buffers.clear()
+
+    def library_memory_snapshot(self) -> dict:
+        """What a pre-CUDA-4.0 checkpointer would save: the library's
+        in-memory state, including the (UVA-entangled) internal epoch."""
+        return {
+            "uva_epoch": self._lib_uva_epoch,
+            "buffer_meta": {
+                a: (type(b).__name__, b.size, b.kind if isinstance(b, DeviceBuffer) else "managed")
+                for a, b in self.buffers.items()
+            },
+            "registered_kernels": set(self._registered_kernels),
+            "fatbins": dict(self.fatbins),
+        }
+
+    def restore_library_memory(self, snap: dict) -> None:
+        """CheCUDA-style restore of saved library memory into a *fresh*
+        runtime. Works pre-UVA; with UVA/UVM state it leaves the library
+        inconsistent with the driver context, and the next entry point
+        fails (§2.2: "the restored CUDA library was then inconsistent
+        when called after restart")."""
+        self._lib_uva_epoch = snap["uva_epoch"]
+        self._registered_kernels = set(snap["registered_kernels"])
+        self.fatbins = dict(snap["fatbins"])

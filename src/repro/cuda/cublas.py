@@ -1,0 +1,141 @@
+"""cuBLAS stand-in: Sdot, Sgemv, Sgemm (the Table 3 microbenchmarks).
+
+The cuBLAS library resides in the lower half; the upper-half application
+calls it through the same dispatch boundary as the runtime API (one
+upper→lower call per BLAS routine; the kernel launches it performs
+internally are library-internal and are *not* upper-half calls). This is
+exactly the structure of the paper's §4.4.4 experiment: under CRAC the
+call is a trampoline with direct pointer passing; under a proxy, the
+vector/matrix buffers must cross the process boundary via CMA.
+
+Routines compute real results (numpy) when ``compute=True``; the Table 3
+timing loops run with ``compute=False`` so that 10,000-iteration sweeps
+over 100 MB operands stay fast — virtual-time costs are identical either
+way because kernel durations come from the roofline model.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.cuda.api import FatBinary
+from repro.cuda.interface import CudaDispatchBase
+
+#: cuBLAS's own device code, registered once per library instance.
+CUBLAS_FATBIN = FatBinary(
+    name="libcublas.fatbin",
+    kernels=("cublas_sdot_kernel", "cublas_sgemv_kernel", "cublas_sgemm_kernel"),
+)
+
+
+class CuBlas:
+    """Handle to the lower-half cuBLAS library (``cublasCreate``)."""
+
+    def __init__(self, backend: CudaDispatchBase) -> None:
+        self.backend = backend
+        # The library registers its own fat binary with the runtime
+        # (library-internal: no upper-half dispatch).
+        runtime = backend.runtime
+        handle = runtime.cudaRegisterFatBinary(CUBLAS_FATBIN)
+        for k in CUBLAS_FATBIN.kernels:
+            runtime.cudaRegisterFunction(handle, k)
+        self._fatbin_handle = handle
+
+    # -- helpers ------------------------------------------------------------
+
+    def _call(self, name: str, kernel: str, *, flop: float, bytes_touched: float,
+              inputs: tuple[int, ...], outputs: tuple[int, ...] = (),
+              fn=None, args=()) -> None:
+        """One BLAS routine: one upper→lower call, one internal kernel.
+
+        ``inputs``/``outputs`` are the device operands a proxy dispatcher
+        would have to ship across the process boundary (Table 3's CMA
+        benchmark: operands in, results back).
+        """
+        backend = self.backend
+        backend._dispatch(name, payload_bytes=64, ship_in=inputs, ship_out=outputs)
+        backend.runtime.cudaLaunchKernel(
+            kernel, fn, args=args, flop=flop, bytes_touched=bytes_touched
+        )
+        # BLAS routines are blocking in the paper's timing loops.
+        backend.runtime.cudaDeviceSynchronize()
+
+    # -- routines --------------------------------------------------------------
+
+    def sdot(self, x_ptr: int, y_ptr: int, n: int, *, compute: bool = False) -> float:
+        """Inner product of two device vectors of ``n`` float32 elements."""
+        result = [0.0]
+        fn = None
+        if compute:
+            rt = self.backend.runtime
+
+            def fn():
+                x = rt.device_view(x_ptr, 4 * n, np.float32)
+                y = rt.device_view(y_ptr, 4 * n, np.float32)
+                result[0] = float(x @ y)
+
+        self._call(
+            "cublasSdot",
+            "cublas_sdot_kernel",
+            flop=2.0 * n,
+            bytes_touched=8.0 * n,
+            inputs=(x_ptr, y_ptr),
+            fn=fn,
+        )
+        return result[0]
+
+    def sgemv(
+        self, a_ptr: int, x_ptr: int, y_ptr: int, m: int, n: int, *, compute: bool = False
+    ) -> None:
+        """y ← A·x for an m×n float32 device matrix."""
+        fn = None
+        if compute:
+            rt = self.backend.runtime
+
+            def fn():
+                a = rt.device_view(a_ptr, 4 * m * n, np.float32).reshape(m, n)
+                x = rt.device_view(x_ptr, 4 * n, np.float32)
+                y = rt.device_view(y_ptr, 4 * m, np.float32)
+                y[:] = a @ x
+
+        self._call(
+            "cublasSgemv",
+            "cublas_sgemv_kernel",
+            flop=2.0 * m * n,
+            bytes_touched=4.0 * (m * n + n + m),
+            inputs=(a_ptr, x_ptr),
+            outputs=(y_ptr,),
+            fn=fn,
+        )
+
+    def sgemm(
+        self,
+        a_ptr: int,
+        b_ptr: int,
+        c_ptr: int,
+        m: int,
+        n: int,
+        k: int,
+        *,
+        compute: bool = False,
+    ) -> None:
+        """C ← A·B for float32 device matrices (A: m×k, B: k×n)."""
+        fn = None
+        if compute:
+            rt = self.backend.runtime
+
+            def fn():
+                a = rt.device_view(a_ptr, 4 * m * k, np.float32).reshape(m, k)
+                b = rt.device_view(b_ptr, 4 * k * n, np.float32).reshape(k, n)
+                c = rt.device_view(c_ptr, 4 * m * n, np.float32).reshape(m, n)
+                c[:] = a @ b
+
+        self._call(
+            "cublasSgemm",
+            "cublas_sgemm_kernel",
+            flop=2.0 * m * n * k,
+            bytes_touched=4.0 * (m * k + k * n + 2 * m * n),
+            inputs=(a_ptr, b_ptr),
+            outputs=(c_ptr,),
+            fn=fn,
+        )

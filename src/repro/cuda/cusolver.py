@@ -1,0 +1,125 @@
+"""cuSolver stand-in (dense factorizations).
+
+The paper's conclusion (§6) notes that the real-world applications
+already pull in cuBLAS and cuSolver, and that CRAC "can easily be
+extended to support other CUDA libraries" — the extension is exactly
+this module: another lower-half library whose entry points are reached
+through the same dispatch boundary, whose device code registers its own
+fat binary, and whose calls therefore inherit CRAC's checkpoint/restart
+support with no new mechanism.
+
+Implemented routines (all float32, like the cuSOLVER "S" variants):
+
+- ``potrf``  — Cholesky factorization of an SPD matrix (in place);
+- ``getrf``  — LU factorization with partial pivoting (in place + pivots);
+- ``geqrf``  — QR factorization (Householder; returns packed R with Q
+  applied into a separate tau-less explicit-Q buffer for simplicity).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import CudaError
+from repro.cuda.api import FatBinary
+from repro.cuda.interface import CudaDispatchBase
+
+CUSOLVER_FATBIN = FatBinary(
+    name="libcusolver.fatbin",
+    kernels=("cusolver_potrf_kernel", "cusolver_getrf_kernel",
+             "cusolver_geqrf_kernel"),
+)
+
+
+class CuSolverDn:
+    """Handle to the lower-half cuSolver dense library."""
+
+    def __init__(self, backend: CudaDispatchBase) -> None:
+        self.backend = backend
+        runtime = backend.runtime
+        handle = runtime.cudaRegisterFatBinary(CUSOLVER_FATBIN)
+        for k in CUSOLVER_FATBIN.kernels:
+            runtime.cudaRegisterFunction(handle, k)
+        self._fatbin_handle = handle
+
+    def _call(self, name: str, kernel: str, *, flop: float, nbytes: float,
+              operands: tuple[int, ...], outputs: tuple[int, ...] = (),
+              fn=None) -> None:
+        backend = self.backend
+        backend._dispatch(name, payload_bytes=96, ship_in=operands,
+                          ship_out=outputs or operands)
+        backend.runtime.cudaLaunchKernel(
+            kernel, fn, flop=flop, bytes_touched=nbytes
+        )
+        backend.runtime.cudaDeviceSynchronize()
+
+    def _matrix(self, a_ptr: int, n: int, m: int | None = None) -> np.ndarray:
+        m = n if m is None else m
+        return self.backend.runtime.device_view(
+            a_ptr, 4 * n * m, np.float32
+        ).reshape(n, m)
+
+    # -- routines ----------------------------------------------------------
+
+    def potrf(self, a_ptr: int, n: int, *, compute: bool = True) -> None:
+        """In-place lower-triangular Cholesky of an n×n SPD matrix."""
+
+        def fn():
+            a = self._matrix(a_ptr, n)
+            try:
+                a[:] = np.tril(np.linalg.cholesky(a.astype(np.float64)))
+            except np.linalg.LinAlgError as e:
+                raise CudaError(f"cusolverDnSpotrf: {e}") from e
+
+        self._call(
+            "cusolverDnSpotrf", "cusolver_potrf_kernel",
+            flop=n**3 / 3.0, nbytes=4.0 * n * n,
+            operands=(a_ptr,), fn=fn if compute else None,
+        )
+
+    def getrf(self, a_ptr: int, piv_ptr: int, n: int, *, compute: bool = True) -> None:
+        """In-place LU with partial pivoting; pivot indices (int32) are
+        written to ``piv_ptr``."""
+
+        def fn():
+            a = self._matrix(a_ptr, n)
+            piv = self.backend.runtime.device_view(piv_ptr, 4 * n, np.int32)
+            lu = a.astype(np.float64)
+            p = np.arange(n)
+            for k in range(n - 1):
+                imax = k + int(np.argmax(np.abs(lu[k:, k])))
+                if imax != k:
+                    lu[[k, imax]] = lu[[imax, k]]
+                    p[[k, imax]] = p[[imax, k]]
+                if abs(lu[k, k]) < 1e-30:
+                    raise CudaError("cusolverDnSgetrf: singular matrix")
+                lu[k + 1 :, k] /= lu[k, k]
+                lu[k + 1 :, k + 1 :] -= np.outer(lu[k + 1 :, k], lu[k, k + 1 :])
+            a[:] = lu
+            piv[:] = p.astype(np.int32)
+
+        self._call(
+            "cusolverDnSgetrf", "cusolver_getrf_kernel",
+            flop=2.0 * n**3 / 3.0, nbytes=4.0 * n * n,
+            operands=(a_ptr,), outputs=(a_ptr, piv_ptr),
+            fn=fn if compute else None,
+        )
+
+    def geqrf(self, a_ptr: int, q_ptr: int, n: int, m: int, *, compute: bool = True) -> None:
+        """QR of an n×m matrix: R (upper triangular) replaces A, the
+        explicit Q is written to ``q_ptr`` (n×n)."""
+
+        def fn():
+            a = self._matrix(a_ptr, n, m)
+            qbuf = self._matrix(q_ptr, n, n)
+            q, r = np.linalg.qr(a.astype(np.float64), mode="complete")
+            a[:] = np.zeros_like(a)
+            a[: min(n, m), :] = r[: min(n, m), :]
+            qbuf[:] = q
+
+        self._call(
+            "cusolverDnSgeqrf", "cusolver_geqrf_kernel",
+            flop=2.0 * n * m * m, nbytes=4.0 * (n * m + n * n),
+            operands=(a_ptr,), outputs=(a_ptr, q_ptr),
+            fn=fn if compute else None,
+        )

@@ -1,0 +1,28 @@
+"""``cudaError_t`` codes and error raising helpers."""
+
+from __future__ import annotations
+
+import enum
+
+from repro.errors import CudaError
+
+
+class CudaErrorCode(enum.Enum):
+    """Subset of cudaError_t values the simulation can produce."""
+
+    SUCCESS = 0
+    MEMORY_ALLOCATION = 2
+    INITIALIZATION_ERROR = 3
+    INVALID_VALUE = 11
+    INVALID_DEVICE_POINTER = 17
+    LIBRARY_STATE_INCONSISTENT = 999  # simulation-specific: post-restore UVA mismatch
+    NOT_SUPPORTED = 801
+    LAUNCH_FAILURE = 719
+
+
+def cuda_check(ok: bool, code: CudaErrorCode, msg: str) -> None:
+    """Raise :class:`~repro.errors.CudaError` carrying ``code`` if not ok."""
+    if not ok:
+        err = CudaError(f"{code.name}: {msg}")
+        err.code = code  # type: ignore[attr-defined]
+        raise err

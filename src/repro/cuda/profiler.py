@@ -1,0 +1,146 @@
+"""nvprof stand-in: CUDA call counting and calls-per-second (CPS).
+
+The paper (§4.3) counts only *upper→lower* calls — calls the application
+makes into the CUDA runtime — because those are the calls a checkpointing
+architecture adds overhead to. One kernel launch generates three such
+calls (``cudaPushCallConfiguration``, ``cudaPopCallConfiguration``,
+``cudaLaunchKernel``), so::
+
+    Total CUDA calls = 3 × count(cudaLaunchKernel) + count(rest of API)   (eq. 2)
+
+The dispatch backends count push/pop explicitly, so the paper's formula
+reduces to summing the counter; :meth:`Nvprof.total_calls_formula`
+recomputes it the paper's way as a cross-check.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+
+from repro.cuda.interface import CudaDispatchBase
+from repro.gpu.timing import NS_PER_S
+
+
+@dataclass
+class ProfileReport:
+    """Summary of one profiled run."""
+
+    calls: Counter
+    total_calls: int
+    exec_time_s: float
+    cps: float
+    kernel_launches: int
+
+
+@dataclass
+class KernelStats:
+    """Aggregate statistics of one kernel across a trace window."""
+
+    name: str
+    count: int
+    total_ns: float
+
+    @property
+    def mean_ns(self) -> float:
+        return self.total_ns / self.count if self.count else 0.0
+
+
+@dataclass
+class TimelineReport:
+    """GPU-timeline summary (``nvprof --print-gpu-trace`` aggregate)."""
+
+    span_ns: float
+    kernel_busy_ns: float
+    copy_busy_ns: float
+    kernels: dict[str, KernelStats]
+    events: int
+
+    @property
+    def kernel_utilization(self) -> float:
+        """Fraction of the span with at least this much kernel time
+        (total kernel-ns over span; >1 with concurrent kernels)."""
+        return self.kernel_busy_ns / self.span_ns if self.span_ns else 0.0
+
+
+class Nvprof:
+    """Observes a dispatch backend and reports call counts and CPS."""
+
+    def __init__(self, backend: CudaDispatchBase) -> None:
+        self.backend = backend
+        self._start_calls: Counter = Counter()
+        self._start_ns = 0.0
+
+    def start(self) -> None:
+        """Begin a profiling window."""
+        self._start_calls = Counter(self.backend.call_counter)
+        self._start_ns = self.backend.process.clock_ns
+
+    def report(self) -> ProfileReport:
+        """Close the window and summarize it."""
+        calls = Counter(self.backend.call_counter)
+        calls.subtract(self._start_calls)
+        calls = Counter({k: v for k, v in calls.items() if v > 0})
+        exec_ns = self.backend.process.clock_ns - self._start_ns
+        total = sum(calls.values())
+        exec_s = exec_ns / NS_PER_S
+        return ProfileReport(
+            calls=calls,
+            total_calls=total,
+            exec_time_s=exec_s,
+            cps=total / exec_s if exec_s > 0 else 0.0,
+            kernel_launches=calls.get("cudaLaunchKernel", 0),
+        )
+
+    # -- GPU timeline (nvprof --print-gpu-trace) -----------------------------
+
+    def enable_timeline(self) -> None:
+        """Start recording device-side kernel/copy events."""
+        self.backend.runtime.device.enable_trace()
+
+    def timeline_report(self) -> TimelineReport:
+        """Aggregate the recorded timeline."""
+        trace = self.backend.runtime.device.trace
+        if trace is None:
+            raise RuntimeError("timeline not enabled; call enable_timeline()")
+        if not trace:
+            return TimelineReport(0.0, 0.0, 0.0, {}, 0)
+        span = max(e.end_ns for e in trace) - min(e.start_ns for e in trace)
+        kernels: dict[str, KernelStats] = {}
+        kernel_busy = 0.0
+        copy_busy = 0.0
+        for e in trace:
+            if e.kind == "kernel":
+                kernel_busy += e.duration_ns
+                ks = kernels.get(e.label)
+                if ks is None:
+                    kernels[e.label] = KernelStats(e.label, 1, e.duration_ns)
+                else:
+                    ks.count += 1
+                    ks.total_ns += e.duration_ns
+            else:
+                copy_busy += e.duration_ns
+        return TimelineReport(
+            span_ns=span,
+            kernel_busy_ns=kernel_busy,
+            copy_busy_ns=copy_busy,
+            kernels=kernels,
+            events=len(trace),
+        )
+
+    def total_calls_formula(self, calls: Counter) -> int:
+        """The paper's eq. 2, recomputed from launch counts: 3×launches +
+        all other entry points (excluding the push/pop pair, which the
+        3× factor accounts for)."""
+        launches = calls.get("cudaLaunchKernel", 0)
+        rest = sum(
+            v
+            for k, v in calls.items()
+            if k
+            not in (
+                "cudaLaunchKernel",
+                "cudaPushCallConfiguration",
+                "cudaPopCallConfiguration",
+            )
+        )
+        return 3 * launches + rest

@@ -1,0 +1,27 @@
+"""DMTCP stand-in: transparent host-side checkpointing with plugins.
+
+CRAC is literally a DMTCP plugin (§3.2 / §4.2): DMTCP quiesces the
+process, walks ``/proc/PID/maps``, and writes every saveable region to a
+checkpoint image; plugins get *precheckpoint / resume / restart* events
+and may veto address ranges (CRAC vetoes the whole lower half). On
+restart DMTCP recreates the saved regions at their original addresses
+and hands control back through the plugin chain.
+
+This package models exactly that lifecycle, with virtual-time costs for
+image writing/reading (gzip on/off) so checkpoint/restart *times* and
+*sizes* (Figures 3 and 5c) are first-class measurables.
+"""
+
+from repro.dmtcp.checkpointer import DmtcpCheckpointer
+from repro.dmtcp.coordinator import DmtcpCoordinator
+from repro.dmtcp.image import CheckpointImage, SavedBlob, SavedRegion
+from repro.dmtcp.plugins import DmtcpPlugin
+
+__all__ = [
+    "CheckpointImage",
+    "SavedRegion",
+    "SavedBlob",
+    "DmtcpPlugin",
+    "DmtcpCheckpointer",
+    "DmtcpCoordinator",
+]

@@ -1,0 +1,68 @@
+"""DMTCP coordinator: checkpoint triggering policy.
+
+The real coordinator is a network daemon that tells every rank when to
+checkpoint; here it is the policy object the harness uses to trigger a
+checkpoint "at a random time during an entire run" (§4.4.1) — modelled
+as *after the Nth upper→lower CUDA call*, drawn from a seeded RNG so
+experiments are reproducible.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable
+
+from repro.dmtcp.checkpointer import DmtcpCheckpointer
+from repro.dmtcp.image import CheckpointImage
+
+
+class DmtcpCoordinator:
+    """Holds the checkpointer and a trigger predicate."""
+
+    def __init__(self, checkpointer: DmtcpCheckpointer, seed: int = 0) -> None:
+        self.checkpointer = checkpointer
+        self._rng = random.Random(seed)
+        self._trigger_at_call: int | None = None
+        self._calls_seen = 0
+        self.images: list[CheckpointImage] = []
+        self.on_checkpoint: Callable[[CheckpointImage], None] | None = None
+
+    def schedule_random_checkpoint(self, expected_total_calls: int) -> int:
+        """Arm a checkpoint at a uniformly random call index."""
+        self._trigger_at_call = self._rng.randrange(
+            1, max(2, expected_total_calls)
+        )
+        self._calls_seen = 0
+        return self._trigger_at_call
+
+    def schedule_checkpoint_at_call(self, n: int) -> None:
+        """Arm a checkpoint after the nth CUDA call from now."""
+        self._trigger_at_call = n
+        self._calls_seen = 0
+
+    def notify_call(self) -> CheckpointImage | None:
+        """Called by the CRAC backend once per upper→lower call; fires the
+        checkpoint when the armed call index is reached."""
+        if self._trigger_at_call is None:
+            return None
+        self._calls_seen += 1
+        if self._calls_seen < self._trigger_at_call:
+            return None
+        self._trigger_at_call = None
+        return self.checkpoint()
+
+    def checkpoint(
+        self,
+        *,
+        gzip: bool = False,
+        incremental: bool = False,
+        parent: CheckpointImage | None = None,
+    ) -> CheckpointImage:
+        """Take a checkpoint now."""
+        image = self.checkpointer.checkpoint(
+            gzip=gzip, incremental=incremental, parent=parent
+        )
+        self.images.append(image)
+        if self.on_checkpoint is not None:
+            self.on_checkpoint(image)
+        return image

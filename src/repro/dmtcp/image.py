@@ -1,0 +1,161 @@
+"""Checkpoint image container.
+
+An image holds the saved upper-half memory regions plus named *blobs*
+contributed by plugins (CRAC stores drained device buffers, the
+malloc/free replay log, and stream/event metadata as blobs).
+
+Sizes are accounted in *virtual* bytes — a 1 GB device buffer drained
+into the image accounts 1 GB even though its sparse backing may be tiny —
+so checkpoint-image sizes are directly comparable to the paper's
+Figure 3 / Figure 5c annotations.
+"""
+
+from __future__ import annotations
+
+import pickle
+import zlib
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any
+
+
+@dataclass
+class SavedRegion:
+    """One saved memory region (content + metadata).
+
+    For incremental images ``pages`` holds only the pages dirtied since
+    the parent checkpoint; ``size`` is always the full virtual size so
+    restore can recreate the mapping.
+    """
+
+    start: int
+    size: int
+    perms: str
+    tag: str
+    pages: dict[int, bytes]
+    incremental: bool = False
+
+    @property
+    def backed_bytes(self) -> int:
+        return sum(len(p) for p in self.pages.values())
+
+
+@dataclass
+class SavedBlob:
+    """A plugin-contributed payload.
+
+    ``accounted_bytes`` is the virtual size the blob represents in the
+    image (e.g. the full size of a drained device buffer).
+    """
+
+    name: str
+    payload: Any
+    accounted_bytes: int
+
+
+@dataclass
+class CheckpointImage:
+    """A complete checkpoint of one process (DMTCP ``.dmtcp`` file model).
+
+    ``parent`` links incremental images into a chain ending at a full
+    base image; restore walks the chain base-first.
+    """
+
+    pid: int
+    created_at_ns: float
+    gzip: bool = False
+    regions: list[SavedRegion] = field(default_factory=list)
+    blobs: dict[str, SavedBlob] = field(default_factory=dict)
+    incremental: bool = False
+    parent: "CheckpointImage | None" = None
+
+    def chain(self) -> list["CheckpointImage"]:
+        """The restore chain, base (full) image first."""
+        out: list[CheckpointImage] = []
+        img: CheckpointImage | None = self
+        while img is not None:
+            out.append(img)
+            img = img.parent
+        return list(reversed(out))
+
+    def add_region(self, region: SavedRegion) -> None:
+        """Append one saved memory region."""
+        self.regions.append(region)
+
+    def add_blob(self, name: str, payload: Any, accounted_bytes: int = 0) -> None:
+        """Attach a named plugin payload (accounted in the image size)."""
+        if name in self.blobs:
+            raise ValueError(f"duplicate blob {name!r}")
+        self.blobs[name] = SavedBlob(name, payload, accounted_bytes)
+
+    def blob(self, name: str) -> Any:
+        """Fetch a plugin payload by name."""
+        return self.blobs[name].payload
+
+    @property
+    def region_bytes(self) -> int:
+        """Bytes of saved memory: full virtual size for a base image,
+        only the dirtied pages for an incremental one."""
+        if self.incremental:
+            return sum(r.backed_bytes for r in self.regions)
+        return sum(r.size for r in self.regions)
+
+    @property
+    def blob_bytes(self) -> int:
+        return sum(b.accounted_bytes for b in self.blobs.values())
+
+    @property
+    def size_bytes(self) -> int:
+        """Total image size (what Figure 3 annotates), virtual bytes."""
+        return self.region_bytes + self.blob_bytes
+
+    def describe(self) -> str:
+        """One-line human-readable summary."""
+        mb = self.size_bytes / (1 << 20)
+        return (
+            f"<CheckpointImage pid={self.pid} {len(self.regions)} regions, "
+            f"{len(self.blobs)} blobs, {mb:.1f} MB>"
+        )
+
+    # -- integrity --------------------------------------------------------
+
+    def content_checksum(self) -> int:
+        """CRC32 over all region contents (structure-independent)."""
+        crc = 0
+        for r in sorted(self.regions, key=lambda r: r.start):
+            crc = zlib.crc32(
+                f"{r.start:x}:{r.size:x}:{r.perms}".encode(), crc
+            )
+            for pg in sorted(r.pages):
+                crc = zlib.crc32(r.pages[pg], zlib.crc32(str(pg).encode(), crc))
+        return crc
+
+    def seal(self) -> None:
+        """Record the current checksum (done automatically by save())."""
+        self.sealed_checksum = self.content_checksum()  # type: ignore[attr-defined]
+
+    def verify(self) -> bool:
+        """True if contents still match the sealed checksum."""
+        sealed = getattr(self, "sealed_checksum", None)
+        return sealed is not None and sealed == self.content_checksum()
+
+    # -- on-disk format (the ``.dmtcp`` file model) ---------------------------
+
+    def save(self, path: str | Path) -> int:
+        """Serialize to disk (sealed with a checksum); returns file size."""
+        self.seal()
+        path = Path(path)
+        with path.open("wb") as fh:
+            pickle.dump(self, fh, protocol=pickle.HIGHEST_PROTOCOL)
+        return path.stat().st_size
+
+    @classmethod
+    def load(cls, path: str | Path) -> "CheckpointImage":
+        """Deserialize and verify integrity; corrupt files are rejected."""
+        with Path(path).open("rb") as fh:
+            image = pickle.load(fh)
+        if not isinstance(image, cls):
+            raise ValueError(f"{path} is not a checkpoint image")
+        if not image.verify():
+            raise ValueError(f"{path}: checksum mismatch (corrupt image)")
+        return image

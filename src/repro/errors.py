@@ -1,0 +1,65 @@
+"""Exception hierarchy shared across the repro package.
+
+Every subsystem raises a subclass of :class:`ReproError` so callers can
+catch simulation-level failures separately from programming errors.
+"""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro simulation."""
+
+
+class AddressSpaceError(ReproError):
+    """Invalid operation on a simulated virtual address space."""
+
+
+class SegmentationFault(AddressSpaceError):
+    """Access to an unmapped or permission-protected address."""
+
+    def __init__(self, addr: int, why: str = "") -> None:
+        self.addr = addr
+        msg = f"SIGSEGV at {addr:#x}"
+        if why:
+            msg += f" ({why})"
+        super().__init__(msg)
+
+
+class MemoryCorruptionError(AddressSpaceError):
+    """Detected silent memory corruption (e.g. lower half clobbered upper half)."""
+
+
+class LoaderError(ReproError):
+    """Program loading failed."""
+
+
+class CheckpointError(ReproError):
+    """Checkpoint could not be taken."""
+
+
+class RestartError(ReproError):
+    """Restart from a checkpoint image failed."""
+
+
+class ReplayDivergenceError(RestartError):
+    """Log-and-replay produced a different address than the original run.
+
+    The paper relies on determinism of the CUDA library allocator plus
+    disabled ASLR; when either assumption is violated the replayed
+    allocations land at new addresses and every pointer held by the
+    restored upper half dangles.
+    """
+
+
+class CudaError(ReproError):
+    """A CUDA API call returned a non-success ``cudaError_t``."""
+
+
+class UnsupportedFeatureError(ReproError):
+    """A baseline system was asked to do something it cannot do.
+
+    E.g. CRCUDA has no UVM support; CheCUDA cannot restore UVA state.
+    """
+
+
+class ProxyProtocolError(ReproError):
+    """Malformed request/response on the proxy IPC channel."""

@@ -1,0 +1,39 @@
+"""Simulated NVIDIA GPU device.
+
+A discrete-event, virtual-time model of the pieces of a GPU that CRAC's
+evaluation exercises:
+
+- :mod:`~repro.gpu.timing`   — the calibrated cost model and device specs
+  (Tesla V100 and Quadro K600, the two GPUs of the paper).
+- :mod:`~repro.gpu.device`   — per-stream timelines, the concurrent-kernel
+  limit (128 on compute capability 7.0), and separate H2D/D2H copy
+  engines so streams genuinely overlap copies with kernels (Figure 4b).
+- :mod:`~repro.gpu.memory`   — the deterministic "allocation arena"
+  behaviour of ``cudaMalloc`` that CRAC's log-and-replay relies on
+  (paper §3.2.1/§3.2.3), plus sparse buffer contents so paper-scale
+  footprints don't need paper-scale RAM.
+- :mod:`~repro.gpu.uvm`      — page-granular managed memory with
+  fault-driven migration and concurrent-writer tracking (the case that
+  breaks CRUM's shadow pages).
+"""
+
+from repro.gpu.device import GpuDevice
+from repro.gpu.memory import ArenaAllocator, DeviceBuffer, PagedContents
+from repro.gpu.streams import Event, Stream
+from repro.gpu.timing import GPU_SPECS, GpuSpec, HostCosts
+from repro.gpu.uvm import ManagedBuffer, PageLocation, UvmManager
+
+__all__ = [
+    "GpuDevice",
+    "Stream",
+    "Event",
+    "GpuSpec",
+    "GPU_SPECS",
+    "HostCosts",
+    "ArenaAllocator",
+    "DeviceBuffer",
+    "PagedContents",
+    "UvmManager",
+    "ManagedBuffer",
+    "PageLocation",
+]

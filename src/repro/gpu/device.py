@@ -1,0 +1,179 @@
+"""The virtual-time GPU execution engine.
+
+Models the three hardware resources whose contention shapes the paper's
+stream experiments (Figure 4):
+
+- **compute**: up to ``spec.max_concurrent_kernels`` kernels execute
+  simultaneously (128 on the V100's compute capability 7.0 — the limit
+  simpleStreams is configured up to in §4.4.2);
+- **copy engines**: one H2D and one D2H DMA engine; copies on different
+  streams serialize per engine but overlap with kernels, which is what
+  makes the streamed simpleStreams version ≈n× cheaper on memcpy;
+- **legacy default stream**: stream 0 synchronizes with all others.
+
+All methods take and return virtual-time nanoseconds; the host's clock is
+owned by :class:`repro.linux.process.SimProcess`, not by the device.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+
+from repro.gpu.streams import Event, Stream
+from repro.gpu.timing import GpuSpec
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One scheduled device operation (nvprof-timeline style)."""
+
+    kind: str  # "kernel" | "copy"
+    label: str
+    stream_sid: int
+    start_ns: float
+    end_ns: float
+
+    @property
+    def duration_ns(self) -> float:
+        return self.end_ns - self.start_ns
+
+
+class GpuDevice:
+    """One simulated GPU."""
+
+    def __init__(self, spec: GpuSpec) -> None:
+        self.spec = spec
+        self._streams: set[Stream] = set()
+        #: end-times of kernels admitted to the compute resource
+        self._running: list[float] = []
+        self._copy_engine_ready = {"h2d": 0.0, "d2h": 0.0, "d2d": 0.0}
+        #: completion time of the last default-stream operation
+        self._default_barrier_ns = 0.0
+        # -- accounting (read by the profiler / harness) --
+        self.total_kernel_ns = 0.0
+        self.total_kernels = 0
+        self.copied_bytes = {"h2d": 0, "d2h": 0, "d2d": 0}
+        #: nvprof-style timeline; None unless tracing is enabled
+        self.trace: list[TraceEvent] | None = None
+
+    def enable_trace(self) -> None:
+        """Start recording a device timeline (nvprof --print-gpu-trace)."""
+        self.trace = []
+
+    def disable_trace(self) -> None:
+        """Stop recording the device timeline."""
+        self.trace = None
+
+    # -- stream management ----------------------------------------------------
+
+    def register_stream(self, stream: Stream) -> None:
+        """Attach a stream to this device's timeline."""
+        stream.ready_ns = max(stream.ready_ns, self._default_barrier_ns)
+        self._streams.add(stream)
+
+    def unregister_stream(self, stream: Stream) -> None:
+        """Detach a (destroyed) stream from the timeline."""
+        self._streams.discard(stream)
+
+    @property
+    def active_streams(self) -> int:
+        return len(self._streams)
+
+    # -- scheduling -------------------------------------------------------------
+
+    def _start_time(self, stream: Stream, at_ns: float) -> float:
+        """Earliest time an op on ``stream`` submitted at ``at_ns`` may start."""
+        earliest = max(stream.ready_ns, at_ns)
+        if stream.sid == 0:
+            # Legacy default stream waits for everything in flight.
+            for s in self._streams:
+                earliest = max(earliest, s.ready_ns)
+        earliest = max(earliest, self._default_barrier_ns)
+        return earliest
+
+    def _finish(self, stream: Stream, end_ns: float) -> None:
+        stream.ready_ns = end_ns
+        if stream.sid == 0:
+            self._default_barrier_ns = end_ns
+
+    def enqueue_kernel(
+        self, stream: Stream, duration_ns: float, at_ns: float, label: str = "kernel"
+    ) -> float:
+        """Schedule a kernel; returns its completion time.
+
+        Admission respects the concurrent-kernel limit: when the device is
+        saturated the kernel waits for the earliest-finishing one.
+        """
+        earliest = self._start_time(stream, at_ns)
+        start = self._admit_kernel(earliest)
+        end = start + duration_ns
+        heapq.heappush(self._running, end)
+        self._finish(stream, end)
+        stream.kernel_count += 1
+        self.total_kernel_ns += duration_ns
+        self.total_kernels += 1
+        if self.trace is not None:
+            self.trace.append(TraceEvent("kernel", label, stream.sid, start, end))
+        return end
+
+    def _admit_kernel(self, earliest: float) -> float:
+        heap = self._running
+        while heap and heap[0] <= earliest:
+            heapq.heappop(heap)
+        if len(heap) >= self.spec.max_concurrent_kernels:
+            # Wait for a slot: the earliest-finishing running kernel.
+            slot_free = heapq.heappop(heap)
+            earliest = max(earliest, slot_free)
+            while heap and heap[0] <= earliest:
+                heapq.heappop(heap)
+        return earliest
+
+    def enqueue_copy(
+        self, stream: Stream, nbytes: int, kind: str, at_ns: float
+    ) -> float:
+        """Schedule a DMA copy; returns its completion time."""
+        if kind not in self._copy_engine_ready:
+            raise ValueError(f"unknown copy kind {kind!r}")
+        earliest = max(
+            self._start_time(stream, at_ns), self._copy_engine_ready[kind]
+        )
+        end = earliest + self.spec.copy_cost_ns(nbytes, kind)
+        self._copy_engine_ready[kind] = end
+        self._finish(stream, end)
+        self.copied_bytes[kind] += nbytes
+        if self.trace is not None:
+            self.trace.append(
+                TraceEvent("copy", f"memcpy-{kind}", stream.sid, earliest, end)
+            )
+        return end
+
+    def busy_delay(self, stream: Stream, duration_ns: float, at_ns: float) -> float:
+        """Schedule an opaque device-side delay (fault servicing etc.)."""
+        start = self._start_time(stream, at_ns)
+        end = start + duration_ns
+        self._finish(stream, end)
+        return end
+
+    # -- synchronization ------------------------------------------------------------
+
+    def stream_ready(self, stream: Stream) -> float:
+        """Time at which all work enqueued so far on ``stream`` completes."""
+        return stream.ready_ns
+
+    def synchronize_all(self) -> float:
+        """cudaDeviceSynchronize: completion time of all enqueued work."""
+        t = self._default_barrier_ns
+        for s in self._streams:
+            t = max(t, s.ready_ns)
+        return t
+
+    def record_event(self, event: Event, stream: Stream, at_ns: float) -> None:
+        """cudaEventRecord: event completes when prior stream work does."""
+        event.timestamp_ns = max(stream.ready_ns, at_ns)
+        event.recorded = True
+
+    def stream_wait_event(self, stream: Stream, event: Event) -> None:
+        """cudaStreamWaitEvent: future stream work waits for the event."""
+        if event.recorded:
+            stream.ready_ns = max(stream.ready_ns, event.timestamp_ns)

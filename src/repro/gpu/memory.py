@@ -1,0 +1,315 @@
+"""Device memory: sparse buffer contents and the deterministic arena.
+
+Two paper-critical behaviours live here:
+
+- **Arena allocation** (§3.2.1/§3.2.3): the CUDA library's first
+  ``cudaMalloc`` creates a *large* allocation arena with ``mmap`` (and
+  more bookkeeping mmaps besides); subsequent ``cudaMalloc`` calls
+  sub-allocate from the arena and may not call ``mmap`` at all. The
+  allocator is **deterministic**: the same sequence of alloc/free calls
+  produces the same addresses — the property CRAC's log-and-replay
+  exploits to restore every allocation at its original address.
+- **Sparse contents**: buffers have a *virtual* size (checkpoint-size
+  accounting can reach the paper's GB scale) but only spans actually
+  written hold real numpy data, so the test suite stays laptop-sized.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from repro.errors import CudaError
+
+#: Sub-allocation alignment, matching CUDA's 256-byte texture alignment.
+ALLOC_ALIGN = 256
+#: Size of a freshly created malloc arena (the paper's "large CUDA malloc
+#: arena" created by the first cudaMalloc).
+ARENA_CHUNK = 64 << 20
+
+
+def _align_up(n: int, a: int = ALLOC_ALIGN) -> int:
+    return (n + a - 1) & ~(a - 1)
+
+
+class PagedContents:
+    """Sparse byte contents of a (possibly huge) buffer.
+
+    Data is stored as non-overlapping *spans* — (start, ndarray) pairs —
+    plus a background fill value for unmaterialized bytes. ``view()``
+    returns a writable numpy view into the stored span, so kernels mutate
+    contents in place; overlapping spans are consolidated on demand.
+    """
+
+    def __init__(self, size: int, fill_value: int = 0) -> None:
+        self.size = size
+        self.fill_value = fill_value
+        self._spans: dict[int, np.ndarray] = {}  # start -> uint8 array
+
+    @property
+    def backed_bytes(self) -> int:
+        return sum(a.nbytes for a in self._spans.values())
+
+    def _check(self, offset: int, nbytes: int) -> None:
+        if offset < 0 or nbytes < 0 or offset + nbytes > self.size:
+            raise IndexError(
+                f"access [{offset}, +{nbytes}) outside buffer of {self.size} bytes"
+            )
+
+    def view(self, offset: int, nbytes: int, dtype=np.uint8) -> np.ndarray:
+        """A writable view of ``[offset, offset+nbytes)`` as ``dtype``.
+
+        Materializes (with the fill value) any bytes not yet backed;
+        consolidates overlapping spans so the view is one contiguous
+        array. Holding a view across a *later overlapping* ``view()``
+        call is allowed — consolidation reuses an exactly-matching span.
+        """
+        self._check(offset, nbytes)
+        exact = self._spans.get(offset)
+        if exact is not None and exact.nbytes == nbytes:
+            return exact.view(dtype)
+        overlapping = [
+            (s, a)
+            for s, a in self._spans.items()
+            if s < offset + nbytes and s + a.nbytes > offset
+        ]
+        lo = min([offset] + [s for s, _ in overlapping])
+        hi = max([offset + nbytes] + [s + a.nbytes for s, a in overlapping])
+        merged = np.full(hi - lo, self.fill_value, dtype=np.uint8)
+        for s, a in overlapping:
+            merged[s - lo : s - lo + a.nbytes] = a
+            del self._spans[s]
+        self._spans[lo] = merged
+        return merged[offset - lo : offset - lo + nbytes].view(dtype)
+
+    def write_bytes(self, offset: int, data: bytes | np.ndarray) -> None:
+        """Copy bytes into the buffer."""
+        arr = np.frombuffer(data, dtype=np.uint8) if isinstance(data, (bytes, bytearray, memoryview)) else np.ascontiguousarray(data).view(np.uint8).ravel()
+        self.view(offset, arr.nbytes)[:] = arr
+
+    def read_bytes(self, offset: int, nbytes: int) -> bytes:
+        """Copy bytes out of the buffer (holes read as the fill value)."""
+        self._check(offset, nbytes)
+        out = np.full(nbytes, self.fill_value, dtype=np.uint8)
+        for s, a in self._spans.items():
+            if s < offset + nbytes and s + a.nbytes > offset:
+                lo = max(s, offset)
+                hi = min(s + a.nbytes, offset + nbytes)
+                out[lo - offset : hi - offset] = a[lo - s : hi - s]
+        return out.tobytes()
+
+    def copy_from(
+        self, other: "PagedContents", src_offset: int, dst_offset: int, nbytes: int
+    ) -> None:
+        """Copy a range from ``other`` without materializing holes.
+
+        Only the *backed* spans of the source range are copied; unbacked
+        source bytes leave the destination range at the source's fill
+        value. This keeps GB-scale ballast copies O(real data).
+        """
+        self._check(dst_offset, nbytes)
+        other._check(src_offset, nbytes)
+        if self.fill_value != other.fill_value:
+            # Rare slow path: differing fills force materialization.
+            self.write_bytes(dst_offset, other.read_bytes(src_offset, nbytes))
+            return
+        # Reset the destination range to fill wherever it is backed.
+        for s, a in list(self._spans.items()):
+            lo = max(s, dst_offset)
+            hi = min(s + a.nbytes, dst_offset + nbytes)
+            if lo < hi:
+                a[lo - s : hi - s] = self.fill_value
+        # Copy the backed source portions.
+        shift = dst_offset - src_offset
+        for s, a in list(other._spans.items()):
+            lo = max(s, src_offset)
+            hi = min(s + a.nbytes, src_offset + nbytes)
+            if lo < hi:
+                self.write_bytes(lo + shift, a[lo - s : hi - s])
+
+    def fill(self, value: int) -> None:
+        """cudaMemset over the whole buffer: drop spans, set fill value."""
+        self._spans.clear()
+        self.fill_value = value & 0xFF
+
+    def snapshot(self) -> dict:
+        """Deep copy for checkpointing."""
+        return {
+            "size": self.size,
+            "fill": self.fill_value,
+            "spans": {s: a.copy() for s, a in self._spans.items()},
+        }
+
+    def restore(self, snap: dict) -> None:
+        """Restore from :meth:`snapshot`."""
+        if snap["size"] != self.size:
+            raise ValueError("snapshot size mismatch")
+        self.fill_value = snap["fill"]
+        self._spans = {s: a.copy() for s, a in snap["spans"].items()}
+
+    def equal_contents(self, other: "PagedContents") -> bool:
+        """Bit-exact comparison (materialization-layout independent)."""
+        if self.size != other.size:
+            return False
+        # Merge both span sets into a sorted union of intervals.
+        intervals = sorted(
+            [(s, s + a.nbytes) for s, a in self._spans.items()]
+            + [(s, s + a.nbytes) for s, a in other._spans.items()]
+        )
+        merged: list[tuple[int, int]] = []
+        for lo, hi in intervals:
+            if merged and lo <= merged[-1][1]:
+                merged[-1] = (merged[-1][0], max(merged[-1][1], hi))
+            else:
+                merged.append((lo, hi))
+        for lo, hi in merged:
+            if self.read_bytes(lo, hi - lo) != other.read_bytes(lo, hi - lo):
+                return False
+        covered = sum(hi - lo for lo, hi in merged)
+        if covered < self.size and self.fill_value != other.fill_value:
+            return False
+        return True
+
+
+@dataclass
+class DeviceBuffer:
+    """One live allocation returned by the cudaMalloc family."""
+
+    addr: int
+    size: int
+    kind: str  # "device" | "host-pinned" | "managed"
+    contents: PagedContents = field(default=None)  # type: ignore[assignment]
+    freed: bool = False
+    #: index of the GPU holding this allocation ("device" kind only)
+    device_index: int = 0
+
+    def __post_init__(self) -> None:
+        if self.contents is None:
+            self.contents = PagedContents(self.size)
+
+
+@dataclass
+class _FreeBlock:
+    start: int
+    size: int
+
+
+class ArenaAllocator:
+    """Deterministic first-fit sub-allocator over mmap-created arenas.
+
+    Args:
+        mmap_fn: called to create a new arena; returns its base address.
+            In CRAC this is routed through the lower half's interposed
+            ``mmap`` so arenas are attributed to the lower half.
+        capacity: device memory capacity; exceeded ⇒ ``CudaError`` (OOM).
+        extra_mmaps_per_arena: number of small bookkeeping mmaps issued
+            alongside each arena, reproducing the paper's observation
+            that one ``cudaMalloc`` may issue *many* ``mmap`` calls.
+    """
+
+    def __init__(
+        self,
+        mmap_fn: Callable[[int], int],
+        capacity: int,
+        *,
+        extra_mmaps_per_arena: int = 3,
+    ) -> None:
+        self._mmap = mmap_fn
+        self.capacity = capacity
+        self.extra_mmaps_per_arena = extra_mmaps_per_arena
+        self._free: list[_FreeBlock] = []  # sorted by start
+        self.active: dict[int, int] = {}  # addr -> size
+        self.arena_bytes = 0
+        self.mmap_calls = 0
+
+    @property
+    def active_bytes(self) -> int:
+        return sum(self.active.values())
+
+    def alloc(self, nbytes: int) -> int:
+        """Allocate; deterministic for a fixed alloc/free sequence."""
+        if nbytes <= 0:
+            raise CudaError("cudaMalloc of non-positive size")
+        need = _align_up(nbytes)
+        if self.active_bytes + need > self.capacity:
+            raise CudaError("out of device memory (cudaErrorMemoryAllocation)")
+        for i, blk in enumerate(self._free):
+            if blk.size >= need:
+                addr = blk.start
+                if blk.size == need:
+                    self._free.pop(i)
+                else:
+                    blk.start += need
+                    blk.size -= need
+                self.active[addr] = need
+                return addr
+        # No free block fits: grow by a new arena (possibly many mmaps).
+        arena_size = max(_align_up(need, 1 << 20), ARENA_CHUNK)
+        base = self._mmap(arena_size)
+        self.mmap_calls += 1
+        for _ in range(self.extra_mmaps_per_arena):
+            self._mmap(1 << 16)  # bookkeeping pages
+            self.mmap_calls += 1
+        self.arena_bytes += arena_size
+        self._insert_free(_FreeBlock(base, arena_size))
+        return self.alloc(nbytes)
+
+    def free(self, addr: int) -> int:
+        """Release an allocation; returns its size."""
+        size = self.active.pop(addr, None)
+        if size is None:
+            raise CudaError(f"cudaFree of unknown pointer {addr:#x}")
+        self._insert_free(_FreeBlock(addr, size))
+        return size
+
+    def reserve(self, addr: int, nbytes: int) -> None:
+        """Mark ``[addr, addr+nbytes)`` as allocated without choosing it.
+
+        Used at restart for re-registered ``cudaHostAlloc`` buffers: their
+        pages are already mapped (restored with the upper half), so the
+        fresh library must never hand out those addresses again — exactly
+        as a real mmap-backed allocator would skip already-mapped pages.
+        Grows arenas deterministically until the range is covered.
+        """
+        need = _align_up(nbytes)
+        for _ in range(64):
+            for i, blk in enumerate(self._free):
+                if blk.start <= addr and addr + need <= blk.start + blk.size:
+                    self._free.pop(i)
+                    if blk.start < addr:
+                        self._insert_free(_FreeBlock(blk.start, addr - blk.start))
+                    tail = blk.start + blk.size - (addr + need)
+                    if tail > 0:
+                        self._insert_free(_FreeBlock(addr + need, tail))
+                    self.active[addr] = need
+                    return
+            # Not covered yet: grow by one arena (same deterministic path
+            # the original allocation took).
+            base = self._mmap(ARENA_CHUNK)
+            self.mmap_calls += 1
+            for _ in range(self.extra_mmaps_per_arena):
+                self._mmap(1 << 16)
+                self.mmap_calls += 1
+            self.arena_bytes += ARENA_CHUNK
+            self._insert_free(_FreeBlock(base, ARENA_CHUNK))
+        raise CudaError(
+            f"could not reserve {addr:#x}+{nbytes:#x}: address outside any arena"
+        )
+
+    def _insert_free(self, blk: _FreeBlock) -> None:
+        """Insert into the sorted free list, coalescing neighbours."""
+        import bisect
+
+        starts = [b.start for b in self._free]
+        i = bisect.bisect_left(starts, blk.start)
+        self._free.insert(i, blk)
+        # Coalesce with right neighbour, then left.
+        if i + 1 < len(self._free) and blk.start + blk.size == self._free[i + 1].start:
+            right = self._free.pop(i + 1)
+            blk.size += right.size
+        if i > 0 and self._free[i - 1].start + self._free[i - 1].size == blk.start:
+            left = self._free[i - 1]
+            left.size += blk.size
+            self._free.pop(i)

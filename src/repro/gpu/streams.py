@@ -1,0 +1,63 @@
+"""CUDA streams and events (handles only; scheduling lives in device.py).
+
+A stream is an in-order queue of device operations; operations in
+different streams may overlap subject to the device's concurrent-kernel
+limit and copy-engine availability. Stream 0 is the legacy default
+stream: it synchronizes with every other stream, which the device engine
+enforces.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+
+_ids = itertools.count(1)
+
+
+@dataclass
+class Stream:
+    """A CUDA stream handle.
+
+    Attributes:
+        sid: stream id; 0 is the legacy default stream.
+        ready_ns: virtual time at which all work so far enqueued on this
+            stream will have completed.
+    """
+
+    sid: int = field(default_factory=lambda: next(_ids))
+    ready_ns: float = 0.0
+    destroyed: bool = False
+    #: number of kernels ever launched on this stream (diagnostics)
+    kernel_count: int = 0
+    #: index of the GPU this stream was created on (cudaSetDevice state
+    #: at cudaStreamCreate time); streams are bound to one device.
+    device_index: int = 0
+
+    def __hash__(self) -> int:
+        return self.sid
+
+
+#: The legacy default stream singleton marker (per-runtime instances are
+#: created by the CUDA runtime; this type alias documents intent).
+DEFAULT_STREAM_ID = 0
+
+
+@dataclass
+class Event:
+    """A CUDA event: a timestamp marker recorded into a stream."""
+
+    eid: int = field(default_factory=lambda: next(_ids))
+    #: virtual time the event will complete (-inf = never recorded)
+    timestamp_ns: float = float("-inf")
+    recorded: bool = False
+    destroyed: bool = False
+
+    def elapsed_ms_since(self, earlier: "Event") -> float:
+        """cudaEventElapsedTime equivalent (milliseconds)."""
+        if not (self.recorded and earlier.recorded):
+            raise ValueError("cudaEventElapsedTime on unrecorded event")
+        return (self.timestamp_ns - earlier.timestamp_ns) / 1e6
+
+    def __hash__(self) -> int:
+        return self.eid

@@ -1,0 +1,183 @@
+"""Unified Virtual Memory (UVM): page-granular managed memory.
+
+CUDA 6.0's UVM lets host and device touch the same pointer; the
+hardware/driver migrates pages on demand (hardware page faults on Pascal
+and later — §2.3). The model tracks per-page residency, charges
+fault + migration costs on access from the "wrong" side, and records
+device-side writes per kernel so the CRUM baseline's shadow-page failure
+mode (two concurrent streams writing the same page, §1 contribution 2)
+is detectable.
+
+The UVM mapping is part of the CUDA library's *irrecoverable* internal
+state: once created, it cannot be destroyed and later restored through
+any public API — the historical reason CheCUDA-era checkpointing died
+with CUDA 4.0 (§2.2).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.gpu.device import GpuDevice
+from repro.gpu.memory import PagedContents
+from repro.gpu.streams import Stream
+
+#: UVM migration granularity. Real UVM uses 4 KiB–2 MiB chunks; 64 KiB is
+#: the driver's common prefetch granule and keeps page tables small.
+UVM_PAGE = 64 * 1024
+
+
+class PageLocation(enum.IntEnum):
+    """Residency of one UVM page."""
+
+    HOST = 0
+    DEVICE = 1
+
+
+@dataclass
+class DeviceWriteRecord:
+    """One kernel's write footprint on a managed buffer."""
+
+    page_lo: int
+    page_hi: int  # inclusive
+    stream_sid: int
+    start_ns: float
+    end_ns: float
+
+    def overlaps_pages(self, other: "DeviceWriteRecord") -> bool:
+        """True if the two write footprints share a page."""
+        return self.page_lo <= other.page_hi and other.page_lo <= self.page_hi
+
+    def overlaps_time(self, other: "DeviceWriteRecord") -> bool:
+        """True if the two kernels were in flight simultaneously."""
+        return self.start_ns < other.end_ns and other.start_ns < self.end_ns
+
+
+@dataclass
+class ManagedBuffer:
+    """A cudaMallocManaged allocation."""
+
+    addr: int
+    size: int
+    contents: PagedContents = field(default=None)  # type: ignore[assignment]
+    residency: np.ndarray = field(default=None)  # type: ignore[assignment]
+    freed: bool = False
+    device_writes: list[DeviceWriteRecord] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if self.contents is None:
+            self.contents = PagedContents(self.size)
+        if self.residency is None:
+            # Fresh managed memory is host-resident (first-touch on CPU).
+            self.residency = np.zeros(self.num_pages, dtype=np.uint8)
+
+    @property
+    def num_pages(self) -> int:
+        return (self.size + UVM_PAGE - 1) // UVM_PAGE
+
+    def page_range(self, offset: int, nbytes: int) -> tuple[int, int]:
+        """Inclusive page index range covering ``[offset, offset+nbytes)``."""
+        if nbytes <= 0:
+            nbytes = 1
+        return offset // UVM_PAGE, (offset + nbytes - 1) // UVM_PAGE
+
+
+class UvmManager:
+    """Tracks all managed buffers of one CUDA library instance."""
+
+    def __init__(self, device: GpuDevice) -> None:
+        self.device = device
+        self.buffers: dict[int, ManagedBuffer] = {}
+        self.fault_count = 0
+        self.migrated_bytes = 0
+        #: Creating any managed mapping permanently perturbs the CUDA
+        #: library's internal state (see module docstring); the CUDA
+        #: runtime consults this to refuse naive restore-after-destroy.
+        self.ever_used = False
+
+    def register(self, buf: ManagedBuffer) -> None:
+        """Track a new managed allocation (perturbs library state)."""
+        self.buffers[buf.addr] = buf
+        self.ever_used = True
+
+    def unregister(self, addr: int) -> None:
+        """Stop tracking a freed managed allocation."""
+        self.buffers.pop(addr, None)
+
+    # -- access paths --------------------------------------------------------
+
+    def _migrate(self, buf: ManagedBuffer, lo: int, hi: int, to: PageLocation) -> float:
+        """Migrate pages [lo, hi] to ``to``; returns the cost in ns."""
+        pages = buf.residency[lo : hi + 1]
+        wrong = int(np.count_nonzero(pages != int(to)))
+        if wrong == 0:
+            return 0.0
+        spec = self.device.spec
+        cost = wrong * spec.uvm_fault_ns + (
+            wrong * UVM_PAGE / spec.uvm_migrate_bw * 1e9
+        )
+        pages[:] = int(to)
+        self.fault_count += wrong
+        self.migrated_bytes += wrong * UVM_PAGE
+        return cost
+
+    def host_access(
+        self, buf: ManagedBuffer, offset: int, nbytes: int, *, write: bool
+    ) -> float:
+        """CPU touches managed memory; returns the stall cost in ns.
+
+        Device-resident pages fault back to the host. (Write vs read only
+        matters for bookkeeping; both migrate under the pre-Volta model.)
+        """
+        lo, hi = buf.page_range(offset, nbytes)
+        return self._migrate(buf, lo, hi, PageLocation.HOST)
+
+    def device_access(
+        self, buf: ManagedBuffer, offset: int, nbytes: int
+    ) -> float:
+        """Kernel will touch managed memory; returns migration cost in ns
+        to be folded into the kernel's duration."""
+        lo, hi = buf.page_range(offset, nbytes)
+        return self._migrate(buf, lo, hi, PageLocation.DEVICE)
+
+    def record_device_write(
+        self,
+        buf: ManagedBuffer,
+        offset: int,
+        nbytes: int,
+        stream: Stream,
+        start_ns: float,
+        end_ns: float,
+    ) -> None:
+        """Log a kernel's write footprint (used by the CRUM failure check)."""
+        lo, hi = buf.page_range(offset, nbytes)
+        buf.device_writes.append(
+            DeviceWriteRecord(lo, hi, stream.sid, start_ns, end_ns)
+        )
+
+    def concurrent_same_page_writes(self, buf: ManagedBuffer) -> list[
+        tuple[DeviceWriteRecord, DeviceWriteRecord]
+    ]:
+        """Pairs of writes from *different streams* that overlapped in time
+        on the *same page* — the pattern CRUM's shadow-page strategy cannot
+        synchronize (paper §1, contribution 2)."""
+        out = []
+        writes = buf.device_writes
+        for i, a in enumerate(writes):
+            for b in writes[i + 1 :]:
+                if (
+                    a.stream_sid != b.stream_sid
+                    and a.overlaps_pages(b)
+                    and a.overlaps_time(b)
+                ):
+                    out.append((a, b))
+        return out
+
+    # -- checkpoint support -------------------------------------------------------
+
+    def total_managed_bytes(self) -> int:
+        """Sum of live managed allocation sizes."""
+        return sum(b.size for b in self.buffers.values())

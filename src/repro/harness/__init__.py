@@ -1,0 +1,23 @@
+"""Experiment harness: run apps under any dispatcher, reproduce §4.
+
+- :mod:`~repro.harness.runner`      — build a machine, run an app under
+  native / CRAC / CRUM / CMA-proxy / CRCUDA, with optional mid-run
+  checkpoint + kill + restart.
+- :mod:`~repro.harness.metrics`     — the paper's formulas: runtime
+  overhead (eq. 1) and CUDA calls-per-second (eq. 2).
+- :mod:`~repro.harness.experiments` — one entry point per table/figure.
+- :mod:`~repro.harness.report`      — plain-text rendering of the
+  tables/series the paper reports.
+"""
+
+from repro.harness.metrics import cps, overhead_pct
+from repro.harness.runner import CkptRecord, Machine, RunResult, run_app
+
+__all__ = [
+    "Machine",
+    "RunResult",
+    "CkptRecord",
+    "run_app",
+    "overhead_pct",
+    "cps",
+]

@@ -1,0 +1,90 @@
+"""Calibration registry: every paper target in one queryable place.
+
+The apps carry their own targets (`target_runtime_s`, `target_calls`,
+`target_ckpt_mb`); this module aggregates them, measures the actual
+values at paper scale, and reports target-vs-measured rows — the data
+behind EXPERIMENTS.md, regenerable at any time. A tolerance check turns
+the whole calibration into a single assertable invariant, so cost-model
+changes that silently break a figure fail loudly in the test suite.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.apps import (
+    Hpgmg,
+    Hypre,
+    Lulesh,
+    SimpleStreams,
+    UnifiedMemoryStreams,
+)
+from repro.apps.rodinia import RODINIA_SUITE
+from repro.harness.runner import run_app
+
+ALL_APP_CLASSES = tuple(RODINIA_SUITE) + (
+    SimpleStreams, UnifiedMemoryStreams, Lulesh, Hpgmg, Hypre,
+)
+
+
+@dataclass
+class CalibrationRow:
+    """Target vs measured for one application at scale=1.0."""
+
+    name: str
+    target_runtime_s: float
+    measured_runtime_s: float
+    target_calls: int
+    measured_calls: int
+    target_ckpt_mb: float
+    measured_ckpt_mb: float
+
+    @property
+    def runtime_error(self) -> float:
+        return abs(self.measured_runtime_s - self.target_runtime_s) / self.target_runtime_s
+
+    @property
+    def calls_error(self) -> float:
+        return abs(self.measured_calls - self.target_calls) / max(self.target_calls, 1)
+
+    @property
+    def ckpt_error(self) -> float:
+        return abs(self.measured_ckpt_mb - self.target_ckpt_mb) / self.target_ckpt_mb
+
+    def within(self, tolerance: float = 0.25) -> bool:
+        """True if every metric is inside ``tolerance`` of its target."""
+        return max(self.runtime_error, self.calls_error, self.ckpt_error) <= tolerance
+
+
+def measure_app(cls, scale: float = 1.0) -> CalibrationRow:
+    """Measure one app's native runtime/calls and CRAC checkpoint size."""
+    native = run_app(cls(scale=scale), mode="native", noise=False)
+    ckpt = run_app(
+        cls(scale=scale), mode="crac", checkpoint_at=0.5,
+        restart_after_checkpoint=False, noise=False,
+    )
+    (rec,) = ckpt.checkpoints
+    return CalibrationRow(
+        name=cls.name,
+        target_runtime_s=cls.target_runtime_s * scale,
+        measured_runtime_s=native.runtime_exact_s,
+        target_calls=int(cls.target_calls * scale),
+        measured_calls=native.cuda_calls,
+        target_ckpt_mb=cls.target_ckpt_mb * scale,
+        measured_ckpt_mb=rec.size_mb,
+    )
+
+
+def calibration_table(scale: float = 1.0, classes=ALL_APP_CLASSES) -> list[CalibrationRow]:
+    """Target-vs-measured rows for every workload."""
+    return [measure_app(cls, scale) for cls in classes]
+
+
+def worst_error(rows: list[CalibrationRow]) -> tuple[str, float]:
+    """(app, relative error) of the worst-calibrated metric anywhere."""
+    worst = ("", 0.0)
+    for r in rows:
+        for err in (r.runtime_error, r.calls_error, r.ckpt_error):
+            if err > worst[1]:
+                worst = (r.name, err)
+    return worst

@@ -1,0 +1,161 @@
+"""Fault-tolerance economics: what CRAC's costs buy (paper §1(a)/(b)).
+
+The paper motivates transparent checkpointing with GPU soft errors and
+long-running jobs; this module turns the *measured* checkpoint/restart
+costs of the reproduction into completion-time predictions:
+
+- :func:`young_interval` — Young's first-order optimal checkpoint
+  interval √(2·C·MTBF) for checkpoint cost C;
+- :func:`daly_interval` — Daly's higher-order refinement;
+- :func:`expected_completion_time` — analytic expected makespan of a job
+  with periodic checkpointing under exponential failures;
+- :class:`FaultSimulator` — a seeded Monte-Carlo of the same process
+  (inject failures, lose work back to the last checkpoint, pay restart),
+  used to cross-validate the analytic model and to compare "CRAC with
+  interval τ" against "no checkpointing, restart from scratch".
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+
+
+def young_interval(checkpoint_cost_s: float, mtbf_s: float) -> float:
+    """Young's optimal interval: √(2·C·M)."""
+    if checkpoint_cost_s <= 0 or mtbf_s <= 0:
+        raise ValueError("cost and MTBF must be positive")
+    return math.sqrt(2.0 * checkpoint_cost_s * mtbf_s)
+
+
+def daly_interval(checkpoint_cost_s: float, mtbf_s: float) -> float:
+    """Daly's refinement of Young's formula (valid for C < 2M)."""
+    if checkpoint_cost_s <= 0 or mtbf_s <= 0:
+        raise ValueError("cost and MTBF must be positive")
+    c, m = checkpoint_cost_s, mtbf_s
+    if c >= 2 * m:
+        return m
+    return math.sqrt(2.0 * c * m) * (
+        1.0 + math.sqrt(c / (2.0 * m)) / 3.0 + (c / (2.0 * m)) / 9.0
+    ) - c
+
+
+def expected_completion_time(
+    work_s: float,
+    interval_s: float,
+    checkpoint_cost_s: float,
+    restart_cost_s: float,
+    mtbf_s: float,
+) -> float:
+    """Expected makespan with periodic checkpointing, exponential faults.
+
+    Standard first-order model: each segment of ``interval_s`` work plus
+    its checkpoint is retried until it completes without a failure; a
+    failure costs the partial segment (≈ half on average, modelled via
+    the exponential's memorylessness exactly) plus the restart.
+    """
+    if interval_s <= 0:
+        raise ValueError("interval must be positive")
+    lam = 1.0 / mtbf_s
+    segments = max(1, math.ceil(work_s / interval_s))
+    seg_work = work_s / segments
+    seg_span = seg_work + checkpoint_cost_s
+    # Expected time to push one segment through, with exponential
+    # failures at rate λ: E = (e^{λT} − 1)/λ per attempt-cycle plus a
+    # restart per failure (classic renewal argument).
+    e_attempt = (math.exp(lam * seg_span) - 1.0) / lam
+    p_fail = 1.0 - math.exp(-lam * seg_span)
+    e_segment = e_attempt + (p_fail / (1.0 - p_fail + 1e-300)) * restart_cost_s
+    return segments * e_segment
+
+
+@dataclass
+class SimOutcome:
+    """Result of one Monte-Carlo run."""
+
+    makespan_s: float
+    failures: int
+    checkpoints: int
+    work_lost_s: float
+
+
+class FaultSimulator:
+    """Seeded Monte-Carlo of a checkpointed job under random failures."""
+
+    def __init__(self, mtbf_s: float, seed: int = 0) -> None:
+        if mtbf_s <= 0:
+            raise ValueError("MTBF must be positive")
+        self.mtbf_s = mtbf_s
+        self._rng = random.Random(seed)
+
+    def run_once(
+        self,
+        work_s: float,
+        interval_s: float | None,
+        checkpoint_cost_s: float,
+        restart_cost_s: float,
+    ) -> SimOutcome:
+        """Simulate one job. ``interval_s=None`` means no checkpointing
+        (a failure loses *all* completed work)."""
+        clock = 0.0
+        done = 0.0  # committed (checkpointed) work
+        progress = 0.0  # uncommitted work since the last checkpoint
+        failures = 0
+        checkpoints = 0
+        lost = 0.0
+        next_fault = self._rng.expovariate(1.0 / self.mtbf_s)
+        while done + progress < work_s:
+            # Time until the next event: checkpoint boundary or job end.
+            if interval_s is None:
+                until_ckpt = work_s - done - progress
+            else:
+                until_ckpt = min(interval_s - progress, work_s - done - progress)
+            if clock + until_ckpt >= next_fault:
+                # Failure strikes mid-segment.
+                ran = max(0.0, next_fault - clock)
+                lost += min(progress + ran, progress + until_ckpt)
+                progress = 0.0 if interval_s is None else 0.0
+                if interval_s is None:
+                    done = 0.0  # no checkpoint: start over
+                clock = next_fault + restart_cost_s
+                failures += 1
+                next_fault = clock + self._rng.expovariate(1.0 / self.mtbf_s)
+                continue
+            clock += until_ckpt
+            progress += until_ckpt
+            if done + progress >= work_s:
+                break
+            # Checkpoint boundary reached: commit, pay the cost (a fault
+            # during the checkpoint loses the segment).
+            if clock + checkpoint_cost_s >= next_fault:
+                lost += progress
+                progress = 0.0
+                clock = next_fault + restart_cost_s
+                failures += 1
+                next_fault = clock + self._rng.expovariate(1.0 / self.mtbf_s)
+                continue
+            clock += checkpoint_cost_s
+            done += progress
+            progress = 0.0
+            checkpoints += 1
+        return SimOutcome(
+            makespan_s=clock, failures=failures,
+            checkpoints=checkpoints, work_lost_s=lost,
+        )
+
+    def mean_makespan(
+        self,
+        work_s: float,
+        interval_s: float | None,
+        checkpoint_cost_s: float,
+        restart_cost_s: float,
+        runs: int = 200,
+    ) -> float:
+        """Mean makespan over ``runs`` Monte-Carlo repetitions."""
+        total = 0.0
+        for _ in range(runs):
+            total += self.run_once(
+                work_s, interval_s, checkpoint_cost_s, restart_cost_s
+            ).makespan_s
+        return total / runs

@@ -1,0 +1,26 @@
+"""The paper's §4.3 formulas."""
+
+from __future__ import annotations
+
+
+def overhead_pct(time_with: float, time_native: float) -> float:
+    """Runtime overhead % (paper eq. 1).
+
+    ``(E_CRAC − E_native) / E_native × 100`` — negative values happen in
+    practice (caching and run-to-run noise; the paper observes them for
+    Hotspot3D and Kmeans).
+    """
+    if time_native <= 0:
+        raise ValueError("native time must be positive")
+    return (time_with - time_native) / time_native * 100.0
+
+
+def cps(total_calls: int, exec_time_s: float) -> float:
+    """CUDA calls per second (paper eq. 2's CPS).
+
+    ``total_calls`` must already follow the Total-CUDA-calls convention
+    (one kernel launch = 3 calls), which the dispatch backends enforce.
+    """
+    if exec_time_s <= 0:
+        raise ValueError("execution time must be positive")
+    return total_calls / exec_time_s

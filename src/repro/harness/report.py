@@ -1,0 +1,104 @@
+"""Plain-text rendering of experiment rows as paper-shaped tables."""
+
+from __future__ import annotations
+
+from repro.harness.experiments import ExperimentRow
+
+
+def _fmt(value) -> str:
+    if isinstance(value, float):
+        if abs(value) >= 100:
+            return f"{value:,.1f}"
+        if abs(value) >= 1:
+            return f"{value:.2f}"
+        return f"{value:.4f}"
+    if isinstance(value, int):
+        return f"{value:,}"
+    return str(value)
+
+
+def render_table(
+    title: str, rows: list[ExperimentRow], label_header: str = "benchmark"
+) -> str:
+    """Render rows as an aligned text table."""
+    if not rows:
+        return f"== {title} ==\n(no rows)"
+    columns = list(rows[0].values.keys())
+    table = [[label_header] + columns]
+    for row in rows:
+        table.append([row.label] + [_fmt(row.values.get(c, "")) for c in columns])
+    widths = [max(len(r[i]) for r in table) for i in range(len(table[0]))]
+    lines = [f"== {title} =="]
+    for idx, r in enumerate(table):
+        lines.append("  ".join(cell.ljust(w) for cell, w in zip(r, widths)))
+        if idx == 0:
+            lines.append("-" * (sum(widths) + 2 * (len(widths) - 1)))
+    return "\n".join(lines)
+
+
+def render_bars(
+    title: str,
+    rows: list[ExperimentRow],
+    columns: list[str],
+    *,
+    width: int = 48,
+    unit: str = "s",
+) -> str:
+    """Render grouped horizontal bars (the paper's figures, in ASCII).
+
+    ``columns`` selects the numeric series to draw (e.g. ``["native_s",
+    "crac_s"]``); bars in a group share the row's label, mirroring the
+    paired native/CRAC bars of Figures 2 and 5.
+    """
+    if not rows:
+        return f"== {title} ==\n(no rows)"
+    peak = max(
+        (float(r.values.get(c, 0.0)) for r in rows for c in columns),
+        default=0.0,
+    )
+    if peak <= 0:
+        peak = 1.0
+    label_w = max(len(r.label) for r in rows)
+    col_w = max(len(c) for c in columns)
+    lines = [f"== {title} =="]
+    glyphs = ["█", "░", "▒", "▓"]
+    for row in rows:
+        for i, col in enumerate(columns):
+            value = float(row.values.get(col, 0.0))
+            bar = glyphs[i % len(glyphs)] * max(
+                1 if value > 0 else 0, round(value / peak * width)
+            )
+            label = row.label if i == 0 else ""
+            lines.append(
+                f"{label:<{label_w}}  {col:<{col_w}} |{bar} {value:.2f}{unit}"
+            )
+    return "\n".join(lines)
+
+
+def render_all(scale: float = 0.02) -> str:
+    """Render every reproduced table/figure at the given scale (used by
+    the examples; benchmarks drive the experiments individually)."""
+    from repro.harness import experiments as ex
+
+    parts = [
+        render_table("§1 TOP500 systems with NVIDIA GPUs", ex.fig0_top500(), "year"),
+        render_table("Table 1 — application characterization",
+                     ex.table1_characterization(scale)),
+        render_table("Table 2 — command-line arguments",
+                     ex.table2_cli_arguments()),
+        render_table("Figure 2 — Rodinia runtimes (native vs CRAC)",
+                     ex.fig2_rodinia_runtime(scale, noise=False)),
+        render_table("Figure 3 — Rodinia checkpoint/restart",
+                     ex.fig3_rodinia_checkpoint(scale)),
+        render_table("Figure 4 — simpleStreams sweep",
+                     ex.fig4_simplestreams(scale)),
+        render_table("Figure 5a/5b — stream & real-world runtimes",
+                     ex.fig5_runtimes(scale, noise=False)),
+        render_table("Figure 5c — checkpoint/restart",
+                     ex.fig5c_checkpoint(scale)),
+        render_table("Table 3 — CRAC vs CMA/IPC on cuBLAS",
+                     ex.table3_ipc_comparison(scale)),
+        render_table("Figure 6 — FSGSBASE effect (K600)",
+                     ex.fig6_fsgsbase(scale, noise=False)),
+    ]
+    return "\n\n".join(parts)

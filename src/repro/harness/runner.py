@@ -1,0 +1,202 @@
+"""Run applications under any dispatcher and collect measurements.
+
+``run_app(app, machine, mode=...)`` builds a fresh simulated machine,
+runs the app, and returns a :class:`RunResult` with virtual runtime,
+call counts, CPS, the output digest, and any checkpoint records.
+
+Measurement noise: the paper averages 10 runs with a ~0.1 s standard
+deviation and explicitly attributes small negative overheads to this
+noise (§4.4.1). ``run_app`` models it with a seeded Gaussian draw per
+(app, mode, gpu) so short-app overheads scatter realistically and
+results stay reproducible; pass ``noise=False`` for exact virtual times.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+from repro.apps.base import AppContext, AppResult, CudaApp
+from repro.core.session import CracSession
+from repro.core.halves import SplitProcess
+from repro.cuda.interface import CudaDispatchBase, NativeBackend
+from repro.gpu.timing import DEFAULT_HOST_COSTS, HostCosts
+from repro.proxy.crcuda import CrcudaBackend
+from repro.proxy.crum import CrumBackend
+from repro.proxy.proxy_runtime import NaiveProxyBackend
+
+MODES = ("native", "crac", "crum", "proxy-cma", "crcuda")
+
+#: Device slowdown factors relative to the V100 calibration (Figure 6's
+#: K600 runs are several times slower; the paper notes its Rodinia runs
+#: "mostly ran for at least 10 seconds" there).
+TIME_SCALE = {"V100": 1.0, "K600": 3.0}
+
+
+@dataclass(frozen=True)
+class Machine:
+    """Hardware/kernel configuration for a run."""
+
+    gpu: str = "V100"
+    fsgsbase: bool = False
+    seed: int = 0
+
+    @classmethod
+    def v100(cls, **kw) -> "Machine":
+        return cls(gpu="V100", **kw)
+
+    @classmethod
+    def k600(cls, **kw) -> "Machine":
+        """The local Quadro K600 node of §4.4.5 (Figure 6)."""
+        return cls(gpu="K600", **kw)
+
+
+@dataclass
+class CkptRecord:
+    """One checkpoint(+restart) taken during a run."""
+
+    at_progress: float
+    checkpoint_s: float
+    size_mb: float
+    restart_s: float | None = None
+    replayed_calls: int | None = None
+
+
+@dataclass
+class RunResult:
+    """Everything measured about one run."""
+
+    app_name: str
+    mode: str
+    gpu: str
+    runtime_s: float  # with measurement noise (if enabled)
+    runtime_exact_s: float  # pure virtual time
+    cuda_calls: int
+    cps: float
+    digest: int
+    checkpoints: list[CkptRecord] = field(default_factory=list)
+    extras: dict = field(default_factory=dict)
+
+    def overhead_pct(self, baseline: "RunResult") -> float:
+        """Runtime overhead vs a baseline run (paper eq. 1)."""
+        from repro.harness.metrics import overhead_pct
+
+        return overhead_pct(self.runtime_s, baseline.runtime_s)
+
+
+def _noise_s(app_name: str, mode: str, gpu: str, std_s: float = 0.1) -> float:
+    seed = zlib.crc32(f"{app_name}/{mode}/{gpu}".encode())
+    return float(np.random.default_rng(seed).normal(0.0, std_s))
+
+
+def run_app(
+    app: CudaApp,
+    machine: Machine = Machine(),
+    *,
+    mode: str = "native",
+    checkpoint_at: float | Sequence[float] | None = None,
+    restart_after_checkpoint: bool = True,
+    incremental: bool = False,
+    gzip: bool = False,
+    noise: bool = True,
+    costs: HostCosts = DEFAULT_HOST_COSTS,
+) -> RunResult:
+    """Run ``app`` on a fresh machine under ``mode``.
+
+    ``checkpoint_at`` (CRAC only): one progress fraction — or a sequence
+    of them for periodic checkpointing — at which to checkpoint. With
+    ``restart_after_checkpoint`` the original process is killed *after
+    the last checkpoint* and the run continues in a restarted process —
+    the full transparency path, whose output digest must equal a native
+    run's. ``incremental=True`` chains the checkpoints as
+    base + dirty-page deltas.
+    """
+    if mode not in MODES:
+        raise ValueError(f"mode must be one of {MODES}")
+    records: list[CkptRecord] = []
+    if checkpoint_at is None:
+        triggers: list[float] = []
+    elif isinstance(checkpoint_at, (int, float)):
+        triggers = [float(checkpoint_at)]
+    else:
+        triggers = sorted(float(f) for f in checkpoint_at)
+
+    if mode == "crac":
+        session = CracSession(
+            gpu=machine.gpu, fsgsbase=machine.fsgsbase, seed=machine.seed,
+            costs=costs,
+        )
+        backend: CudaDispatchBase = session.backend
+        upper_mmap = lambda size: session.split.upper_mmap(size)  # noqa: E731
+        chain: list = []  # previous images (for incremental parents)
+
+        def checkpoint_cb(progress: float) -> None:
+            if len(records) >= len(triggers) or progress < triggers[len(records)]:
+                return
+            is_last = len(records) == len(triggers) - 1
+            image = session.checkpoint(
+                gzip=gzip,
+                incremental=incremental and bool(chain),
+                parent=chain[-1] if (incremental and chain) else None,
+            )
+            chain.append(image)
+            rec = CkptRecord(
+                at_progress=progress,
+                checkpoint_s=image.checkpoint_time_ns / 1e9,
+                size_mb=image.size_bytes / (1 << 20),
+            )
+            if restart_after_checkpoint and is_last:
+                session.kill()
+                report = session.restart(image)
+                rec.restart_s = report.restart_time_ns / 1e9
+                rec.replayed_calls = report.replayed_calls
+            records.append(rec)
+
+        ctx = AppContext(
+            backend=backend,
+            upper_mmap=upper_mmap,
+            checkpoint_cb=checkpoint_cb if triggers else None,
+            time_scale=TIME_SCALE[machine.gpu],
+        )
+    else:
+        split = SplitProcess(
+            gpu=machine.gpu, fsgsbase=machine.fsgsbase, seed=machine.seed
+        )
+        backend_cls = {
+            "native": NativeBackend,
+            "crum": CrumBackend,
+            "proxy-cma": NaiveProxyBackend,
+            "crcuda": CrcudaBackend,
+        }[mode]
+        backend = backend_cls(split.runtime, costs)
+        if mode != "native":
+            # Checkpointable proxies also launch under DMTCP and must
+            # fork/exec + initialize their proxy process.
+            split.process.advance(costs.crac_startup_ns + 150_000_000)
+        ctx = AppContext(
+            backend=backend,
+            upper_mmap=split.upper_mmap,
+            time_scale=TIME_SCALE[machine.gpu],
+        )
+
+    result: AppResult = app.run(ctx)
+    # Whole-process lifetime: includes CRAC/DMTCP startup (which the
+    # paper identifies as the dominant overhead for short apps) and any
+    # checkpoint/restart work.
+    exact_s = backend.process.clock_ns / 1e9
+    noisy_s = exact_s + (_noise_s(app.name, mode, machine.gpu) if noise else 0.0)
+    return RunResult(
+        app_name=result.name,
+        mode=mode,
+        gpu=machine.gpu,
+        runtime_s=max(noisy_s, exact_s * 0.5),
+        runtime_exact_s=exact_s,
+        cuda_calls=result.cuda_calls,
+        cps=result.cuda_calls / exact_s if exact_s > 0 else 0.0,
+        digest=result.digest,
+        checkpoints=records,
+        extras=result.extras,
+    )

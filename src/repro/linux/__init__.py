@@ -1,0 +1,46 @@
+"""Simulated Linux substrate.
+
+CRAC's correctness arguments are largely about address-space structure:
+which half of the process owns which region, how ``/proc/PID/maps`` merges
+adjacent regions, whether ``mmap(MAP_FIXED)`` from the lower half can
+silently clobber upper-half pages, and whether disabling ASLR makes the
+allocator deterministic enough for log-and-replay. This package provides
+a byte-accurate model of exactly those mechanisms:
+
+- :class:`~repro.linux.address_space.VirtualAddressSpace` — pages, regions,
+  ``mmap``/``munmap``/``mprotect`` with ``MAP_FIXED`` clobber semantics.
+- :class:`~repro.linux.proc_maps.ProcMaps` — the merged-region view that
+  makes upper/lower ownership ambiguous (paper §3.2.2).
+- :class:`~repro.linux.process.SimProcess` — virtual clock, threads, the
+  x86-64 ``fs`` register and its (FSGSBASE-dependent) switch cost, and the
+  ``personality()`` ASLR switch.
+- :class:`~repro.linux.loader.ProgramLoader` — the kernel-loader imitation
+  used to load the lower-half helper program into a reserved address
+  window while interposing on all of its ``mmap`` calls.
+"""
+
+from repro.linux.address_space import (
+    PAGE_SIZE,
+    ClobberEvent,
+    MemoryRegion,
+    VirtualAddressSpace,
+)
+from repro.linux.loader import LoadedProgram, ProgramImage, ProgramLoader, Segment
+from repro.linux.proc_maps import ProcMaps, ProcMapsEntry
+from repro.linux.process import ADDR_NO_RANDOMIZE, SimProcess, SimThread
+
+__all__ = [
+    "PAGE_SIZE",
+    "ClobberEvent",
+    "MemoryRegion",
+    "VirtualAddressSpace",
+    "ProcMaps",
+    "ProcMapsEntry",
+    "SimProcess",
+    "SimThread",
+    "ADDR_NO_RANDOMIZE",
+    "ProgramLoader",
+    "ProgramImage",
+    "LoadedProgram",
+    "Segment",
+]

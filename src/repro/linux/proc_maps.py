@@ -1,0 +1,88 @@
+"""``/proc/PID/maps`` model.
+
+DMTCP discovers what to checkpoint by reading ``/proc/PID/maps``. The
+kernel merges adjacent VMAs that share permissions and backing object, so
+the maps view *loses information*: two anonymous regions — one created by
+the upper-half application, one by the lower-half CUDA library — that
+happen to be adjacent with equal permissions appear as a single entry.
+Paper §3.2.2 identifies this as the reason a maps-driven checkpointer
+cannot by itself decide which bytes belong to the upper half; CRAC keeps
+its own region registry instead.
+
+This module reproduces exactly that merging behaviour.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.linux.address_space import MemoryRegion, VirtualAddressSpace
+
+
+@dataclass(frozen=True)
+class ProcMapsEntry:
+    """One line of the merged maps view."""
+
+    start: int
+    end: int
+    perms: str
+    pathname: str  # "" for anonymous memory, like the kernel's maps file
+
+    @property
+    def size(self) -> int:
+        return self.end - self.start
+
+    def format(self) -> str:
+        """Render in the kernel's maps-file format."""
+        return f"{self.start:x}-{self.end:x} {self.perms}p 00000000 00:00 0 {self.pathname}"
+
+
+def _pathname(region: MemoryRegion) -> str:
+    """Maps-file pathname for a region.
+
+    Regions tagged with a library/file name (tag component after the last
+    colon starting with "lib" or containing a dot, or bracketed pseudo
+    files) show a pathname; plain anonymous allocations show "".
+    """
+    leaf = region.tag.rsplit(":", 1)[-1]
+    if leaf.startswith("[") or leaf.startswith("lib") or "." in leaf:
+        return leaf
+    return ""
+
+
+class ProcMaps:
+    """Snapshot view over a :class:`VirtualAddressSpace`."""
+
+    def __init__(self, vas: VirtualAddressSpace) -> None:
+        self._vas = vas
+
+    def entries(self) -> list[ProcMapsEntry]:
+        """The merged maps view, in address order.
+
+        Adjacent regions merge when permissions match and both map the
+        same pathname (both anonymous counts as "same"), mirroring the
+        kernel's VMA merging. Tags are *not* consulted — that is the whole
+        point: ownership is invisible here.
+        """
+        merged: list[ProcMapsEntry] = []
+        for region in self._vas.regions():
+            path = _pathname(region)
+            if (
+                merged
+                and merged[-1].end == region.start
+                and merged[-1].perms == region.perms
+                and merged[-1].pathname == path
+            ):
+                prev = merged.pop()
+                merged.append(
+                    ProcMapsEntry(prev.start, region.end, prev.perms, path)
+                )
+            else:
+                merged.append(
+                    ProcMapsEntry(region.start, region.end, region.perms, path)
+                )
+        return merged
+
+    def format(self) -> str:
+        """The full maps file as text."""
+        return "\n".join(e.format() for e in self.entries())

@@ -1,0 +1,24 @@
+"""Hybrid MPI+CUDA checkpointing — the paper's §6 proof of principle.
+
+"Further, a proof of principle was demonstrated for checkpointing of
+hybrid MPI+CUDA on a single node. In future work, this proof of
+principle … will be extended to full support for MPI on multiple
+nodes." (paper §6)
+
+This package provides that single-node proof of principle on the
+simulated substrate:
+
+- :class:`~repro.mpi.world.MpiWorld` — N ranks, each a full CRAC session
+  (own process, own lower half, shared-model GPU node), with LogP-style
+  virtual-time message passing (point-to-point, barrier, allreduce);
+- coordinated checkpointing: the DMTCP coordinator quiesces all ranks at
+  a barrier, checkpoints each rank's upper half + CUDA state, and can
+  kill and restart the whole job with every rank's pointers intact;
+- :class:`~repro.mpi.jacobi.MpiJacobi` — a distributed Jacobi solver
+  with GPU compute and halo exchange, the canonical MPI+CUDA pattern.
+"""
+
+from repro.mpi.jacobi import MpiJacobi
+from repro.mpi.world import MpiRank, MpiWorld
+
+__all__ = ["MpiWorld", "MpiRank", "MpiJacobi"]

@@ -1,0 +1,176 @@
+"""A single-node MPI world of CRAC sessions with virtual-time messaging.
+
+Each rank is an independent simulated process running its own CRAC
+session (its own upper/lower halves and CUDA library instance, as MPICH
+launches them in the paper's MPI experiments). Communication follows a
+LogP-style model: a message is available at
+``send_completion + latency + bytes/bandwidth``; a receive advances the
+receiver's clock to that availability; collectives synchronize all
+clocks to the maximum plus the collective's cost.
+
+Coordinated checkpointing mirrors DMTCP's distributed protocol on one
+node: quiesce everyone at a barrier, checkpoint every rank, and (on
+failure) restart every rank — after which all ranks' device pointers,
+streams, and MPI-exchanged data are intact.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.session import CracSession
+from repro.dmtcp.image import CheckpointImage
+from repro.errors import ReproError
+from repro.gpu.timing import NS_PER_S
+
+#: Intra-node MPI costs (shared-memory transport).
+MPI_LATENCY_NS = 900.0
+MPI_BANDWIDTH = 9.0e9  # bytes/s
+BARRIER_NS = 2_500.0
+
+
+@dataclass
+class _Message:
+    src: int
+    dst: int
+    tag: int
+    data: np.ndarray
+    available_ns: float
+
+
+@dataclass
+class MpiRank:
+    """One MPI rank: a CRAC session plus its message queues."""
+
+    rank: int
+    session: CracSession
+    inbox: list[_Message] = field(default_factory=list)
+
+    @property
+    def backend(self):
+        return self.session.backend
+
+    @property
+    def clock_ns(self) -> float:
+        return self.session.process.clock_ns
+
+
+class MpiWorld:
+    """N single-node MPI ranks under coordinated CRAC checkpointing."""
+
+    def __init__(self, n_ranks: int, *, gpu: str = "V100", seed: int = 0) -> None:
+        if n_ranks < 1:
+            raise ValueError("need at least one rank")
+        self.ranks = [
+            MpiRank(rank=i, session=CracSession(gpu=gpu, seed=seed))
+            for i in range(n_ranks)
+        ]
+
+    @property
+    def size(self) -> int:
+        return len(self.ranks)
+
+    # -- point-to-point -------------------------------------------------------
+
+    def send(self, src: int, dst: int, data: np.ndarray, tag: int = 0) -> None:
+        """Non-blocking send (buffered, like small-message MPI_Send)."""
+        sender = self.ranks[src]
+        nbytes = data.nbytes
+        sender.session.process.advance(MPI_LATENCY_NS)
+        available = sender.clock_ns + nbytes / MPI_BANDWIDTH * NS_PER_S
+        self.ranks[dst].inbox.append(
+            _Message(src, dst, tag, np.array(data, copy=True), available)
+        )
+
+    def recv(self, dst: int, src: int, tag: int = 0) -> np.ndarray:
+        """Blocking receive: the receiver waits for message availability."""
+        receiver = self.ranks[dst]
+        for i, msg in enumerate(receiver.inbox):
+            if msg.src == src and msg.tag == tag:
+                receiver.inbox.pop(i)
+                receiver.session.process.advance(MPI_LATENCY_NS)
+                receiver.session.process.advance_to(msg.available_ns)
+                return msg.data
+        raise ReproError(
+            f"rank {dst} deadlocked: no message from {src} with tag {tag}"
+        )
+
+    # -- collectives -----------------------------------------------------------
+
+    def barrier(self) -> None:
+        """Synchronize all ranks' clocks (max + barrier cost)."""
+        t = max(r.clock_ns for r in self.ranks) + BARRIER_NS
+        for r in self.ranks:
+            r.session.process.advance_to(t)
+
+    def allreduce_sum(self, values: list[float]) -> float:
+        """SUM allreduce of one contribution per rank."""
+        if len(values) != self.size:
+            raise ValueError("one contribution per rank required")
+        self.barrier()
+        total = float(np.sum(values))
+        cost = 2 * MPI_LATENCY_NS * max(1, int(np.log2(max(2, self.size))))
+        for r in self.ranks:
+            r.session.process.advance(cost)
+        return total
+
+    def bcast(self, root: int, data: np.ndarray) -> list[np.ndarray]:
+        """Broadcast from ``root``; returns each rank's copy."""
+        self.barrier()
+        nbytes = data.nbytes
+        hops = max(1, int(np.log2(max(2, self.size))))
+        cost = hops * (MPI_LATENCY_NS + nbytes / MPI_BANDWIDTH * NS_PER_S)
+        for r in self.ranks:
+            r.session.process.advance(cost)
+        return [np.array(data, copy=True) for _ in self.ranks]
+
+    def reduce_max(self, values: list[float], root: int = 0) -> float:
+        """MAX reduction to ``root``."""
+        if len(values) != self.size:
+            raise ValueError("one contribution per rank required")
+        self.barrier()
+        hops = max(1, int(np.log2(max(2, self.size))))
+        self.ranks[root].session.process.advance(hops * MPI_LATENCY_NS)
+        return float(np.max(values))
+
+    def gather(self, root: int, contributions: list[np.ndarray]) -> list[np.ndarray]:
+        """Gather one array per rank to ``root``."""
+        if len(contributions) != self.size:
+            raise ValueError("one contribution per rank required")
+        self.barrier()
+        total = sum(c.nbytes for c in contributions)
+        self.ranks[root].session.process.advance(
+            MPI_LATENCY_NS * self.size + total / MPI_BANDWIDTH * NS_PER_S
+        )
+        return [np.array(c, copy=True) for c in contributions]
+
+    # -- coordinated checkpoint/restart ----------------------------------------------
+
+    def checkpoint_all(self, *, gzip: bool = False) -> list[CheckpointImage]:
+        """DMTCP-coordinated checkpoint: quiesce at a barrier, then dump
+        every rank (each rank drains its own GPU work first)."""
+        self.barrier()
+        images = [r.session.checkpoint(gzip=gzip) for r in self.ranks]
+        self.barrier()
+        return images
+
+    def kill_all(self) -> None:
+        """Terminate every rank (whole-job failure)."""
+        for r in self.ranks:
+            r.session.kill()
+
+    def restart_all(self, images: list[CheckpointImage]) -> None:
+        """Restart the whole job; every rank replays its own log."""
+        if len(images) != self.size:
+            raise ValueError("one image per rank required")
+        for r, image in zip(self.ranks, images):
+            r.session.restart(image)
+        self.barrier()
+
+    # -- utilities ---------------------------------------------------------------------
+
+    def max_clock_s(self) -> float:
+        """The job's virtual makespan so far (max over ranks), seconds."""
+        return max(r.clock_ns for r in self.ranks) / 1e9

@@ -1,0 +1,31 @@
+"""Proxy-based checkpointing baselines (the systems CRAC improves on).
+
+- :mod:`~repro.proxy.cma`          — the Cross-Memory-Attach IPC channel
+  cost model (``process_vm_readv``/``process_vm_writev``), §4.4.4.
+- :mod:`~repro.proxy.proxy_runtime`— :class:`NaiveProxyBackend`: every
+  CUDA call is an RPC to a proxy process; referenced buffers are copied
+  through CMA (the CMA/IPC column of Table 3).
+- :mod:`~repro.proxy.crum`         — :class:`CrumBackend`: CRUM's
+  smarter proxy with shadow-page UVM synchronization, its 6–12% runtime
+  overhead structure, the read-modify-write-per-launch restriction, and
+  the two-streams-one-page failure mode (§1, §2.3).
+- :mod:`~repro.proxy.crcuda`       — :class:`CrcudaBackend`: CRCUDA's
+  proxy with *no* UVA/UVM support at all.
+- :mod:`~repro.proxy.checuda`      — :class:`CheCudaCheckpointer`: the
+  pre-CUDA-4.0 destroy-and-restore strategy (works without UVA; fails
+  deterministically once UVA/UVM state exists, §2.2).
+"""
+
+from repro.proxy.checuda import CheCudaCheckpointer
+from repro.proxy.cma import CmaChannel
+from repro.proxy.crcuda import CrcudaBackend
+from repro.proxy.crum import CrumBackend
+from repro.proxy.proxy_runtime import NaiveProxyBackend
+
+__all__ = [
+    "CmaChannel",
+    "NaiveProxyBackend",
+    "CrumBackend",
+    "CrcudaBackend",
+    "CheCudaCheckpointer",
+]

@@ -1,0 +1,26 @@
+"""CRCUDA baseline: proxy-based checkpointing with no UVA/UVM support.
+
+CRCUDA (Suzuki et al., GTC'16) predates usable UVM checkpointing
+entirely: "CRCUDA doesn't support UVA or UVM" (§2.3). Its dispatch cost
+structure is the naive proxy's; any attempt to use managed memory is a
+hard error.
+"""
+
+from __future__ import annotations
+
+from repro.errors import UnsupportedFeatureError
+from repro.proxy.proxy_runtime import NaiveProxyBackend
+
+
+class CrcudaBackend(NaiveProxyBackend):
+    """CRCUDA dispatch: proxy IPC, and no managed memory at all."""
+
+    mode = "crcuda"
+
+    def malloc_managed(self, nbytes: int) -> int:
+        raise UnsupportedFeatureError(
+            "CRCUDA does not support UVA/UVM (cudaMallocManaged unavailable)"
+        )
+
+    def managed_view(self, addr: int, nbytes: int, dtype=None, offset: int = 0):
+        raise UnsupportedFeatureError("CRCUDA does not support UVA/UVM")

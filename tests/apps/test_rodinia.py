@@ -1,0 +1,86 @@
+"""Tests for the 14 Rodinia miniatures: determinism, mode equivalence,
+checkpoint-restart transparency, calibration."""
+
+import pytest
+
+from repro.apps.rodinia import RODINIA_SUITE
+from repro.harness import Machine, run_app
+
+SCALE = 0.01
+
+
+@pytest.fixture(params=RODINIA_SUITE, ids=lambda c: c.name)
+def app_cls(request):
+    return request.param
+
+
+class TestEveryRodiniaApp:
+    def test_runs_native(self, app_cls):
+        res = run_app(app_cls(scale=SCALE), mode="native", noise=False)
+        assert res.runtime_exact_s > 0
+        assert res.cuda_calls > 0
+
+    def test_digest_deterministic(self, app_cls):
+        r1 = run_app(app_cls(scale=SCALE, seed=5), mode="native", noise=False)
+        r2 = run_app(app_cls(scale=SCALE, seed=5), mode="native", noise=False)
+        assert r1.digest == r2.digest
+
+    def test_seed_changes_digest(self, app_cls):
+        r1 = run_app(app_cls(scale=SCALE, seed=1), mode="native", noise=False)
+        r2 = run_app(app_cls(scale=SCALE, seed=2), mode="native", noise=False)
+        assert r1.digest != r2.digest
+
+    def test_crac_output_equals_native(self, app_cls):
+        n = run_app(app_cls(scale=SCALE), mode="native", noise=False)
+        c = run_app(app_cls(scale=SCALE), mode="crac", noise=False)
+        assert n.digest == c.digest
+
+    def test_checkpoint_restart_transparent(self, app_cls):
+        """Mid-run checkpoint + kill + restart must not change output."""
+        n = run_app(app_cls(scale=SCALE), mode="native", noise=False)
+        c = run_app(
+            app_cls(scale=SCALE), mode="crac", checkpoint_at=0.3, noise=False
+        )
+        assert c.digest == n.digest
+        (rec,) = c.checkpoints
+        assert rec.checkpoint_s > 0
+        assert rec.restart_s > 0
+
+    def test_crac_overhead_positive_in_exact_time(self, app_cls):
+        n = run_app(app_cls(scale=SCALE), mode="native", noise=False)
+        c = run_app(app_cls(scale=SCALE), mode="crac", noise=False)
+        assert c.runtime_exact_s > n.runtime_exact_s
+
+    def test_metadata(self, app_cls):
+        app = app_cls(scale=SCALE)
+        assert app.cli_args  # Table 2 entry
+        names = app.kernel_names()
+        assert len(set(names)) == len(names)
+
+
+class TestCalibration:
+    """Paper-scale (scale=1.0) targets from Figure 2 / Table 1."""
+
+    @pytest.mark.parametrize("app_cls", RODINIA_SUITE, ids=lambda c: c.name)
+    def test_call_count_near_target(self, app_cls):
+        res = run_app(app_cls(scale=1.0), mode="native", noise=False)
+        assert res.cuda_calls == pytest.approx(app_cls.target_calls, rel=0.25)
+
+    @pytest.mark.parametrize("app_cls", RODINIA_SUITE, ids=lambda c: c.name)
+    def test_runtime_near_target(self, app_cls):
+        res = run_app(app_cls(scale=1.0), mode="native", noise=False)
+        assert res.runtime_exact_s == pytest.approx(
+            app_cls.target_runtime_s, rel=0.25
+        )
+
+    def test_suite_covers_paper_figure2_grouping(self):
+        """9 of 14 run under 7 s natively; the rest over 10 s (§4.4.1)."""
+        short, long_ = 0, 0
+        for cls in RODINIA_SUITE:
+            t = cls.target_runtime_s
+            if t < 7:
+                short += 1
+            elif t > 10:
+                long_ += 1
+        assert short == 9
+        assert long_ == 5

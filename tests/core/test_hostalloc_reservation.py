@@ -1,0 +1,94 @@
+"""Regression: post-restart cudaHostAlloc must not collide with
+re-registered buffers (found by the randomized differential test).
+
+Before the fix, a restart re-registered active cudaHostAlloc buffers at
+their original addresses, but the *fresh* hostalloc arena had no record
+of them — the next cudaHostAlloc handed out the same address, silently
+aliasing two live buffers. Real systems avoid this because the restored
+pages are still mapped, so the library's mmap lands elsewhere; the
+arena's ``reserve()`` models exactly that.
+"""
+
+import numpy as np
+import pytest
+
+from repro.errors import CudaError
+from repro.core import CracSession
+from repro.cuda.api import FatBinary
+from repro.gpu.memory import ARENA_CHUNK, ArenaAllocator
+
+FB = FatBinary("resv.fatbin", ("k",))
+
+
+class TestArenaReserve:
+    def make(self):
+        next_addr = [0x7000_0000]
+
+        def mmap_fn(size):
+            a = next_addr[0]
+            next_addr[0] += (size + 0xFFFF) & ~0xFFFF
+            return a
+
+        return ArenaAllocator(mmap_fn, 1 << 34)
+
+    def test_reserved_range_never_allocated(self):
+        a = self.make()
+        base = a.alloc(4096)
+        a.free(base)
+        a.reserve(base, 4096)
+        p = a.alloc(4096)
+        assert p != base
+
+    def test_reserve_grows_arena_when_needed(self):
+        a = self.make()
+        # Reserve an address the (empty) allocator has never mmap'd: it
+        # must grow deterministically until the range is covered.
+        probe = self.make()
+        target = probe.alloc(1024)  # where the first alloc would land
+        a.reserve(target, 1024)
+        assert target in a.active
+
+    def test_reserve_unreachable_address_fails(self):
+        a = self.make()
+        with pytest.raises(CudaError):
+            a.reserve(0x1, 64)  # below any arena this allocator can make
+
+    def test_reserve_middle_of_block_splits(self):
+        a = self.make()
+        first = a.alloc(256)
+        a.free(first)
+        a.reserve(first + ARENA_CHUNK // 2, 4096)
+        # Both sides of the reservation stay allocatable.
+        p1 = a.alloc(256)
+        assert p1 == first
+
+
+class TestSessionRegression:
+    def test_hostalloc_after_restart_does_not_alias(self):
+        session = CracSession(seed=111)
+        b = session.backend
+        b.register_app_binary(FB)
+        p1 = b.host_alloc(4096)
+        b.device_view(p1, 8)[:] = np.frombuffer(b"original", np.uint8)
+        image = session.checkpoint()
+        session.kill()
+        session.restart(image)
+
+        b = session.backend
+        p2 = b.host_alloc(4096)  # must NOT reuse p1's address
+        assert p2 != p1
+        b.device_view(p2, 8)[:] = np.frombuffer(b"newbuffr", np.uint8)
+        assert b.device_view(p1, 8).tobytes() == b"original"
+
+    def test_freed_registered_buffer_address_reusable(self):
+        session = CracSession(seed=112)
+        b = session.backend
+        b.register_app_binary(FB)
+        p1 = b.host_alloc(4096)
+        image = session.checkpoint()
+        session.kill()
+        session.restart(image)
+        b = session.backend
+        b.free_host(p1)  # releases the restart-time reservation
+        p2 = b.host_alloc(4096)
+        assert p2 == p1  # deterministic reuse once genuinely free

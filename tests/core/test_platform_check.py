@@ -1,0 +1,43 @@
+"""Restart platform check: §3.2.4's same-platform requirement."""
+
+import pytest
+
+from repro.core import CracSession
+from repro.cuda.api import FatBinary
+from repro.errors import RestartError
+
+FB = FatBinary("pc.fatbin", ("k",))
+
+
+def take_image(gpu="V100", n_gpus=1):
+    session = CracSession(seed=121, gpu=gpu, n_gpus=n_gpus)
+    session.backend.register_app_binary(FB)
+    session.backend.malloc(256)
+    image = session.checkpoint()
+    session.kill()
+    return session, image
+
+
+class TestPlatformCheck:
+    def test_same_platform_restarts(self):
+        session, image = take_image()
+        session.restart(image)  # no error
+
+    def test_different_gpu_model_rejected(self):
+        _, image = take_image(gpu="V100")
+        other = CracSession(seed=122, gpu="K600")
+        with pytest.raises(RestartError, match="platform mismatch"):
+            other.restart(image)
+
+    def test_different_gpu_count_rejected(self):
+        _, image = take_image(n_gpus=2)
+        other = CracSession(seed=123, n_gpus=1)
+        with pytest.raises(RestartError, match="platform mismatch"):
+            other.restart(image)
+
+    def test_platform_recorded_in_image(self):
+        _, image = take_image(gpu="K600", n_gpus=1)
+        plat = image.blob("crac/platform")
+        assert plat["gpu"] == "Quadro K600"
+        assert plat["n_gpus"] == 1
+        assert tuple(plat["compute_capability"]) == (3, 0)

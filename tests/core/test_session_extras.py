@@ -1,0 +1,82 @@
+"""Additional session semantics: context manager, double restart from
+one image, event handles across restart."""
+
+import numpy as np
+import pytest
+
+from repro.core import CracSession
+from repro.cuda.api import FatBinary
+
+FB = FatBinary("se.fatbin", ("k",))
+
+
+class TestContextManager:
+    def test_exit_kills_process(self):
+        with CracSession(seed=161) as session:
+            session.backend.register_app_binary(FB)
+            proc = session.process
+            assert proc.alive
+        assert not proc.alive
+
+    def test_exit_after_manual_kill_is_fine(self):
+        with CracSession(seed=162) as session:
+            session.kill()
+
+
+class TestDoubleRestart:
+    def test_two_failures_same_image(self):
+        """A node can die twice; the same image restarts both times and
+        rolls state back to the checkpoint each time."""
+        session = CracSession(seed=163)
+        b = session.backend
+        b.register_app_binary(FB)
+        p = b.malloc(64)
+        b.device_view(p, 4)[:] = np.frombuffer(b"ckpt", np.uint8)
+        image = session.checkpoint()
+
+        # First failure + restart; then the app advances state...
+        session.kill()
+        session.restart(image)
+        session.backend.device_view(p, 4)[:] = np.frombuffer(b"late", np.uint8)
+        # ...and a second failure restores the *checkpoint* state again.
+        session.kill()
+        session.restart(image)
+        assert session.backend.device_view(p, 4).tobytes() == b"ckpt"
+        assert len(session.restarts) == 2
+
+    def test_image_not_mutated_by_restart(self):
+        session = CracSession(seed=164)
+        b = session.backend
+        b.register_app_binary(FB)
+        b.malloc(64)
+        image = session.checkpoint()
+        checksum = image.content_checksum()
+        session.kill()
+        session.restart(image)
+        assert image.content_checksum() == checksum
+
+
+class TestEventsAcrossRestart:
+    def test_recorded_event_usable_after_restart(self):
+        session = CracSession(seed=165)
+        b = session.backend
+        b.register_app_binary(FB)
+        s = b.stream_create()
+        e1 = b.event_create()
+        b.event_record(e1, s)
+        b.launch("k", duration_ns=1_000_000, stream=s)
+        e2 = b.event_create()
+        b.event_record(e2, s)
+        b.device_synchronize()
+        elapsed_before = b.event_elapsed_ms(e1, e2)
+
+        image = session.checkpoint()
+        session.kill()
+        report = session.restart(image)
+        assert report.adopted_events == 2
+        # The app's recorded timestamps survive (virtualized handles).
+        assert b.event_elapsed_ms(e1, e2) == elapsed_before
+        # New events work against the fresh library.
+        e3 = b.event_create()
+        b.event_record(e3, s)
+        b.event_synchronize(e3)

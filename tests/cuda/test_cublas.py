@@ -1,0 +1,92 @@
+"""Tests for the cuBLAS stand-in."""
+
+import numpy as np
+import pytest
+
+from repro.cuda.cublas import CuBlas
+
+
+@pytest.fixture
+def blas(backend):
+    return CuBlas(backend)
+
+
+def upload(backend, arr):
+    p = backend.malloc(arr.nbytes)
+    backend.memcpy(p, arr, arr.nbytes, "h2d")
+    return p
+
+
+class TestCorrectness:
+    def test_sdot(self, backend, blas):
+        rng = np.random.default_rng(0)
+        x = rng.standard_normal(256).astype(np.float32)
+        y = rng.standard_normal(256).astype(np.float32)
+        px, py = upload(backend, x), upload(backend, y)
+        assert blas.sdot(px, py, 256, compute=True) == pytest.approx(
+            float(x @ y), rel=1e-5
+        )
+
+    def test_sgemv(self, backend, blas):
+        rng = np.random.default_rng(1)
+        a = rng.standard_normal((8, 16)).astype(np.float32)
+        x = rng.standard_normal(16).astype(np.float32)
+        pa, px = upload(backend, a), upload(backend, x)
+        py = backend.malloc(8 * 4)
+        blas.sgemv(pa, px, py, 8, 16, compute=True)
+        out = np.zeros(8, dtype=np.float32)
+        backend.memcpy(out, py, out.nbytes, "d2h")
+        np.testing.assert_allclose(out, a @ x, rtol=1e-5)
+
+    def test_sgemm(self, backend, blas):
+        rng = np.random.default_rng(2)
+        a = rng.standard_normal((8, 4)).astype(np.float32)
+        b = rng.standard_normal((4, 6)).astype(np.float32)
+        pa, pb = upload(backend, a), upload(backend, b)
+        pc = backend.malloc(8 * 6 * 4)
+        blas.sgemm(pa, pb, pc, 8, 6, 4, compute=True)
+        out = np.zeros((8, 6), dtype=np.float32)
+        backend.memcpy(out, pc, out.nbytes, "d2h")
+        np.testing.assert_allclose(out, a @ b, rtol=1e-4)
+
+
+class TestDispatchStructure:
+    def test_blas_routine_is_one_upper_call(self, backend, blas):
+        before = backend.total_calls
+        px = backend.malloc(1024)
+        py = backend.malloc(1024)
+        mallocs = backend.total_calls - before
+        blas.sdot(px, py, 256)
+        # one cublasSdot dispatch; internal kernel launch is library-side
+        assert backend.total_calls - before - mallocs == 1
+        assert backend.call_counter["cublasSdot"] == 1
+        assert backend.call_counter["cudaLaunchKernel"] == 0
+
+    def test_blas_time_scales_with_size(self, machine, backend, blas):
+        proc, _, _, _ = machine
+        n_small, n_big = 1 << 10, 1 << 24
+        px = backend.malloc(4 * n_big)
+        py = backend.malloc(4 * n_big)
+        t0 = proc.clock_ns
+        blas.sdot(px, py, n_small)
+        t_small = proc.clock_ns - t0
+        t0 = proc.clock_ns
+        blas.sdot(px, py, n_big)
+        t_big = proc.clock_ns - t0
+        assert t_big > t_small * 5
+
+    def test_sgemm_compute_bound_vs_sdot_memory_bound(self, machine, backend, blas):
+        """sgemm native time grows ~n³ while sdot grows ~n — the reason
+        Table 3's proxy overhead percentages differ so much by routine."""
+        proc, _, _, _ = machine
+        n = 1024
+        pa = backend.malloc(4 * n * n)
+        pb = backend.malloc(4 * n * n)
+        pc = backend.malloc(4 * n * n)
+        t0 = proc.clock_ns
+        blas.sgemm(pa, pb, pc, n, n, n)
+        t_gemm = proc.clock_ns - t0
+        t0 = proc.clock_ns
+        blas.sdot(pa, pb, n * n)
+        t_dot = proc.clock_ns - t0
+        assert t_gemm > 10 * t_dot

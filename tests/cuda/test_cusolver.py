@@ -1,0 +1,112 @@
+"""Tests for the cuSolver extension (§6 future work)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import CudaError
+from repro.cuda.cusolver import CuSolverDn
+
+
+@pytest.fixture
+def solver(backend):
+    return CuSolverDn(backend)
+
+
+def upload(backend, arr):
+    p = backend.malloc(arr.nbytes)
+    backend.memcpy(p, np.ascontiguousarray(arr), arr.nbytes, "h2d")
+    return p
+
+
+def spd_matrix(n, seed=0):
+    rng = np.random.default_rng(seed)
+    a = rng.standard_normal((n, n)).astype(np.float32)
+    return a @ a.T + n * np.eye(n, dtype=np.float32)
+
+
+class TestPotrf:
+    def test_cholesky_correct(self, backend, solver):
+        n = 16
+        a = spd_matrix(n)
+        pa = upload(backend, a)
+        solver.potrf(pa, n)
+        L = np.tril(backend.device_view(pa, 4 * n * n, np.float32).reshape(n, n))
+        np.testing.assert_allclose(L @ L.T, a, rtol=1e-3, atol=1e-2)
+
+    def test_non_spd_rejected(self, backend, solver):
+        n = 8
+        a = -np.eye(n, dtype=np.float32)
+        pa = upload(backend, a)
+        with pytest.raises(CudaError, match="potrf"):
+            solver.potrf(pa, n)
+
+
+class TestGetrf:
+    def test_lu_reconstructs(self, backend, solver):
+        n = 12
+        rng = np.random.default_rng(1)
+        a = rng.standard_normal((n, n)).astype(np.float32) + n * np.eye(n, dtype=np.float32)
+        pa = upload(backend, a)
+        piv = backend.malloc(4 * n)
+        solver.getrf(pa, piv, n)
+        lu = backend.device_view(pa, 4 * n * n, np.float32).reshape(n, n)
+        p = backend.device_view(piv, 4 * n, np.int32)
+        L = np.tril(lu, -1) + np.eye(n, dtype=np.float32)
+        U = np.triu(lu)
+        np.testing.assert_allclose((L @ U), a[p], rtol=1e-3, atol=1e-2)
+
+    def test_singular_rejected(self, backend, solver):
+        n = 8
+        a = np.zeros((n, n), dtype=np.float32)
+        pa = upload(backend, a)
+        piv = backend.malloc(4 * n)
+        with pytest.raises(CudaError, match="singular"):
+            solver.getrf(pa, piv, n)
+
+
+class TestGeqrf:
+    def test_qr_reconstructs(self, backend, solver):
+        n, m = 10, 6
+        rng = np.random.default_rng(2)
+        a = rng.standard_normal((n, m)).astype(np.float32)
+        pa = upload(backend, a)
+        pq = backend.malloc(4 * n * n)
+        solver.geqrf(pa, pq, n, m)
+        r = backend.device_view(pa, 4 * n * m, np.float32).reshape(n, m)
+        q = backend.device_view(pq, 4 * n * n, np.float32).reshape(n, n)
+        np.testing.assert_allclose(q @ r, a, rtol=1e-3, atol=1e-2)
+        np.testing.assert_allclose(q @ q.T, np.eye(n), atol=1e-4)
+
+
+class TestDispatchStructure:
+    def test_one_upper_call_per_routine(self, backend, solver):
+        n = 8
+        pa = upload(backend, spd_matrix(n))
+        before = backend.total_calls
+        solver.potrf(pa, n)
+        assert backend.call_counter["cusolverDnSpotrf"] == 1
+        assert backend.total_calls - before == 1
+
+    def test_survives_crac_checkpoint_restart(self):
+        """The §6 extension inherits CRAC's support automatically: the
+        result of a cuSolver factorization survives kill+restart."""
+        from repro.core import CracSession
+
+        session = CracSession(seed=23)
+        b = session.backend
+        solver = CuSolverDn(b)
+        n = 12
+        a = spd_matrix(n, seed=5)
+        pa = b.malloc(a.nbytes)
+        b.memcpy(pa, a, a.nbytes, "h2d")
+        solver.potrf(pa, n)
+        expect = b.device_view(pa, 4 * n * n, np.float32).copy()
+
+        image = session.checkpoint()
+        session.kill()
+        session.restart(image)
+        # cuSolver (a lower-half library) must be re-initialized against
+        # the fresh lower half, as CRAC does for the app's fat binaries.
+        CuSolverDn(session.backend)
+        got = session.backend.device_view(pa, 4 * n * n, np.float32)
+        np.testing.assert_array_equal(got, expect)

@@ -1,0 +1,55 @@
+"""Tests for the nvprof stand-in: call counting and the eq. 2 formula."""
+
+import pytest
+
+from repro.cuda.profiler import Nvprof
+
+
+class TestCallCounting:
+    def test_launch_counts_three_calls_total(self, backend):
+        prof = Nvprof(backend)
+        prof.start()
+        backend.launch("k")
+        rep = prof.report()
+        assert rep.total_calls == 3
+        assert rep.kernel_launches == 1
+
+    def test_formula_matches_summed_counter(self, backend):
+        prof = Nvprof(backend)
+        prof.start()
+        p = backend.malloc(64)
+        for _ in range(5):
+            backend.launch("k")
+        backend.free(p)
+        backend.device_synchronize()
+        rep = prof.report()
+        assert rep.total_calls == prof.total_calls_formula(rep.calls)
+        assert rep.total_calls == 3 * 5 + 3  # launches + malloc/free/sync
+
+    def test_window_excludes_prior_calls(self, backend):
+        backend.malloc(64)
+        prof = Nvprof(backend)
+        prof.start()
+        backend.launch("k")
+        rep = prof.report()
+        assert "cudaMalloc" not in rep.calls
+
+    def test_cps(self, machine, backend):
+        proc, _, _, _ = machine
+        prof = Nvprof(backend)
+        prof.start()
+        for _ in range(100):
+            backend.launch("k")
+        backend.device_synchronize()
+        rep = prof.report()
+        assert rep.cps == pytest.approx(rep.total_calls / rep.exec_time_s)
+        assert rep.exec_time_s > 0
+
+    def test_note_external_calls_counted_in_profile(self, backend):
+        from collections import Counter
+
+        prof = Nvprof(backend)
+        prof.start()
+        backend.note_external_calls(Counter({"cudaLaunchKernel": 10}), repeats=7)
+        rep = prof.report()
+        assert rep.calls["cudaLaunchKernel"] == 70

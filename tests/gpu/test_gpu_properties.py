@@ -1,0 +1,119 @@
+"""Property-based tests for GPU engine and allocator invariants."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import CudaError
+from repro.gpu import GPU_SPECS, ArenaAllocator, GpuDevice, Stream
+
+
+def make_allocator():
+    next_addr = [0x2000_0000]
+
+    def mmap_fn(size):
+        addr = next_addr[0]
+        next_addr[0] += (size + 0xFFFF) & ~0xFFFF
+        return addr
+
+    return ArenaAllocator(mmap_fn, 1 << 32)
+
+
+alloc_ops = st.lists(
+    st.one_of(
+        st.tuples(st.just("alloc"), st.integers(min_value=1, max_value=1 << 22)),
+        st.tuples(st.just("free"), st.integers(min_value=0, max_value=30)),
+    ),
+    max_size=60,
+)
+
+
+@settings(max_examples=150)
+@given(alloc_ops)
+def test_allocator_determinism(ops):
+    """Two allocators fed the same op sequence give identical addresses."""
+    traces = []
+    for _ in range(2):
+        a = make_allocator()
+        live = []
+        trace = []
+        for kind, arg in ops:
+            if kind == "alloc":
+                p = a.alloc(arg)
+                trace.append(p)
+                live.append(p)
+            elif live:
+                idx = arg % len(live)
+                a.free(live.pop(idx))
+        traces.append(trace)
+    assert traces[0] == traces[1]
+
+
+@settings(max_examples=150)
+@given(alloc_ops)
+def test_allocator_live_allocations_never_overlap(ops):
+    a = make_allocator()
+    live = []
+    for kind, arg in ops:
+        if kind == "alloc":
+            try:
+                live.append((a.alloc(arg), arg))
+            except CudaError:
+                pass
+        elif live:
+            idx = arg % len(live)
+            p, _ = live.pop(idx)
+            a.free(p)
+    spans = sorted((p, p + n) for p, n in live)
+    for (s1, e1), (s2, e2) in zip(spans, spans[1:]):
+        assert e1 <= s2
+
+
+@settings(max_examples=100)
+@given(
+    st.lists(
+        st.tuples(
+            st.integers(min_value=0, max_value=7),  # stream index
+            st.integers(min_value=1, max_value=100_000),  # duration
+            st.integers(min_value=0, max_value=1_000_000),  # submit time
+        ),
+        max_size=40,
+    )
+)
+def test_stream_timelines_are_monotone(ops):
+    """Within a stream, completion times never decrease; kernels never
+    finish before their submission time + duration."""
+    dev = GpuDevice(GPU_SPECS["V100"])
+    streams = [Stream() for _ in range(8)]
+    for s in streams:
+        dev.register_stream(s)
+    last_end = {s.sid: 0.0 for s in streams}
+    for idx, dur, at in ops:
+        s = streams[idx]
+        end = dev.enqueue_kernel(s, dur, at_ns=at)
+        assert end >= at + dur
+        assert end >= last_end[s.sid]
+        last_end[s.sid] = end
+
+
+@settings(max_examples=100)
+@given(
+    st.lists(
+        st.tuples(
+            st.integers(min_value=0, max_value=3),
+            st.sampled_from(["h2d", "d2h"]),
+            st.integers(min_value=1, max_value=1 << 20),
+        ),
+        max_size=30,
+    )
+)
+def test_copy_engine_serializes(ops):
+    """Per engine, copies never overlap (ends are strictly ordered)."""
+    dev = GpuDevice(GPU_SPECS["V100"])
+    streams = [Stream() for _ in range(4)]
+    for s in streams:
+        dev.register_stream(s)
+    last = {"h2d": 0.0, "d2h": 0.0}
+    for idx, kind, nbytes in ops:
+        end = dev.enqueue_copy(streams[idx], nbytes, kind, at_ns=0)
+        assert end > last[kind]
+        last[kind] = end

@@ -1,0 +1,123 @@
+"""Tests for the UVM model: residency, migration costs, write tracking."""
+
+import numpy as np
+import pytest
+
+from repro.gpu import GPU_SPECS, GpuDevice, ManagedBuffer, Stream, UvmManager
+from repro.gpu.uvm import UVM_PAGE, PageLocation
+
+
+@pytest.fixture
+def dev():
+    return GpuDevice(GPU_SPECS["V100"])
+
+
+@pytest.fixture
+def uvm(dev):
+    return UvmManager(dev)
+
+
+def make_buf(uvm, size=4 * UVM_PAGE, addr=0x9000_0000):
+    buf = ManagedBuffer(addr=addr, size=size)
+    uvm.register(buf)
+    return buf
+
+
+class TestResidency:
+    def test_fresh_pages_are_host_resident(self, uvm):
+        buf = make_buf(uvm)
+        assert np.all(buf.residency == int(PageLocation.HOST))
+
+    def test_device_access_migrates_to_device(self, uvm):
+        buf = make_buf(uvm)
+        cost = uvm.device_access(buf, 0, buf.size)
+        assert cost > 0
+        assert np.all(buf.residency == int(PageLocation.DEVICE))
+
+    def test_host_access_migrates_back(self, uvm):
+        buf = make_buf(uvm)
+        uvm.device_access(buf, 0, buf.size)
+        cost = uvm.host_access(buf, 0, buf.size, write=True)
+        assert cost > 0
+        assert np.all(buf.residency == int(PageLocation.HOST))
+
+    def test_access_to_resident_pages_is_free(self, uvm):
+        buf = make_buf(uvm)
+        assert uvm.host_access(buf, 0, buf.size, write=False) == 0.0
+
+    def test_partial_access_migrates_only_touched_pages(self, uvm):
+        buf = make_buf(uvm, size=8 * UVM_PAGE)
+        uvm.device_access(buf, 0, UVM_PAGE)  # only page 0
+        assert buf.residency[0] == int(PageLocation.DEVICE)
+        assert np.all(buf.residency[1:] == int(PageLocation.HOST))
+
+    def test_page_range_boundaries(self, uvm):
+        buf = make_buf(uvm, size=4 * UVM_PAGE)
+        assert buf.page_range(0, UVM_PAGE) == (0, 0)
+        assert buf.page_range(UVM_PAGE - 1, 2) == (0, 1)
+        assert buf.page_range(UVM_PAGE, UVM_PAGE) == (1, 1)
+
+
+class TestCosts:
+    def test_fault_cost_scales_with_pages(self, uvm):
+        buf = make_buf(uvm, size=16 * UVM_PAGE)
+        c1 = uvm.device_access(buf, 0, UVM_PAGE)
+        c16 = uvm.device_access(
+            make_buf(uvm, addr=0x9100_0000, size=16 * UVM_PAGE), 0, 16 * UVM_PAGE
+        )
+        assert c16 == pytest.approx(16 * c1)
+
+    def test_fault_accounting(self, uvm):
+        buf = make_buf(uvm, size=4 * UVM_PAGE)
+        uvm.device_access(buf, 0, buf.size)
+        assert uvm.fault_count == 4
+        assert uvm.migrated_bytes == 4 * UVM_PAGE
+
+    def test_ever_used_set_on_register(self, uvm):
+        assert not uvm.ever_used
+        make_buf(uvm)
+        assert uvm.ever_used
+
+
+class TestWriteTracking:
+    def test_concurrent_same_page_writes_detected(self, uvm):
+        """The CRUM-breaking pattern: two streams, same page, overlapping
+        in time."""
+        buf = make_buf(uvm)
+        s1, s2 = Stream(), Stream()
+        uvm.record_device_write(buf, 0, UVM_PAGE, s1, 0, 100)
+        uvm.record_device_write(buf, 0, UVM_PAGE, s2, 50, 150)
+        assert len(uvm.concurrent_same_page_writes(buf)) == 1
+
+    def test_disjoint_pages_not_flagged(self, uvm):
+        buf = make_buf(uvm)
+        s1, s2 = Stream(), Stream()
+        uvm.record_device_write(buf, 0, UVM_PAGE, s1, 0, 100)
+        uvm.record_device_write(buf, 2 * UVM_PAGE, UVM_PAGE, s2, 0, 100)
+        assert uvm.concurrent_same_page_writes(buf) == []
+
+    def test_disjoint_times_not_flagged(self, uvm):
+        buf = make_buf(uvm)
+        s1, s2 = Stream(), Stream()
+        uvm.record_device_write(buf, 0, UVM_PAGE, s1, 0, 100)
+        uvm.record_device_write(buf, 0, UVM_PAGE, s2, 100, 200)
+        assert uvm.concurrent_same_page_writes(buf) == []
+
+    def test_same_stream_not_flagged(self, uvm):
+        buf = make_buf(uvm)
+        s1 = Stream()
+        uvm.record_device_write(buf, 0, UVM_PAGE, s1, 0, 100)
+        uvm.record_device_write(buf, 0, UVM_PAGE, s1, 50, 150)
+        assert uvm.concurrent_same_page_writes(buf) == []
+
+
+class TestAccounting:
+    def test_total_managed_bytes(self, uvm):
+        make_buf(uvm, size=3 * UVM_PAGE)
+        make_buf(uvm, addr=0x9200_0000, size=5 * UVM_PAGE)
+        assert uvm.total_managed_bytes() == 8 * UVM_PAGE
+
+    def test_unregister(self, uvm):
+        buf = make_buf(uvm)
+        uvm.unregister(buf.addr)
+        assert uvm.total_managed_bytes() == 0

@@ -1,0 +1,35 @@
+"""The whole calibration as one invariant: every workload's runtime,
+call count, and checkpoint size stay within tolerance of the paper's
+targets at scale=1.0."""
+
+import pytest
+
+from repro.harness.calibration import (
+    ALL_APP_CLASSES,
+    calibration_table,
+    measure_app,
+    worst_error,
+)
+
+
+@pytest.mark.parametrize("cls", ALL_APP_CLASSES, ids=lambda c: c.name)
+def test_app_calibrated_within_tolerance(cls):
+    row = measure_app(cls, scale=1.0)
+    assert row.runtime_error <= 0.25, (
+        f"{cls.name} runtime {row.measured_runtime_s:.1f}s vs "
+        f"target {row.target_runtime_s:.1f}s"
+    )
+    assert row.calls_error <= 0.25 + 50 / max(row.target_calls, 1), (
+        f"{cls.name} calls {row.measured_calls} vs {row.target_calls}"
+    )
+    assert row.ckpt_error <= 0.25, (
+        f"{cls.name} image {row.measured_ckpt_mb:.0f}MB vs "
+        f"target {row.target_ckpt_mb:.0f}MB"
+    )
+
+
+def test_worst_error_reported():
+    rows = calibration_table(scale=1.0, classes=ALL_APP_CLASSES[:3])
+    name, err = worst_error(rows)
+    assert name in {c.name for c in ALL_APP_CLASSES[:3]}
+    assert 0.0 <= err <= 0.3

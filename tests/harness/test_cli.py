@@ -1,0 +1,98 @@
+"""Tests for the command-line interface."""
+
+import io
+
+import pytest
+
+from repro.cli import APP_REGISTRY, main
+
+
+def run_cli(*argv):
+    out = io.StringIO()
+    code = main(list(argv), out=out)
+    return code, out.getvalue()
+
+
+class TestListApps:
+    def test_lists_all_registered_apps(self):
+        code, text = run_cli("list-apps")
+        assert code == 0
+        for name in APP_REGISTRY:
+            assert name in text
+
+    def test_registry_covers_whole_suite(self):
+        # 14 Rodinia + SS + UMS + LULESH + HPGMG + HYPRE + cublas
+        assert len(APP_REGISTRY) == 20
+
+
+class TestInfo:
+    def test_shows_version_and_costs(self):
+        code, text = run_cli("info")
+        assert code == 0
+        assert "V100" in text and "K600" in text
+        assert "native_dispatch_ns" in text
+
+
+class TestRun:
+    def test_run_native(self):
+        code, text = run_cli("run", "hotspot", "--scale", "0.01")
+        assert code == 0
+        assert "runtime:" in text
+        assert "native" in text
+
+    def test_run_crac_with_checkpoint(self):
+        code, text = run_cli(
+            "run", "bfs", "--mode", "crac", "--scale", "0.01",
+            "--checkpoint-at", "0.5",
+        )
+        assert code == 0
+        assert "checkpoint:" in text
+        assert "restart:" in text
+
+    def test_run_checkpoint_without_restart(self):
+        code, text = run_cli(
+            "run", "bfs", "--mode", "crac", "--scale", "0.01",
+            "--checkpoint-at", "0.5", "--no-restart",
+        )
+        assert code == 0
+        assert "checkpoint:" in text
+        assert "restart:" not in text
+
+    def test_run_on_k600(self):
+        code, text = run_cli(
+            "run", "hotspot", "--scale", "0.01", "--gpu", "K600",
+        )
+        assert code == 0
+        assert "K600" in text
+
+    def test_unknown_app_rejected(self):
+        with pytest.raises(SystemExit):
+            run_cli("run", "doom")
+
+
+class TestReproduce:
+    def test_fig0(self):
+        code, text = run_cli("reproduce", "fig0")
+        assert code == 0
+        assert "2019" in text
+
+    def test_table2(self):
+        code, text = run_cli("reproduce", "table2")
+        assert code == 0
+        assert "-s 8192 -q" in text
+
+    def test_fig2_small_scale(self):
+        code, text = run_cli("reproduce", "fig2", "--scale", "0.01")
+        assert code == 0
+        assert "Streamcluster" in text
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            run_cli("reproduce", "fig99")
+
+
+class TestVersion:
+    def test_version_flag(self):
+        with pytest.raises(SystemExit) as exc:
+            run_cli("--version")
+        assert exc.value.code == 0

@@ -1,0 +1,142 @@
+"""Smoke + shape tests for every table/figure reproduction entry point.
+
+Small scales keep these fast; the shape assertions encode the paper's
+qualitative claims (see DESIGN.md §3 "shape criteria"). The full-scale
+regeneration lives in benchmarks/.
+"""
+
+import pytest
+
+from repro.harness import experiments as ex
+from repro.harness.report import render_table
+
+SCALE = 0.01
+
+
+class TestFig0:
+    def test_top500_series_monotone_growth(self):
+        rows = ex.fig0_top500()
+        counts = [r.values["systems"] for r in rows]
+        assert counts[0] == 10
+        assert counts[-1] == 136
+        assert all(b >= a for a, b in zip(counts, counts[1:]))
+
+
+class TestTable1:
+    def test_feature_flags(self):
+        rows = {r.label: r.values for r in ex.table1_characterization(SCALE)}
+        assert rows["Rodinia"]["UVM"] == "✗"
+        assert rows["HPGMG-FV"]["UVM"] == "✓"
+        assert rows["HYPRE"]["UVM"] == "✓" and rows["HYPRE"]["Streams"] == "✓"
+        assert rows["simpleStreams"]["# streams"] == "4–128"
+        assert rows["LULESH"]["# streams"] == "2–32"
+
+
+class TestTable2:
+    def test_all_fifteen_rows(self):
+        rows = ex.table2_cli_arguments()
+        assert len(rows) == 15  # 14 Rodinia + LULESH
+        args = {r.label: r.values["args"] for r in rows}
+        assert args["Gaussian"] == "-s 8192 -q"
+        assert args["LULESH"] == "-s 150"
+        assert args["NW"] == "40960 10"
+
+
+class TestFig2:
+    def test_rows_and_digest_equality(self):
+        rows = ex.fig2_rodinia_runtime(SCALE, noise=False)
+        assert len(rows) == 14
+        for r in rows:
+            assert r.values["native_s"] > 0
+            assert r.values["cuda_calls"] > 0
+
+
+class TestFig3:
+    def test_checkpoint_restart_rows(self):
+        rows = ex.fig3_rodinia_checkpoint(SCALE)
+        assert len(rows) == 14
+        for r in rows:
+            assert r.values["checkpoint_s"] > 0
+            assert r.values["restart_s"] > 0
+            assert r.values["size_mb"] > 10
+
+
+class TestFig4:
+    def test_sweep_shape(self):
+        rows = ex.fig4_simplestreams(SCALE, iteration_counts=(5, 500))
+        by = {r.label: r.values for r in rows}
+        # Longer kernels ⇒ longer total runtime and longer per-kernel time.
+        assert (
+            by["niterations=500"]["native_total_s"]
+            > by["niterations=5"]["native_total_s"]
+        )
+        assert (
+            by["niterations=500"]["native_kernel_ms"]
+            > by["niterations=5"]["native_kernel_ms"]
+        )
+        # Streamed per-kernel time stays far below non-streamed (Fig 4b).
+        assert (
+            by["niterations=500"]["native_streamed_ms"]
+            < by["niterations=500"]["native_kernel_ms"] / 32
+        )
+
+
+class TestFig5:
+    def test_runtime_rows(self):
+        rows = ex.fig5_runtimes(SCALE, noise=False)
+        assert [r.label for r in rows] == [
+            "simpleStreams", "UnifiedMemoryStreams", "LULESH",
+            "HPGMG-FV", "HYPRE",
+        ]
+
+    def test_checkpoint_rows(self):
+        rows = ex.fig5c_checkpoint(SCALE)
+        by = {r.label: r.values for r in rows}
+        # HPGMG: replay-dominated restart (the paper's 1.75 s outlier).
+        assert by["HPGMG-FV"]["replayed_calls"] > by["LULESH"]["replayed_calls"]
+        # HYPRE: biggest image of the five.
+        sizes = {k: v["size_mb"] for k, v in by.items()}
+        assert max(sizes, key=sizes.get) == "HYPRE"
+
+
+class TestTable3:
+    def test_shape(self):
+        rows = ex.table3_ipc_comparison(scale=0.005)
+        assert len(rows) == 9
+        for r in rows:
+            v = r.values
+            # CRAC ≈ native; CMA/IPC catastrophically slower (§4.4.4).
+            assert v["crac_overhead_pct"] < 15
+            assert v["cma_overhead_pct"] > 100
+        by = {r.label: r.values for r in rows}
+        # Sgemm's compute-bound native time shrinks the *relative* IPC
+        # overhead (paper: 142–209% vs up to 17,812% for Sdot).
+        assert (
+            by["cublasSgemm 100MB"]["cma_overhead_pct"]
+            < by["cublasSdot 100MB"]["cma_overhead_pct"] / 10
+        )
+        # Sdot's IPC overhead grows with data size.
+        assert (
+            by["cublasSdot 100MB"]["cma_overhead_pct"]
+            > by["cublasSdot 1MB"]["cma_overhead_pct"]
+        )
+
+
+class TestFig6:
+    def test_fsgsbase_never_hurts_much(self):
+        rows = ex.fig6_fsgsbase(scale=0.01, noise=False)
+        assert len(rows) == 14
+        for r in rows:
+            # The patch's effect is small and non-positive in exact time.
+            assert r.values["overhead_delta_pct"] <= 0.5
+
+
+class TestReport:
+    def test_render_table(self):
+        rows = ex.fig0_top500()
+        text = render_table("TOP500", rows, "year")
+        assert "TOP500" in text
+        assert "2019" in text and "136" in text
+
+    def test_render_empty(self):
+        assert "(no rows)" in render_table("x", [])

@@ -1,0 +1,111 @@
+"""Tests for the fault-tolerance economics module."""
+
+import math
+
+import pytest
+
+from repro.harness.fault_tolerance import (
+    FaultSimulator,
+    daly_interval,
+    expected_completion_time,
+    young_interval,
+)
+
+
+class TestIntervals:
+    def test_young_formula(self):
+        assert young_interval(1.0, 3600.0) == pytest.approx(math.sqrt(7200.0))
+
+    def test_daly_close_to_young_for_small_cost(self):
+        y = young_interval(0.5, 24 * 3600)
+        d = daly_interval(0.5, 24 * 3600)
+        assert abs(d - y) / y < 0.05
+
+    def test_daly_clamps_for_huge_cost(self):
+        assert daly_interval(10_000.0, 100.0) == 100.0
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            young_interval(0, 100)
+        with pytest.raises(ValueError):
+            daly_interval(1, 0)
+
+    def test_interval_grows_with_mtbf(self):
+        assert young_interval(1, 10_000) > young_interval(1, 1_000)
+
+
+class TestAnalyticModel:
+    def test_no_faults_limit(self):
+        """With MTBF → ∞ the makespan approaches work + checkpoints."""
+        t = expected_completion_time(
+            work_s=1000, interval_s=100, checkpoint_cost_s=1,
+            restart_cost_s=5, mtbf_s=1e12,
+        )
+        assert t == pytest.approx(1000 + 10 * 1, rel=1e-3)
+
+    def test_faults_increase_makespan(self):
+        kw = dict(work_s=1000, interval_s=100, checkpoint_cost_s=1,
+                  restart_cost_s=5)
+        assert (
+            expected_completion_time(mtbf_s=500, **kw)
+            > expected_completion_time(mtbf_s=50_000, **kw)
+        )
+
+    def test_youngs_interval_near_optimal(self):
+        """The analytic makespan at Young's interval beats far-off ones."""
+        kw = dict(work_s=10_000.0, checkpoint_cost_s=0.5,
+                  restart_cost_s=2.0, mtbf_s=3_600.0)
+        tau = young_interval(0.5, 3_600.0)
+        at_tau = expected_completion_time(interval_s=tau, **kw)
+        assert at_tau < expected_completion_time(interval_s=tau / 8, **kw)
+        assert at_tau < expected_completion_time(interval_s=tau * 8, **kw)
+
+    def test_invalid_interval(self):
+        with pytest.raises(ValueError):
+            expected_completion_time(100, 0, 1, 1, 100)
+
+
+class TestSimulator:
+    def test_reproducible(self):
+        a = FaultSimulator(mtbf_s=100, seed=1).run_once(500, 50, 1, 5)
+        b = FaultSimulator(mtbf_s=100, seed=1).run_once(500, 50, 1, 5)
+        assert a == b
+
+    def test_no_failures_when_mtbf_huge(self):
+        out = FaultSimulator(mtbf_s=1e15, seed=2).run_once(500, 50, 1, 5)
+        assert out.failures == 0
+        assert out.makespan_s == pytest.approx(500 + 9 * 1)  # 9 ckpts
+
+    def test_checkpointing_beats_restart_from_scratch_under_faults(self):
+        """The paper's core economic argument: with realistic fault
+        rates, CRAC's ~0.1 s checkpoints keep long jobs finishable."""
+        sim = FaultSimulator(mtbf_s=400.0, seed=3)
+        with_ckpt = sim.mean_makespan(
+            work_s=2_000, interval_s=100, checkpoint_cost_s=0.5,
+            restart_cost_s=2.0, runs=60,
+        )
+        sim2 = FaultSimulator(mtbf_s=400.0, seed=3)
+        without = sim2.mean_makespan(
+            work_s=2_000, interval_s=None, checkpoint_cost_s=0.0,
+            restart_cost_s=2.0, runs=20,
+        )
+        assert with_ckpt < without / 2
+
+    def test_simulation_tracks_analytic_model(self):
+        """Monte-Carlo and the renewal formula agree within ~25%."""
+        kw = dict(work_s=2_000.0, interval_s=120.0,
+                  checkpoint_cost_s=1.0, restart_cost_s=4.0)
+        analytic = expected_completion_time(mtbf_s=600.0, **kw)
+        simulated = FaultSimulator(mtbf_s=600.0, seed=4).mean_makespan(
+            runs=300, **kw
+        )
+        assert simulated == pytest.approx(analytic, rel=0.25)
+
+    def test_work_lost_accounted(self):
+        out = FaultSimulator(mtbf_s=80, seed=5).run_once(1000, 50, 1, 5)
+        if out.failures:
+            assert out.work_lost_s > 0
+
+    def test_invalid_mtbf(self):
+        with pytest.raises(ValueError):
+            FaultSimulator(mtbf_s=0)

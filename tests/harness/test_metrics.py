@@ -1,0 +1,27 @@
+"""Tests for the paper's formulas (§4.3)."""
+
+import pytest
+
+from repro.harness.metrics import cps, overhead_pct
+
+
+class TestOverhead:
+    def test_basic(self):
+        assert overhead_pct(1.1, 1.0) == pytest.approx(10.0)
+
+    def test_negative_overhead_allowed(self):
+        """The paper observes negative overheads (Hotspot3D, Kmeans)."""
+        assert overhead_pct(0.95, 1.0) == pytest.approx(-5.0)
+
+    def test_zero_native_rejected(self):
+        with pytest.raises(ValueError):
+            overhead_pct(1.0, 0.0)
+
+
+class TestCps:
+    def test_basic(self):
+        assert cps(1000, 2.0) == 500.0
+
+    def test_zero_time_rejected(self):
+        with pytest.raises(ValueError):
+            cps(10, 0.0)

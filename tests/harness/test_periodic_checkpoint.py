@@ -1,0 +1,65 @@
+"""Tests for periodic and incremental checkpointing through the runner."""
+
+import pytest
+
+from repro.apps.rodinia import Hotspot
+from repro.apps import Lulesh
+from repro.harness import run_app
+
+
+class TestPeriodicCheckpoints:
+    def test_multiple_checkpoints_taken(self):
+        res = run_app(
+            Hotspot(scale=0.02), mode="crac",
+            checkpoint_at=[0.25, 0.5, 0.75], noise=False,
+        )
+        assert len(res.checkpoints) == 3
+        progresses = [r.at_progress for r in res.checkpoints]
+        assert progresses == sorted(progresses)
+
+    def test_restart_only_after_last(self):
+        res = run_app(
+            Hotspot(scale=0.02), mode="crac",
+            checkpoint_at=[0.3, 0.6, 0.9], noise=False,
+        )
+        assert res.checkpoints[0].restart_s is None
+        assert res.checkpoints[1].restart_s is None
+        assert res.checkpoints[2].restart_s is not None
+
+    def test_periodic_run_output_identical_to_native(self):
+        native = run_app(Lulesh(scale=0.02), mode="native", noise=False)
+        periodic = run_app(
+            Lulesh(scale=0.02), mode="crac",
+            checkpoint_at=[0.2, 0.4, 0.6, 0.8], noise=False,
+        )
+        assert periodic.digest == native.digest
+
+
+class TestIncrementalChains:
+    def test_later_images_smaller_than_base(self):
+        res = run_app(
+            Hotspot(scale=0.02), mode="crac",
+            checkpoint_at=[0.3, 0.6, 0.9], incremental=True,
+            restart_after_checkpoint=False, noise=False,
+        )
+        sizes = [r.size_mb for r in res.checkpoints]
+        assert sizes[1] < sizes[0] / 3
+        assert sizes[2] < sizes[0] / 3
+
+    def test_incremental_restart_transparent(self):
+        native = run_app(Hotspot(scale=0.02), mode="native", noise=False)
+        res = run_app(
+            Hotspot(scale=0.02), mode="crac",
+            checkpoint_at=[0.3, 0.6, 0.9], incremental=True, noise=False,
+        )
+        assert res.digest == native.digest
+        assert res.checkpoints[-1].restart_s is not None
+
+    def test_incremental_checkpoints_faster(self):
+        res = run_app(
+            Hotspot(scale=0.02), mode="crac",
+            checkpoint_at=[0.3, 0.9], incremental=True,
+            restart_after_checkpoint=False, noise=False,
+        )
+        base, inc = res.checkpoints
+        assert inc.checkpoint_s < base.checkpoint_s

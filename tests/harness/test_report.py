@@ -1,0 +1,54 @@
+"""Tests for table and bar-chart rendering."""
+
+from repro.harness.experiments import ExperimentRow
+from repro.harness.report import render_bars, render_table
+
+
+def rows():
+    return [
+        ExperimentRow("BFS", {"native_s": 2.7, "crac_s": 2.8}),
+        ExperimentRow("NW", {"native_s": 64.5, "crac_s": 64.7}),
+    ]
+
+
+class TestRenderTable:
+    def test_header_and_alignment(self):
+        text = render_table("T", rows())
+        lines = text.splitlines()
+        assert lines[0] == "== T =="
+        assert "native_s" in lines[1] and "crac_s" in lines[1]
+        assert len({len(l) for l in lines[2:]}) <= 2  # aligned-ish
+
+    def test_numeric_formatting(self):
+        text = render_table("T", [ExperimentRow("x", {"v": 1234.5678})])
+        assert "1,234.6" in text
+
+    def test_int_formatting(self):
+        text = render_table("T", [ExperimentRow("x", {"v": 1234567})])
+        assert "1,234,567" in text
+
+
+class TestRenderBars:
+    def test_longest_bar_belongs_to_peak(self):
+        text = render_bars("F", rows(), ["native_s", "crac_s"])
+        lines = [l for l in text.splitlines() if "|" in l]
+        bar_lens = [l.split("|")[1].count("█") + l.split("|")[1].count("░")
+                    for l in lines]
+        # NW's bars (the peak) are the longest.
+        assert max(bar_lens[2:]) >= max(bar_lens[:2])
+
+    def test_all_series_present(self):
+        text = render_bars("F", rows(), ["native_s", "crac_s"])
+        assert text.count("native_s") == 2
+        assert text.count("crac_s") == 2
+
+    def test_values_printed(self):
+        text = render_bars("F", rows(), ["native_s"])
+        assert "64.50s" in text
+
+    def test_empty_rows(self):
+        assert "(no rows)" in render_bars("F", [], ["x"])
+
+    def test_zero_values_no_crash(self):
+        text = render_bars("F", [ExperimentRow("z", {"v": 0.0})], ["v"])
+        assert "0.00" in text

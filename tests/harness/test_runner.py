@@ -1,0 +1,113 @@
+"""Tests for the experiment runner."""
+
+import pytest
+
+from repro.apps.rodinia import Hotspot
+from repro.harness import Machine, run_app
+from repro.harness.runner import TIME_SCALE
+
+
+class TestModes:
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ValueError):
+            run_app(Hotspot(scale=0.01), mode="blcr")
+
+    @pytest.mark.parametrize("mode", ["native", "crac", "crum", "proxy-cma", "crcuda"])
+    def test_all_modes_run_hotspot(self, mode):
+        res = run_app(Hotspot(scale=0.01), mode=mode, noise=False)
+        assert res.mode == mode
+        assert res.runtime_exact_s > 0
+
+    def test_mode_ordering_on_buffer_heavy_workload(self):
+        """native < crum < naive proxy when buffers must cross the proxy
+        boundary (the Table 3 regime)."""
+        from repro.apps import CublasMicro
+
+        times = {
+            mode: run_app(
+                CublasMicro(scale=0.005, routine="sdot", data_mb=10),
+                mode=mode, noise=False,
+            ).extras["ms_per_call"]
+            for mode in ("native", "crum", "proxy-cma")
+        }
+        assert times["native"] < times["crum"] < times["proxy-cma"]
+
+    def test_all_modes_same_digest(self):
+        digests = {
+            run_app(Hotspot(scale=0.01), mode=mode, noise=False).digest
+            for mode in ("native", "crac", "crum", "proxy-cma", "crcuda")
+        }
+        assert len(digests) == 1
+
+
+class TestNoiseModel:
+    def test_noise_reproducible(self):
+        r1 = run_app(Hotspot(scale=0.01), mode="native")
+        r2 = run_app(Hotspot(scale=0.01), mode="native")
+        assert r1.runtime_s == r2.runtime_s
+
+    def test_noise_differs_per_mode(self):
+        rn = run_app(Hotspot(scale=0.01), mode="native")
+        rc = run_app(Hotspot(scale=0.01), mode="crac")
+        assert rn.runtime_s - rn.runtime_exact_s != rc.runtime_s - rc.runtime_exact_s
+
+    def test_noise_disabled_gives_exact(self):
+        r = run_app(Hotspot(scale=0.01), mode="native", noise=False)
+        assert r.runtime_s == r.runtime_exact_s
+
+
+class TestMachines:
+    def test_k600_slower_than_v100(self):
+        v = run_app(Hotspot(scale=0.01), Machine.v100(), noise=False)
+        k = run_app(Hotspot(scale=0.01), Machine.k600(), noise=False)
+        assert k.runtime_exact_s > 2 * v.runtime_exact_s
+
+    def test_time_scale_table(self):
+        assert TIME_SCALE["V100"] == 1.0
+        assert TIME_SCALE["K600"] > 1.0
+
+    def test_fsgsbase_reduces_crac_time(self):
+        plain = run_app(
+            Hotspot(scale=0.05), Machine.k600(), mode="crac", noise=False
+        )
+        patched = run_app(
+            Hotspot(scale=0.05), Machine.k600(fsgsbase=True), mode="crac",
+            noise=False,
+        )
+        assert patched.runtime_exact_s < plain.runtime_exact_s
+
+
+class TestCheckpointing:
+    def test_checkpoint_record_fields(self):
+        res = run_app(
+            Hotspot(scale=0.01), mode="crac", checkpoint_at=0.5, noise=False
+        )
+        (rec,) = res.checkpoints
+        assert rec.size_mb > 10  # at least the upper half
+        assert rec.checkpoint_s > 0
+        assert rec.restart_s > 0
+        assert rec.replayed_calls >= 0
+
+    def test_checkpoint_without_restart(self):
+        res = run_app(
+            Hotspot(scale=0.01), mode="crac", checkpoint_at=0.5,
+            restart_after_checkpoint=False, noise=False,
+        )
+        (rec,) = res.checkpoints
+        assert rec.restart_s is None
+
+    def test_gzip_checkpoint_slower(self):
+        plain = run_app(
+            Hotspot(scale=0.01), mode="crac", checkpoint_at=0.5, noise=False
+        )
+        gz = run_app(
+            Hotspot(scale=0.01), mode="crac", checkpoint_at=0.5, gzip=True,
+            noise=False,
+        )
+        assert gz.checkpoints[0].checkpoint_s > plain.checkpoints[0].checkpoint_s
+
+    def test_checkpoint_only_under_crac(self):
+        res = run_app(
+            Hotspot(scale=0.01), mode="native", checkpoint_at=0.5, noise=False
+        )
+        assert res.checkpoints == []

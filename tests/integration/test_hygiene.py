@@ -1,0 +1,51 @@
+"""Repository-level hygiene: experiment determinism and resource leaks."""
+
+import pytest
+
+from repro.apps import Hpgmg, Hypre, Lulesh, SimpleStreams, UnifiedMemoryStreams
+from repro.apps.base import AppContext
+from repro.apps.rodinia import RODINIA_SUITE
+from repro.core.halves import SplitProcess
+from repro.cuda.interface import NativeBackend
+from repro.harness import run_app
+
+ALL_APPS = list(RODINIA_SUITE) + [
+    SimpleStreams, UnifiedMemoryStreams, Lulesh, Hpgmg, Hypre,
+]
+
+
+class TestExperimentDeterminism:
+    def test_fig2_rows_reproducible(self):
+        """Running an experiment twice yields identical numbers — no
+        hidden global state leaks between runs."""
+        from repro.harness.experiments import fig2_rodinia_runtime
+
+        a = fig2_rodinia_runtime(0.01, noise=False)
+        b = fig2_rodinia_runtime(0.01, noise=False)
+        assert [(r.label, r.values) for r in a] == [
+            (r.label, r.values) for r in b
+        ]
+
+    def test_table3_reproducible(self):
+        from repro.harness.experiments import table3_ipc_comparison
+
+        a = table3_ipc_comparison(0.005)
+        b = table3_ipc_comparison(0.005)
+        assert [(r.label, r.values) for r in a] == [
+            (r.label, r.values) for r in b
+        ]
+
+
+class TestNoLeaks:
+    @pytest.mark.parametrize("app_cls", ALL_APPS, ids=lambda c: c.__name__)
+    def test_apps_free_all_cuda_resources(self, app_cls):
+        """Every workload frees its allocations, streams, and fat binary
+        — the teardown discipline real CUDA apps need at process exit."""
+        split = SplitProcess(seed=171)
+        backend = NativeBackend(split.runtime)
+        ctx = AppContext(backend=backend, upper_mmap=split.upper_mmap)
+        app_cls(scale=0.01).run(ctx)
+        runtime = split.runtime
+        assert runtime.active_allocations() == []
+        assert list(runtime.streams) == [0]  # only the default stream
+        assert runtime._registered_kernels.issubset(set())  # all unregistered

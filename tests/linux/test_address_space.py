@@ -1,0 +1,194 @@
+"""Unit tests for the simulated virtual address space."""
+
+import pytest
+
+from repro.errors import AddressSpaceError, SegmentationFault
+from repro.linux import PAGE_SIZE, VirtualAddressSpace
+
+
+@pytest.fixture
+def vas():
+    return VirtualAddressSpace(aslr=False, seed=7)
+
+
+class TestMmapPlacement:
+    def test_mmap_returns_page_aligned_address(self, vas):
+        addr = vas.mmap(100)
+        assert addr % PAGE_SIZE == 0
+
+    def test_mmap_rounds_size_up_to_page(self, vas):
+        addr = vas.mmap(1)
+        region = vas.find(addr)
+        assert region.size == PAGE_SIZE
+
+    def test_mmap_zero_bytes_rejected(self, vas):
+        with pytest.raises(AddressSpaceError):
+            vas.mmap(0)
+
+    def test_two_mmaps_do_not_overlap(self, vas):
+        a = vas.mmap(10 * PAGE_SIZE)
+        b = vas.mmap(10 * PAGE_SIZE)
+        assert a + 10 * PAGE_SIZE <= b or b + 10 * PAGE_SIZE <= a
+
+    def test_deterministic_placement_without_aslr(self):
+        seq1 = []
+        seq2 = []
+        for seq in (seq1, seq2):
+            v = VirtualAddressSpace(aslr=False, seed=99)
+            for _ in range(5):
+                seq.append(v.mmap(3 * PAGE_SIZE))
+        assert seq1 == seq2
+
+    def test_aslr_randomizes_placement(self):
+        v1 = VirtualAddressSpace(aslr=True, seed=1)
+        v2 = VirtualAddressSpace(aslr=True, seed=2)
+        a1 = [v1.mmap(PAGE_SIZE) for _ in range(4)]
+        a2 = [v2.mmap(PAGE_SIZE) for _ in range(4)]
+        assert a1 != a2
+
+    def test_window_constrains_placement(self, vas):
+        window = (0x1000_0000, 0x2000_0000)
+        addr = vas.mmap(PAGE_SIZE, window=window)
+        assert window[0] <= addr < window[1]
+
+    def test_hint_respected_when_free(self, vas):
+        hint = 0x7000_0010_0000
+        addr = vas.mmap(PAGE_SIZE, addr=hint)
+        assert addr == hint
+
+    def test_hint_ignored_when_occupied(self, vas):
+        hint = 0x7000_0010_0000
+        vas.mmap(PAGE_SIZE, addr=hint, fixed=True)
+        addr = vas.mmap(PAGE_SIZE, addr=hint)
+        assert addr != hint
+
+
+class TestMapFixed:
+    def test_fixed_places_exactly(self, vas):
+        addr = vas.mmap(2 * PAGE_SIZE, addr=0x5000_0000, fixed=True)
+        assert addr == 0x5000_0000
+
+    def test_fixed_requires_aligned_address(self, vas):
+        with pytest.raises(AddressSpaceError):
+            vas.mmap(PAGE_SIZE, addr=0x5000_0001, fixed=True)
+
+    def test_fixed_silently_clobbers_existing_mapping(self, vas):
+        victim = vas.mmap(4 * PAGE_SIZE, addr=0x5000_0000, fixed=True, tag="upper:data")
+        vas.write(victim, b"precious")
+        vas.mmap(4 * PAGE_SIZE, addr=0x5000_0000, fixed=True, tag="lower:arena")
+        # No exception — but the data is gone and the event is recorded.
+        assert vas.read(victim, 8) == b"\0" * 8
+        assert len(vas.clobber_events) == 1
+        ev = vas.clobber_events[0]
+        assert ev.victim_tag == "upper:data"
+        assert ev.aggressor_tag == "lower:arena"
+        assert ev.bytes_lost > 0
+
+    def test_fixed_clobber_of_untouched_pages_not_recorded(self, vas):
+        vas.mmap(PAGE_SIZE, addr=0x5000_0000, fixed=True, tag="upper:data")
+        vas.mmap(PAGE_SIZE, addr=0x5000_0000, fixed=True, tag="lower:arena")
+        assert vas.clobber_events == []
+
+    def test_fixed_partial_overlap_splits_victim(self, vas):
+        vas.mmap(4 * PAGE_SIZE, addr=0x5000_0000, fixed=True, tag="a")
+        vas.mmap(2 * PAGE_SIZE, addr=0x5000_1000, fixed=True, tag="b")
+        tags = [r.tag for r in vas.regions()]
+        assert tags.count("a") == 2  # head and tail survive
+        assert tags.count("b") == 1
+
+
+class TestMunmap:
+    def test_munmap_removes_mapping(self, vas):
+        addr = vas.mmap(PAGE_SIZE)
+        vas.munmap(addr, PAGE_SIZE)
+        assert vas.find(addr) is None
+
+    def test_munmap_middle_splits_region(self, vas):
+        addr = vas.mmap(3 * PAGE_SIZE)
+        vas.munmap(addr + PAGE_SIZE, PAGE_SIZE)
+        assert vas.find(addr) is not None
+        assert vas.find(addr + PAGE_SIZE) is None
+        assert vas.find(addr + 2 * PAGE_SIZE) is not None
+
+    def test_munmap_preserves_content_of_surviving_pages(self, vas):
+        addr = vas.mmap(3 * PAGE_SIZE)
+        vas.write(addr, b"head")
+        vas.write(addr + 2 * PAGE_SIZE, b"tail")
+        vas.munmap(addr + PAGE_SIZE, PAGE_SIZE)
+        assert vas.read(addr, 4) == b"head"
+        assert vas.read(addr + 2 * PAGE_SIZE, 4) == b"tail"
+
+    def test_munmap_unaligned_rejected(self, vas):
+        with pytest.raises(AddressSpaceError):
+            vas.munmap(123, PAGE_SIZE)
+
+
+class TestMprotect:
+    def test_mprotect_changes_perms(self, vas):
+        addr = vas.mmap(2 * PAGE_SIZE, perms="rw-")
+        vas.mprotect(addr, PAGE_SIZE, "r--")
+        assert vas.find(addr).perms == "r--"
+        assert vas.find(addr + PAGE_SIZE).perms == "rw-"
+
+    def test_mprotect_unmapped_faults(self, vas):
+        with pytest.raises(SegmentationFault):
+            vas.mprotect(0x4000_0000, PAGE_SIZE, "r--")
+
+    def test_write_to_readonly_faults(self, vas):
+        addr = vas.mmap(PAGE_SIZE, perms="r--")
+        with pytest.raises(SegmentationFault):
+            vas.write(addr, b"x")
+
+
+class TestDataAccess:
+    def test_roundtrip(self, vas):
+        addr = vas.mmap(PAGE_SIZE)
+        vas.write(addr + 17, b"hello world")
+        assert vas.read(addr + 17, 11) == b"hello world"
+
+    def test_unwritten_pages_read_as_zero(self, vas):
+        addr = vas.mmap(2 * PAGE_SIZE)
+        assert vas.read(addr, 16) == b"\0" * 16
+
+    def test_write_spanning_pages(self, vas):
+        addr = vas.mmap(2 * PAGE_SIZE)
+        data = bytes(range(200)) * 50  # 10000 bytes > 2 pages? no, fits in 2 pages
+        vas.write(addr + PAGE_SIZE - 100, data[:200])
+        assert vas.read(addr + PAGE_SIZE - 100, 200) == data[:200]
+
+    def test_write_spanning_adjacent_regions(self, vas):
+        a = vas.mmap(PAGE_SIZE, addr=0x6000_0000, fixed=True)
+        vas.mmap(PAGE_SIZE, addr=0x6000_1000, fixed=True)
+        vas.write(a + PAGE_SIZE - 4, b"abcdefgh")
+        assert vas.read(a + PAGE_SIZE - 4, 8) == b"abcdefgh"
+
+    def test_read_unmapped_faults(self, vas):
+        with pytest.raises(SegmentationFault):
+            vas.read(0xDEAD_BEEF_000, 4)
+
+    def test_write_unmapped_faults(self, vas):
+        with pytest.raises(SegmentationFault):
+            vas.write(0xDEAD_BEEF_000, b"x")
+
+    def test_sparse_backing_only_counts_written_pages(self, vas):
+        addr = vas.mmap(1024 * PAGE_SIZE)  # 4 MB virtual
+        region = vas.find(addr)
+        assert region.backed_bytes == 0
+        vas.write(addr, b"x")
+        assert region.backed_bytes == PAGE_SIZE
+
+    def test_total_mapped_accounts_virtual_size(self, vas):
+        before = vas.total_mapped
+        vas.mmap(1 << 30)  # 1 GB virtual, zero real memory
+        assert vas.total_mapped - before == 1 << 30
+
+
+class TestSnapshots:
+    def test_pages_snapshot_roundtrip(self, vas):
+        addr = vas.mmap(4 * PAGE_SIZE)
+        vas.write(addr + 5000, b"persisted")
+        region = vas.find(addr)
+        snap = region.pages_snapshot()
+        vas.write(addr + 5000, b"XXXXXXXXX")
+        region.load_pages(snap)
+        assert vas.read(addr + 5000, 9) == b"persisted"

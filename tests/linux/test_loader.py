@@ -1,0 +1,109 @@
+"""Tests for the split-process program loader (paper §3.1)."""
+
+import pytest
+
+from repro.errors import LoaderError
+from repro.linux import ProgramImage, ProgramLoader, Segment, SimProcess
+from repro.linux.loader import LOWER_HALF_WINDOW
+
+
+def helper_image():
+    """A lower-half helper: tiny app + libcuda + libc (Figure 1)."""
+    return ProgramImage(
+        name="helper",
+        segments=(Segment("helper.text", 16 * 1024, "r-x"),
+                  Segment("helper.data", 16 * 1024, "rw-")),
+        libraries=(ProgramImage.simple("libcuda.so", 2048, 512),
+                   ProgramImage.simple("libc.so", 1024, 256)),
+    )
+
+
+@pytest.fixture
+def proc():
+    return SimProcess(aslr=False, seed=3)
+
+
+@pytest.fixture
+def loader(proc):
+    return ProgramLoader(proc)
+
+
+class TestLoading:
+    def test_lower_half_lands_in_reserved_window(self, loader):
+        prog = loader.load(helper_image(), "lower")
+        lo, hi = LOWER_HALF_WINDOW
+        for start, size in prog.regions:
+            assert lo <= start and start + size <= hi
+
+    def test_upper_half_lands_outside_lower_window(self, loader):
+        prog = loader.load(ProgramImage.simple("app"), "upper")
+        lo, hi = LOWER_HALF_WINDOW
+        for start, size in prog.regions:
+            assert start + size <= lo or start >= hi
+
+    def test_all_segments_mapped(self, loader):
+        prog = loader.load(helper_image(), "lower")
+        # 2 helper segments + 2 per library × 2 libraries
+        assert len(prog.regions) == 6
+
+    def test_unknown_half_rejected(self, loader):
+        with pytest.raises(LoaderError):
+            loader.load(helper_image(), "middle")
+
+    def test_footprint_accounts_all_segments(self, loader):
+        prog = loader.load(ProgramImage.simple("app", 64, 64), "upper")
+        assert prog.footprint() == 128 * 1024
+
+
+class TestOwnershipRegistry:
+    def test_half_of_resolves_loaded_regions(self, loader):
+        lower = loader.load(helper_image(), "lower")
+        upper = loader.load(ProgramImage.simple("app"), "upper")
+        assert loader.half_of(lower.regions[0][0]) == "lower"
+        assert loader.half_of(upper.regions[0][0]) == "upper"
+
+    def test_half_of_unknown_address_is_none(self, loader):
+        assert loader.half_of(0xDEAD_0000) is None
+
+    def test_runtime_mmap_is_tracked(self, loader):
+        addr = loader.mmap_for_half("lower", 1 << 20, tag_leaf="cuda-arena")
+        assert loader.half_of(addr) == "lower"
+        assert loader.half_of(addr + (1 << 20) - 1) == "lower"
+
+    def test_runtime_mmap_lower_stays_in_window(self, loader):
+        addr = loader.mmap_for_half("lower", 1 << 20)
+        lo, hi = LOWER_HALF_WINDOW
+        assert lo <= addr < hi
+
+    def test_munmap_untracks(self, loader):
+        addr = loader.mmap_for_half("upper", 4096)
+        loader.munmap_for_half("upper", addr, 4096)
+        assert loader.half_of(addr) is None
+
+    def test_partial_munmap_shrinks_range(self, loader):
+        addr = loader.mmap_for_half("upper", 3 * 4096)
+        loader.munmap_for_half("upper", addr + 4096, 4096)
+        assert loader.half_of(addr) == "upper"
+        assert loader.half_of(addr + 4096) is None
+        assert loader.half_of(addr + 2 * 4096) == "upper"
+
+    def test_owned_bytes(self, loader):
+        loader.mmap_for_half("upper", 4096)
+        loader.mmap_for_half("upper", 8192)
+        assert loader.owned_bytes("upper") == 3 * 4096
+
+
+class TestCorruptionScenario:
+    def test_maps_view_is_ambiguous_but_loader_is_not(self, loader, proc):
+        """Adjacent upper/lower allocations merge in /proc but remain
+        distinguishable via the loader registry — CRAC's fix for §3.2.2."""
+        a = loader.mmap_for_half("upper", 4096)
+        # Force a lower allocation adjacent to the upper one (bypassing
+        # the window, as a buggy library could with MAP_FIXED).
+        proc.vas.mmap(4096, addr=a + 4096, fixed=True, tag="lower:evil")
+        loader._track("lower", a + 4096, 4096)
+        merged = proc.proc_maps.entries()
+        spans = [e for e in merged if e.start <= a < e.end]
+        assert spans[0].end - spans[0].start == 8192  # merged: ambiguous
+        assert loader.half_of(a) == "upper"
+        assert loader.half_of(a + 4096) == "lower"

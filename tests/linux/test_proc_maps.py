@@ -1,0 +1,63 @@
+"""Tests for the merged /proc/PID/maps view (paper §3.2.2)."""
+
+from repro.linux import PAGE_SIZE, VirtualAddressSpace
+from repro.linux.proc_maps import ProcMaps
+
+
+def make_vas():
+    return VirtualAddressSpace(aslr=False, seed=0)
+
+
+class TestMerging:
+    def test_adjacent_same_perm_anonymous_regions_merge(self):
+        vas = make_vas()
+        vas.mmap(PAGE_SIZE, addr=0x1000_0000, fixed=True, tag="upper:buf")
+        vas.mmap(PAGE_SIZE, addr=0x1000_1000, fixed=True, tag="lower:arena")
+        entries = ProcMaps(vas).entries()
+        assert len(entries) == 1
+        assert entries[0].start == 0x1000_0000
+        assert entries[0].end == 0x1000_2000
+
+    def test_merge_hides_half_ownership(self):
+        """The central §3.2.2 problem: the merged view cannot attribute
+        bytes to upper or lower half."""
+        vas = make_vas()
+        vas.mmap(PAGE_SIZE, addr=0x1000_0000, fixed=True, tag="upper:data")
+        vas.mmap(PAGE_SIZE, addr=0x1000_1000, fixed=True, tag="lower:data")
+        (entry,) = ProcMaps(vas).entries()
+        assert "upper" not in entry.pathname and "lower" not in entry.pathname
+
+    def test_different_perms_do_not_merge(self):
+        vas = make_vas()
+        vas.mmap(PAGE_SIZE, addr=0x1000_0000, fixed=True, perms="r-x", tag="a")
+        vas.mmap(PAGE_SIZE, addr=0x1000_1000, fixed=True, perms="rw-", tag="b")
+        assert len(ProcMaps(vas).entries()) == 2
+
+    def test_non_adjacent_do_not_merge(self):
+        vas = make_vas()
+        vas.mmap(PAGE_SIZE, addr=0x1000_0000, fixed=True)
+        vas.mmap(PAGE_SIZE, addr=0x1000_2000, fixed=True)
+        assert len(ProcMaps(vas).entries()) == 2
+
+    def test_named_library_regions_do_not_merge_with_anon(self):
+        vas = make_vas()
+        vas.mmap(PAGE_SIZE, addr=0x1000_0000, fixed=True, tag="lower:libcuda.so")
+        vas.mmap(PAGE_SIZE, addr=0x1000_1000, fixed=True, tag="lower:arena")
+        entries = ProcMaps(vas).entries()
+        assert len(entries) == 2
+        assert entries[0].pathname == "libcuda.so"
+
+
+class TestFormat:
+    def test_format_is_kernel_like(self):
+        vas = make_vas()
+        vas.mmap(PAGE_SIZE, addr=0x1000_0000, fixed=True, perms="r-x", tag="x:libfoo.so")
+        text = ProcMaps(vas).format()
+        assert text.startswith("10000000-10001000 r-xp")
+        assert text.endswith("libfoo.so")
+
+    def test_entry_size(self):
+        vas = make_vas()
+        vas.mmap(3 * PAGE_SIZE, addr=0x1000_0000, fixed=True)
+        (entry,) = ProcMaps(vas).entries()
+        assert entry.size == 3 * PAGE_SIZE

@@ -1,0 +1,81 @@
+"""Tests for SimProcess: clock, fs register costs, personality/ASLR."""
+
+import pytest
+
+from repro.linux import ADDR_NO_RANDOMIZE, SimProcess
+from repro.linux.process import SYSCALL_NS, WRFSBASE_NS
+
+
+class TestClock:
+    def test_advance(self):
+        p = SimProcess()
+        p.advance(100)
+        p.advance(50)
+        assert p.clock_ns == 150
+
+    def test_advance_negative_rejected(self):
+        p = SimProcess()
+        with pytest.raises(ValueError):
+            p.advance(-1)
+
+    def test_advance_to_is_monotone(self):
+        p = SimProcess()
+        p.advance_to(1000)
+        p.advance_to(500)  # no-op
+        assert p.clock_ns == 1000
+
+
+class TestFsRegister:
+    def test_unpatched_fs_switch_costs_a_syscall(self):
+        p = SimProcess(fsgsbase=False)
+        t = p.threads[0]
+        p.set_fs_register(t, 0xAB)
+        assert t.fs_base == 0xAB
+        assert p.clock_ns == SYSCALL_NS
+        assert p.syscall_count == 1
+
+    def test_fsgsbase_fs_switch_is_cheap_and_not_a_syscall(self):
+        p = SimProcess(fsgsbase=True)
+        t = p.threads[0]
+        p.set_fs_register(t, 0xCD)
+        assert p.clock_ns == WRFSBASE_NS
+        assert p.syscall_count == 0
+
+    def test_fsgsbase_much_cheaper_than_syscall(self):
+        assert WRFSBASE_NS * 10 < SYSCALL_NS
+
+    def test_fs_switches_are_counted(self):
+        p = SimProcess()
+        t = p.threads[0]
+        for _ in range(5):
+            p.set_fs_register(t, 1)
+        assert p.fs_switch_count == 5
+
+
+class TestPersonality:
+    def test_personality_disables_aslr(self):
+        p = SimProcess(aslr=True)
+        assert p.vas.aslr
+        p.personality(ADDR_NO_RANDOMIZE)
+        assert not p.vas.aslr
+
+    def test_personality_zero_reenables(self):
+        p = SimProcess(aslr=True)
+        p.personality(ADDR_NO_RANDOMIZE)
+        p.personality(0)
+        assert p.vas.aslr
+
+
+class TestLifecycle:
+    def test_unique_pids(self):
+        assert SimProcess().pid != SimProcess().pid
+
+    def test_kill(self):
+        p = SimProcess()
+        p.kill()
+        assert not p.alive
+
+    def test_spawn_thread_unique_tids(self):
+        p = SimProcess()
+        t2 = p.spawn_thread()
+        assert t2.tid != p.threads[0].tid

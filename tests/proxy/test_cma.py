@@ -1,0 +1,51 @@
+"""Tests for the CMA channel cost model."""
+
+import pytest
+
+from repro.proxy.cma import BANDWIDTH_CURVE, CmaChannel, cma_bandwidth
+
+
+class TestBandwidthCurve:
+    def test_anchors_reproduced(self):
+        for size, bw in BANDWIDTH_CURVE:
+            assert cma_bandwidth(int(size)) == pytest.approx(bw)
+
+    def test_monotone_decreasing(self):
+        sizes = [1 << k for k in range(10, 28)]
+        bws = [cma_bandwidth(s) for s in sizes]
+        for a, b in zip(bws, bws[1:]):
+            assert b <= a + 1e-6
+
+    def test_clamped_at_extremes(self):
+        assert cma_bandwidth(1) == BANDWIDTH_CURVE[0][1]
+        assert cma_bandwidth(1 << 40) == BANDWIDTH_CURVE[-1][1]
+
+    def test_table3_implied_bandwidths(self):
+        """Transfer times implied by Table 3 (see cma.py docstring)."""
+        # 1 MB at ~11 GB/s ⇒ ~91 µs per 1 MB buffer
+        ch = CmaChannel()
+        t = ch.transfer_cost_ns(1 << 20)
+        assert 80_000 < t < 110_000
+        # 100 MB at ~4 GB/s ⇒ ~25 ms
+        t = ch.transfer_cost_ns(100 << 20)
+        assert 23e6 < t < 29e6
+
+
+class TestChannel:
+    def test_rpc_cost_includes_payload(self):
+        ch = CmaChannel()
+        small = ch.rpc_cost_ns(0)
+        big = ch.rpc_cost_ns(1 << 20)
+        assert big > small + 50_000
+
+    def test_zero_transfer_is_free(self):
+        ch = CmaChannel()
+        assert ch.transfer_cost_ns(0) == 0.0
+        assert ch.total_bytes == 0
+
+    def test_accounting(self):
+        ch = CmaChannel()
+        ch.rpc_cost_ns(100)
+        ch.transfer_cost_ns(1000)
+        assert ch.total_rpcs == 1
+        assert ch.total_bytes == 1100

@@ -1,0 +1,77 @@
+"""Documentation-coverage meta-test: every public item is documented.
+
+The deliverable requires doc comments on every public item; this test
+enforces it mechanically so regressions fail in CI rather than in
+review.
+"""
+
+import importlib
+import inspect
+import pkgutil
+
+import pytest
+
+import repro
+
+
+def walk_modules():
+    mods = [repro]
+    for info in pkgutil.walk_packages(repro.__path__, prefix="repro."):
+        mods.append(importlib.import_module(info.name))
+    return mods
+
+
+MODULES = walk_modules()
+
+
+@pytest.mark.parametrize("module", MODULES, ids=lambda m: m.__name__)
+def test_module_has_docstring(module):
+    assert module.__doc__ and module.__doc__.strip(), module.__name__
+
+
+def public_members(module):
+    for name, obj in vars(module).items():
+        if name.startswith("_"):
+            continue
+        if inspect.getmodule(obj) is not module:
+            continue  # re-exports documented at their home
+        if inspect.isclass(obj) or inspect.isfunction(obj):
+            yield name, obj
+
+
+@pytest.mark.parametrize("module", MODULES, ids=lambda m: m.__name__)
+def test_public_classes_and_functions_documented(module):
+    undocumented = [
+        f"{module.__name__}.{name}"
+        for name, obj in public_members(module)
+        if not (obj.__doc__ and obj.__doc__.strip())
+    ]
+    assert not undocumented, f"missing docstrings: {undocumented}"
+
+
+def _documented_in_bases(cls, meth_name: str) -> bool:
+    """Overrides inherit the base method's documentation (PEP 257)."""
+    for base in cls.__mro__[1:]:
+        base_meth = vars(base).get(meth_name)
+        if base_meth is not None and getattr(base_meth, "__doc__", None):
+            return True
+    return False
+
+
+@pytest.mark.parametrize("module", MODULES, ids=lambda m: m.__name__)
+def test_public_methods_documented(module):
+    undocumented = []
+    for cls_name, cls in public_members(module):
+        if not inspect.isclass(cls):
+            continue
+        for meth_name, meth in vars(cls).items():
+            if meth_name.startswith("_"):
+                continue
+            if not inspect.isfunction(meth):
+                continue
+            if meth.__doc__ and meth.__doc__.strip():
+                continue
+            if _documented_in_bases(cls, meth_name):
+                continue
+            undocumented.append(f"{module.__name__}.{cls_name}.{meth_name}")
+    assert not undocumented, f"missing docstrings: {undocumented}"
