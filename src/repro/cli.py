@@ -7,6 +7,10 @@ Commands:
   mid-run checkpoint + kill + restart;
 - ``reproduce WHAT`` — regenerate one (or all) of the paper's tables and
   figures at a chosen scale;
+- ``fault-sim`` — §1(a)/(b) fault-tolerance economics: Young/Daly
+  intervals, the analytic makespan, a Monte-Carlo check, and (with
+  ``--session``) an end-to-end cross-validation that drives the real
+  checkpoint pipeline with injected checkpoint/restore-stage faults;
 - ``info``      — package version plus the calibrated cost model.
 """
 
@@ -84,6 +88,33 @@ def build_parser() -> argparse.ArgumentParser:
     rep.add_argument("--scale", type=float, default=0.05)
     rep.add_argument("--bars", action="store_true",
                      help="render runtime figures as ASCII bar charts")
+
+    fs = sub.add_parser(
+        "fault-sim",
+        help="fault-tolerance economics: analytic vs Monte-Carlo vs "
+        "end-to-end session runs",
+    )
+    fs.add_argument("--work", type=float, default=2000.0,
+                    help="job length in seconds of useful work")
+    fs.add_argument("--mtbf", type=float, default=600.0,
+                    help="mean time between failures, seconds")
+    fs.add_argument("--interval", type=float, default=None,
+                    help="checkpoint interval (default: Young's optimum)")
+    fs.add_argument("--checkpoint-cost", type=float, default=1.0)
+    fs.add_argument("--restart-cost", type=float, default=4.0)
+    fs.add_argument("--runs", type=int, default=100,
+                    help="Monte-Carlo repetitions")
+    fs.add_argument("--session", action="store_true",
+                    help="also cross-validate with end-to-end CracSession "
+                    "runs through the real checkpoint store")
+    fs.add_argument("--session-runs", type=int, default=3)
+    fs.add_argument("--ckpt-fault-prob", type=float, default=0.0,
+                    metavar="P", help="per-region fault probability while "
+                    "the store writes an image (session mode)")
+    fs.add_argument("--restore-fault-prob", type=float, default=0.0,
+                    metavar="P", help="per-attempt mid-restore fault "
+                    "probability (session mode)")
+    fs.add_argument("--seed", type=int, default=0)
     return parser
 
 
@@ -186,6 +217,60 @@ def cmd_calibrate(args, out) -> int:
     return 0
 
 
+def cmd_fault_sim(args, out) -> int:
+    """``repro fault-sim``: Young/Daly vs Monte-Carlo vs session runs."""
+    from repro.harness.fault_tolerance import (
+        FaultSimulator,
+        daly_interval,
+        expected_completion_time,
+        young_interval,
+    )
+
+    c, r, m = args.checkpoint_cost, args.restart_cost, args.mtbf
+    tau_y = young_interval(c, m)
+    tau_d = daly_interval(c, m)
+    tau = args.interval if args.interval is not None else tau_y
+    print(f"work {args.work:.0f} s, MTBF {m:.0f} s, "
+          f"C {c:.2f} s, R {r:.2f} s", file=out)
+    print(f"Young interval:  {tau_y:10.2f} s", file=out)
+    print(f"Daly interval:   {tau_d:10.2f} s", file=out)
+    print(f"using interval:  {tau:10.2f} s", file=out)
+    analytic = expected_completion_time(args.work, tau, c, r, m)
+    print(f"analytic makespan:    {analytic:10.2f} s", file=out)
+    sim = FaultSimulator(mtbf_s=m, seed=args.seed)
+    mc = sim.mean_makespan(args.work, tau, c, r, runs=args.runs)
+    print(f"Monte-Carlo makespan: {mc:10.2f} s "
+          f"({args.runs} runs, {mc / analytic:.2f}× analytic)", file=out)
+    no_ckpt = sim.mean_makespan(args.work, None, 0.0, r,
+                                runs=max(1, args.runs // 5))
+    print(f"no checkpointing:     {no_ckpt:10.2f} s "
+          f"({no_ckpt / analytic:.2f}× analytic)", file=out)
+    if args.session:
+        cv = sim.cross_validate_session(
+            args.work,
+            args.interval,
+            runs=args.session_runs,
+            ckpt_fault_prob=args.ckpt_fault_prob,
+            restore_fault_prob=args.restore_fault_prob,
+        )
+        print("\nsession-backed cross-validation (real pipeline, "
+              "measured costs):", file=out)
+        print(f"  measured C {cv.checkpoint_cost_s:.3f} s, "
+              f"R {cv.restart_cost_s:.3f} s, "
+              f"interval {cv.interval_s:.2f} s", file=out)
+        print(f"  analytic  {cv.analytic_s:10.2f} s", file=out)
+        print(f"  simulated {cv.simulated_s:10.2f} s "
+              f"({cv.ratio:.2f}× analytic, {len(cv.outcomes)} runs)",
+              file=out)
+        for i, o in enumerate(cv.outcomes):
+            print(f"  run {i}: {o.makespan_s:8.2f} s, "
+                  f"{o.failures} failures, {o.checkpoints} ckpts, "
+                  f"{o.aborted_checkpoints} aborted, "
+                  f"{o.restart_attempts} restart attempts, "
+                  f"{o.work_lost_s:.1f} s lost", file=out)
+    return 0
+
+
 def cmd_reproduce(args, out) -> int:
     """``repro reproduce WHAT``: regenerate a table/figure."""
     from repro.harness import experiments as ex
@@ -240,6 +325,8 @@ def main(argv: list[str] | None = None, out=None) -> int:
         return cmd_run(args, out)
     if args.command == "calibrate":
         return cmd_calibrate(args, out)
+    if args.command == "fault-sim":
+        return cmd_fault_sim(args, out)
     if args.command == "reproduce":
         return cmd_reproduce(args, out)
     raise AssertionError(args.command)  # pragma: no cover

@@ -25,7 +25,8 @@ exactly the transparency argument of the paper.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 from repro.core.halves import SplitProcess
 from repro.core.plugin import CracPlugin
@@ -33,11 +34,31 @@ from repro.core.trampoline import CracBackend
 from repro.dmtcp.checkpointer import DmtcpCheckpointer
 from repro.dmtcp.coordinator import DmtcpCoordinator
 from repro.dmtcp.image import CheckpointImage
-from repro.errors import RestartError
+from repro.dmtcp.store import CheckpointStore
+from repro.errors import (
+    CheckpointStoreError,
+    CorruptCheckpointError,
+    InjectedFault,
+    RestartError,
+)
 from repro.gpu.device import GpuDevice
 from repro.gpu.timing import DEFAULT_HOST_COSTS, NS_PER_S, HostCosts
 from repro.gpu.uvm import ManagedBuffer
 from repro.linux.loader import ProgramImage
+
+if TYPE_CHECKING:  # core must not import harness at runtime
+    from repro.harness.fault_injection import FaultInjector
+
+
+@dataclass
+class RestartAttempt:
+    """One try of the self-healing restart loop (success or failure)."""
+
+    generation: int
+    attempt: int  # 1-based try index within this generation
+    backoff_ns: float  # virtual-time backoff paid before this try
+    error: str | None  # repr of the failure, None on success
+    succeeded: bool = False
 
 
 @dataclass
@@ -50,6 +71,17 @@ class RestartReport:
     reregistered_fatbins: int
     adopted_streams: int
     adopted_events: int
+    #: Store generation the successful restore came from (``None`` for a
+    #: direct ``restart(image)`` that bypassed the store).
+    generation: int | None = None
+    #: Full attempt trail of :meth:`CracSession.restart_latest`,
+    #: including the failed tries that preceded this success.
+    attempts: list[RestartAttempt] = field(default_factory=list)
+
+    @property
+    def backoff_ns(self) -> float:
+        """Total virtual-time backoff paid across failed attempts."""
+        return sum(a.backoff_ns for a in self.attempts)
 
 
 class CracSession:
@@ -66,6 +98,7 @@ class CracSession:
         costs: HostCosts = DEFAULT_HOST_COSTS,
         full_arena_checkpoint: bool = False,
         address_virtualization: bool = False,
+        fault_injector: "FaultInjector | None" = None,
     ) -> None:
         self.gpu = gpu
         self.seed = seed
@@ -73,6 +106,7 @@ class CracSession:
         self.n_gpus = n_gpus
         self.costs = costs
         self.app_image = app_image
+        self.fault_injector = fault_injector
         self.split = SplitProcess(
             gpu=gpu, app_image=app_image, fsgsbase=fsgsbase, seed=seed,
             n_gpus=n_gpus,
@@ -85,7 +119,9 @@ class CracSession:
         # coordinator handshake) — significant for short-running apps.
         self.process.advance(costs.crac_startup_ns)
         self.plugin = CracPlugin(self, full_arena=full_arena_checkpoint)
-        self.checkpointer = DmtcpCheckpointer(self.process, [self.plugin], costs)
+        self.checkpointer = DmtcpCheckpointer(
+            self.process, [self.plugin], costs, fault_injector=fault_injector
+        )
         self.coordinator = DmtcpCoordinator(self.checkpointer, seed=seed)
         self.backend.coordinator = self.coordinator
         self.restarts: list[RestartReport] = []
@@ -119,13 +155,16 @@ class CracSession:
         gzip: bool = False,
         incremental: bool = False,
         parent: CheckpointImage | None = None,
+        store: CheckpointStore | None = None,
     ) -> CheckpointImage:
         """Take a checkpoint now (drain → stage → dump upper half).
 
         ``incremental=True`` saves only host pages dirtied since
-        ``parent`` (GPU buffers are always staged in full)."""
+        ``parent`` (GPU buffers are always staged in full). With
+        ``store`` the image additionally goes through the store's
+        two-phase commit and becomes a restorable generation."""
         return self.coordinator.checkpoint(
-            gzip=gzip, incremental=incremental, parent=parent
+            gzip=gzip, incremental=incremental, parent=parent, store=store
         )
 
     def kill(self) -> None:
@@ -170,6 +209,11 @@ class CracSession:
         #    restored ranges are re-registered as upper-owned.
         restore_cost = self.checkpointer.restore_memory(image, proc)
         proc.advance(restore_cost)
+        if self.fault_injector is not None:
+            # Mid-restore crash: upper half is mapped but the lower half
+            # is not rebuilt yet — the restarted process is unusable and
+            # the orchestrator must retry (or fall back a generation).
+            self.fault_injector.check("restore", f"pid {image.pid}")
         for saved in image.regions:
             fresh.loader._track("upper", saved.start, saved.size)
 
@@ -181,6 +225,10 @@ class CracSession:
         #    §3.2.4 future-work mode) divergence is tolerated and the
         #    virtual-pointer table is patched instead.
         log = image.blob("crac/replay-log")
+        if self.fault_injector is not None:
+            # kind="divergence" raises ReplayDivergenceError here, the
+            # §3.2.4 failure mode (ASLR left on / different platform).
+            self.fault_injector.check("replay", f"{len(log.entries)} calls")
         if self.backend.virtualize_addresses:
             translation = log.replay(fresh.runtime, strict=False)
             replayed = len(log.entries)
@@ -254,7 +302,9 @@ class CracSession:
         proc.advance_to(old_clock + restart_time)
 
         self.split = fresh
-        self.checkpointer = DmtcpCheckpointer(proc, [self.plugin], self.costs)
+        self.checkpointer = DmtcpCheckpointer(
+            proc, [self.plugin], self.costs, fault_injector=self.fault_injector
+        )
         self.coordinator = DmtcpCoordinator(self.checkpointer, seed=self.seed)
         self.backend.coordinator = self.coordinator
 
@@ -268,3 +318,67 @@ class CracSession:
         )
         self.restarts.append(report)
         return report
+
+    # -- self-healing restart ----------------------------------------------------
+
+    def restart_latest(
+        self,
+        store: CheckpointStore,
+        *,
+        retries: int = 2,
+        backoff_s: float = 0.25,
+        max_backoff_s: float = 8.0,
+    ) -> RestartReport:
+        """Restore from the newest usable generation in ``store``.
+
+        The orchestration loop: discard any torn partials, then walk
+        the store's generations newest-first. Each generation gets one
+        try plus ``retries`` retries with exponential backoff (virtual
+        time) for *transient* failures; a :class:`CorruptCheckpointError`
+        is deterministic, so the loop immediately falls back one
+        generation instead of burning retries on rotten bytes. Every
+        attempt — failed and successful — is recorded in the returned
+        report's ``attempts`` trail.
+        """
+        store.discard_partials()
+        attempts: list[RestartAttempt] = []
+        penalty_ns = 0.0
+        last_exc: Exception | None = None
+        for gen in store.iter_restore_candidates():
+            for try_idx in range(1, retries + 2):
+                backoff_ns = 0.0
+                if try_idx > 1:
+                    backoff_ns = (
+                        min(backoff_s * 2.0 ** (try_idx - 2), max_backoff_s)
+                        * NS_PER_S
+                    )
+                    penalty_ns += backoff_ns
+                try:
+                    image = store.load(gen)
+                    report = self.restart(image)
+                except CorruptCheckpointError as exc:
+                    attempts.append(
+                        RestartAttempt(gen, try_idx, backoff_ns, repr(exc))
+                    )
+                    last_exc = exc
+                    break  # checksum failures never heal: next generation
+                except (RestartError, CheckpointStoreError, InjectedFault) as exc:
+                    attempts.append(
+                        RestartAttempt(gen, try_idx, backoff_ns, repr(exc))
+                    )
+                    last_exc = exc
+                    continue
+                attempts.append(
+                    RestartAttempt(gen, try_idx, backoff_ns, None, succeeded=True)
+                )
+                report.generation = gen
+                report.attempts = attempts
+                # The failed attempts' backoff is real wall time the job
+                # spent down; charge it to the restarted process.
+                if penalty_ns:
+                    self.process.advance(penalty_ns)
+                return report
+        raise RestartError(
+            f"self-healing restart exhausted every generation "
+            f"({len(attempts)} attempts across {store.generations or 'none'})"
+        ) from last_exc

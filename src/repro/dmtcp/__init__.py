@@ -16,6 +16,7 @@ from repro.dmtcp.checkpointer import DmtcpCheckpointer
 from repro.dmtcp.coordinator import DmtcpCoordinator
 from repro.dmtcp.image import CheckpointImage, SavedBlob, SavedRegion
 from repro.dmtcp.plugins import DmtcpPlugin
+from repro.dmtcp.store import CheckpointStore, StagedCheckpoint, StoredGeneration
 
 __all__ = [
     "CheckpointImage",
@@ -24,4 +25,7 @@ __all__ = [
     "DmtcpPlugin",
     "DmtcpCheckpointer",
     "DmtcpCoordinator",
+    "CheckpointStore",
+    "StagedCheckpoint",
+    "StoredGeneration",
 ]

@@ -15,11 +15,16 @@ computes from its own loader registry — and saves the remainder.
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING
+
 from repro.dmtcp.image import CheckpointImage, SavedRegion
 from repro.dmtcp.plugins import DmtcpPlugin
 from repro.gpu.timing import DEFAULT_HOST_COSTS, NS_PER_S, HostCosts
 from repro.linux.address_space import PAGE_SIZE
 from repro.linux.process import SimProcess
+
+if TYPE_CHECKING:  # avoid a dmtcp → harness import cycle at runtime
+    from repro.harness.fault_injection import FaultInjector
 
 
 def _subtract_ranges(
@@ -50,10 +55,12 @@ class DmtcpCheckpointer:
         process: SimProcess,
         plugins: list[DmtcpPlugin] | None = None,
         costs: HostCosts = DEFAULT_HOST_COSTS,
+        fault_injector: "FaultInjector | None" = None,
     ) -> None:
         self.process = process
         self.plugins = list(plugins or [])
         self.costs = costs
+        self.fault_injector = fault_injector
 
     # -- checkpoint ------------------------------------------------------------
 
@@ -86,6 +93,8 @@ class DmtcpCheckpointer:
             parent=parent if incremental else None,
         )
         for plugin in self.plugins:
+            if self.fault_injector is not None:
+                self.fault_injector.check("precheckpoint", plugin.name)
             plugin.on_precheckpoint(image)
 
         skips: list[tuple[int, int]] = []
@@ -93,6 +102,8 @@ class DmtcpCheckpointer:
             skips.extend(plugin.skip_ranges())
 
         for region in proc.vas.regions():
+            if self.fault_injector is not None:
+                self.fault_injector.check("region-save", region.tag)
             proc.advance(self.costs.ckpt_region_ns)
             snapshot = (
                 region.dirty_pages_snapshot()
@@ -125,7 +136,7 @@ class DmtcpCheckpointer:
 
         for plugin in self.plugins:
             plugin.on_resume(image)
-        image.checkpoint_time_ns = proc.clock_ns - t_start  # type: ignore[attr-defined]
+        image.checkpoint_time_ns = proc.clock_ns - t_start
         return image
 
     # -- restore -----------------------------------------------------------------

@@ -1,19 +1,32 @@
-"""DMTCP coordinator: checkpoint triggering policy.
+"""DMTCP coordinator: checkpoint triggering policy + two-phase commit.
 
 The real coordinator is a network daemon that tells every rank when to
 checkpoint; here it is the policy object the harness uses to trigger a
 checkpoint "at a random time during an entire run" (§4.4.1) — modelled
 as *after the Nth upper→lower CUDA call*, drawn from a seeded RNG so
 experiments are reproducible.
+
+For multi-rank jobs the coordinator also owns the *commit* decision of
+the distributed checkpoint protocol: every rank stages its image into
+its checkpoint store (phase 1), and only if **all** ranks staged
+successfully does the coordinator commit them all (phase 2) — otherwise
+every staged image is aborted and the previous consistent cut remains
+the job's recovery line (:meth:`DmtcpCoordinator.two_phase_commit`,
+driven by ``MpiWorld.checkpoint_all_2pc``).
 """
 
 from __future__ import annotations
 
 import random
-from typing import Callable
+from typing import TYPE_CHECKING, Callable, Sequence
 
 from repro.dmtcp.checkpointer import DmtcpCheckpointer
 from repro.dmtcp.image import CheckpointImage
+from repro.dmtcp.store import CheckpointStore, StagedCheckpoint
+from repro.errors import CheckpointError
+
+if TYPE_CHECKING:  # avoid a dmtcp → harness import cycle at runtime
+    from repro.harness.fault_injection import FaultInjector
 
 
 class DmtcpCoordinator:
@@ -57,12 +70,61 @@ class DmtcpCoordinator:
         gzip: bool = False,
         incremental: bool = False,
         parent: CheckpointImage | None = None,
+        store: CheckpointStore | None = None,
     ) -> CheckpointImage:
-        """Take a checkpoint now."""
+        """Take a checkpoint now.
+
+        With ``store`` the image goes through the store's two-phase
+        commit (stage → commit); a crash mid-write leaves a discardable
+        partial in the store and propagates.
+        """
         image = self.checkpointer.checkpoint(
             gzip=gzip, incremental=incremental, parent=parent
         )
+        if store is not None:
+            store.put(image)
         self.images.append(image)
         if self.on_checkpoint is not None:
             self.on_checkpoint(image)
         return image
+
+    def stage_checkpoint(
+        self,
+        store: CheckpointStore,
+        *,
+        gzip: bool = False,
+        incremental: bool = False,
+        parent: CheckpointImage | None = None,
+    ) -> StagedCheckpoint:
+        """Phase 1 of a coordinated checkpoint: capture + stage, no commit."""
+        image = self.checkpointer.checkpoint(
+            gzip=gzip, incremental=incremental, parent=parent
+        )
+        return store.stage(image)
+
+    @staticmethod
+    def two_phase_commit(
+        staged: Sequence[tuple[CheckpointStore, StagedCheckpoint]],
+        *,
+        fault_injector: "FaultInjector | None" = None,
+    ) -> list[int]:
+        """Phase 2: commit every rank's staged image, or abort them all.
+
+        All-or-nothing: if any staged image is a partial — or the
+        ``commit`` fault stage fires, modelling a coordinator crash
+        between the phases — every staged image is aborted so no rank
+        ever holds a generation its peers lack (a mixed cut would be
+        unrestorable as a consistent distributed state).
+        """
+        try:
+            if fault_injector is not None:
+                fault_injector.check("commit", f"{len(staged)} ranks staged")
+            if any(not s.complete for _, s in staged):
+                raise CheckpointError(
+                    "coordinated checkpoint aborted: a rank staged a partial"
+                )
+        except Exception:
+            for store, s in staged:
+                store.abort(s)
+            raise
+        return [store.commit(s) for store, s in staged]

@@ -39,6 +39,18 @@ class SavedRegion:
     def backed_bytes(self) -> int:
         return sum(len(p) for p in self.pages.values())
 
+    def checksum(self) -> int:
+        """CRC32 over this region's metadata and page contents.
+
+        The checkpoint store records this per region at save time and
+        re-verifies it at restore, so a single flipped byte is caught
+        before it reaches the restored address space.
+        """
+        crc = zlib.crc32(f"{self.start:x}:{self.size:x}:{self.perms}".encode())
+        for pg in sorted(self.pages):
+            crc = zlib.crc32(self.pages[pg], zlib.crc32(str(pg).encode(), crc))
+        return crc
+
 
 @dataclass
 class SavedBlob:
@@ -68,6 +80,11 @@ class CheckpointImage:
     blobs: dict[str, SavedBlob] = field(default_factory=dict)
     incremental: bool = False
     parent: "CheckpointImage | None" = None
+    #: Virtual-time cost of taking this checkpoint (set by the
+    #: checkpointer; what Figures 3/5c report).
+    checkpoint_time_ns: float = 0.0
+    #: CRC recorded by :meth:`seal` (``None`` until sealed).
+    sealed_checksum: int | None = None
 
     def chain(self) -> list["CheckpointImage"]:
         """The restore chain, base (full) image first."""
@@ -132,12 +149,14 @@ class CheckpointImage:
 
     def seal(self) -> None:
         """Record the current checksum (done automatically by save())."""
-        self.sealed_checksum = self.content_checksum()  # type: ignore[attr-defined]
+        self.sealed_checksum = self.content_checksum()
 
     def verify(self) -> bool:
         """True if contents still match the sealed checksum."""
-        sealed = getattr(self, "sealed_checksum", None)
-        return sealed is not None and sealed == self.content_checksum()
+        return (
+            self.sealed_checksum is not None
+            and self.sealed_checksum == self.content_checksum()
+        )
 
     # -- on-disk format (the ``.dmtcp`` file model) ---------------------------
 

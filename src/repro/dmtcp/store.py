@@ -1,0 +1,275 @@
+"""Crash-consistent checkpoint store: two-phase commit, checksums, GC.
+
+Real transparent-checkpointing deployments treat the checkpoint image
+itself as a failure domain: a node can die halfway through writing an
+image (a *torn* image must never be restored), bytes can rot between
+save and restore (CRIUgpu-style integrity validation), and disk budgets
+force old generations out (but never a base image that a live
+incremental chain still needs). :class:`CheckpointStore` owns that
+lifecycle:
+
+- **Two-phase atomic commit.** ``stage()`` writes the image region by
+  region into a staging slot; only ``commit()`` makes it a visible
+  generation. A crash mid-write (the ``image-write`` fault stage)
+  leaves a ``complete=False`` partial that :meth:`discard_partials`
+  throws away — committed generations are never torn.
+- **Per-region checksums.** CRCs are computed at stage time and
+  re-verified by :meth:`load`; any byte flipped in between raises
+  :class:`CorruptCheckpointError` deterministically.
+- **Generational retention.** ``keep_generations=N`` bounds the store;
+  GC walks every retained image's incremental parent chain and never
+  evicts a generation that a retained chain still parents.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Iterator
+
+from repro.dmtcp.image import CheckpointImage
+from repro.errors import CheckpointStoreError, CorruptCheckpointError
+
+if TYPE_CHECKING:  # avoid a dmtcp → harness import cycle at runtime
+    from repro.harness.fault_injection import FaultInjector
+
+
+@dataclass
+class StagedCheckpoint:
+    """An image in the staging area (phase 1 of the commit protocol).
+
+    ``complete`` flips to True only after every region's bytes and
+    checksum have been written; a crash mid-write leaves it False and
+    the partial can only be discarded, never committed.
+    """
+
+    staging_id: int
+    image: CheckpointImage
+    checksums: dict[int, int] = field(default_factory=dict)
+    complete: bool = False
+    aborted: bool = False
+
+    @property
+    def written_regions(self) -> int:
+        return len(self.checksums)
+
+
+@dataclass
+class StoredGeneration:
+    """One committed generation (phase 2 made it visible)."""
+
+    generation: int
+    image: CheckpointImage
+    checksums: dict[int, int]
+    committed_at_ns: float
+
+    @property
+    def size_bytes(self) -> int:
+        return self.image.size_bytes
+
+
+class CheckpointStore:
+    """Owns checkpoint-image lifecycle: stage → commit → verify → GC."""
+
+    def __init__(
+        self,
+        *,
+        keep_generations: int = 3,
+        fault_injector: "FaultInjector | None" = None,
+    ) -> None:
+        if keep_generations < 1:
+            raise ValueError("must keep at least one generation")
+        self.keep_generations = keep_generations
+        self.fault_injector = fault_injector
+        self._generations: dict[int, StoredGeneration] = {}
+        self._staged: dict[int, StagedCheckpoint] = {}
+        self._next_generation = 1
+        self._next_staging_id = 1
+        self.evicted = 0
+        self.discarded_partials = 0
+
+    # -- phase 1: staging ------------------------------------------------------
+
+    def stage(self, image: CheckpointImage) -> StagedCheckpoint:
+        """Write ``image`` into the staging area, region by region.
+
+        Computes each region's CRC as it is written. The ``image-write``
+        fault stage fires per region: a crash leaves the partial staged
+        entry behind (discardable, never committable); a corruption
+        fault silently flips a byte *after* the checksum was recorded —
+        the classic undetected-at-write error that only restore-time
+        verification catches.
+        """
+        staged = StagedCheckpoint(staging_id=self._next_staging_id, image=image)
+        self._next_staging_id += 1
+        self._staged[staged.staging_id] = staged
+        for idx, region in enumerate(image.regions):
+            kind = None
+            if self.fault_injector is not None:
+                kind = self.fault_injector.check(
+                    "image-write", f"region {idx} @{region.start:#x}",
+                    corruptible=True,
+                )
+            staged.checksums[idx] = region.checksum()
+            if kind == "corrupt" and region.pages:
+                pg = min(region.pages)
+                data = bytearray(region.pages[pg])
+                if data:
+                    data[0] ^= 0xFF
+                    region.pages[pg] = bytes(data)
+        staged.complete = True
+        return staged
+
+    def abort(self, staged: StagedCheckpoint) -> None:
+        """Throw a staged image away (phase-1 rollback)."""
+        staged.aborted = True
+        self._staged.pop(staged.staging_id, None)
+
+    def partials(self) -> list[StagedCheckpoint]:
+        """Staged images whose write never completed (torn by a crash)."""
+        return [s for s in self._staged.values() if not s.complete]
+
+    def discard_partials(self) -> int:
+        """Drop every torn staged image; returns how many were dropped."""
+        torn = self.partials()
+        for staged in torn:
+            self.abort(staged)
+        self.discarded_partials += len(torn)
+        return len(torn)
+
+    # -- phase 2: commit -------------------------------------------------------
+
+    def commit(self, staged: StagedCheckpoint) -> int:
+        """Make a fully-staged image a visible generation; runs GC."""
+        if staged.aborted:
+            raise CheckpointStoreError(
+                f"staging slot {staged.staging_id} was aborted"
+            )
+        if not staged.complete:
+            raise CheckpointStoreError(
+                f"staging slot {staged.staging_id} is a partial "
+                f"({staged.written_regions}/{len(staged.image.regions)} "
+                "regions written) — discard it, a torn image must never "
+                "become a generation"
+            )
+        if staged.staging_id not in self._staged:
+            raise CheckpointStoreError(
+                f"staging slot {staged.staging_id} is not staged here"
+            )
+        del self._staged[staged.staging_id]
+        gen = self._next_generation
+        self._next_generation += 1
+        self._generations[gen] = StoredGeneration(
+            generation=gen,
+            image=staged.image,
+            checksums=dict(staged.checksums),
+            committed_at_ns=staged.image.created_at_ns,
+        )
+        self.gc()
+        return gen
+
+    def put(self, image: CheckpointImage) -> int:
+        """Stage + commit in one call (the common single-rank path).
+
+        A crash mid-write propagates after the partial is recorded in
+        the staging area; callers recover via :meth:`discard_partials`
+        (the self-healing restart path does this automatically).
+        """
+        return self.commit(self.stage(image))
+
+    # -- lookup ----------------------------------------------------------------
+
+    @property
+    def generations(self) -> list[int]:
+        """Committed generation ids, oldest first."""
+        return sorted(self._generations)
+
+    def latest(self) -> int | None:
+        """Newest committed generation id, or ``None`` if empty."""
+        return max(self._generations) if self._generations else None
+
+    def get(self, generation: int) -> StoredGeneration:
+        """Fetch a committed generation's entry (no integrity check)."""
+        entry = self._generations.get(generation)
+        if entry is None:
+            raise CheckpointStoreError(
+                f"generation {generation} is not in the store "
+                f"(have {self.generations})"
+            )
+        return entry
+
+    def iter_restore_candidates(self) -> Iterator[int]:
+        """Generations to try at restore, newest first."""
+        return iter(sorted(self._generations, reverse=True))
+
+    # -- restore-time verification ---------------------------------------------
+
+    def verify(self, generation: int) -> None:
+        """Re-checksum every region of ``generation`` (and of every
+        chain ancestor also held by this store); raise
+        :class:`CorruptCheckpointError` on the first mismatch."""
+        entry = self.get(generation)
+        by_image = {id(e.image): e for e in self._generations.values()}
+        for img in entry.image.chain():
+            owner = by_image.get(id(img))
+            if owner is None:
+                continue  # ancestor predates the store; nothing recorded
+            for idx, region in enumerate(img.regions):
+                want = owner.checksums.get(idx)
+                if want is None or region.checksum() != want:
+                    raise CorruptCheckpointError(
+                        f"generation {owner.generation}: region {idx} "
+                        f"@{region.start:#x} failed checksum verification"
+                    )
+
+    def load(self, generation: int | None = None) -> CheckpointImage:
+        """Fetch a generation's image after verifying its integrity.
+
+        ``generation=None`` loads the newest. This is the only sanctioned
+        way to get an image out of the store for restore.
+        """
+        if generation is None:
+            generation = self.latest()
+            if generation is None:
+                raise CheckpointStoreError("store holds no generations")
+        self.verify(generation)
+        return self.get(generation).image
+
+    # -- retention -------------------------------------------------------------
+
+    def _protected(self) -> set[int]:
+        """Generations that must survive GC: the newest ``keep_generations``
+        plus every ancestor a retained incremental chain still parents."""
+        newest = sorted(self._generations, reverse=True)[: self.keep_generations]
+        by_image = {id(e.image): g for g, e in self._generations.items()}
+        keep = set(newest)
+        for gen in newest:
+            for img in self._generations[gen].image.chain():
+                owner = by_image.get(id(img))
+                if owner is not None:
+                    keep.add(owner)
+        return keep
+
+    def gc(self) -> list[int]:
+        """Evict unprotected generations; returns the evicted ids."""
+        keep = self._protected()
+        victims = sorted(g for g in self._generations if g not in keep)
+        for gen in victims:
+            del self._generations[gen]
+        self.evicted += len(victims)
+        return victims
+
+    # -- introspection ---------------------------------------------------------
+
+    @property
+    def size_bytes(self) -> int:
+        """Total virtual bytes across committed generations."""
+        return sum(e.size_bytes for e in self._generations.values())
+
+    def describe(self) -> str:
+        """One-line human-readable summary."""
+        return (
+            f"<CheckpointStore {len(self._generations)} generations "
+            f"(latest {self.latest()}), {len(self._staged)} staged, "
+            f"{self.size_bytes / (1 << 20):.1f} MB, keep "
+            f"{self.keep_generations}>"
+        )

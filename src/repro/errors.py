@@ -36,8 +36,40 @@ class CheckpointError(ReproError):
     """Checkpoint could not be taken."""
 
 
+class CheckpointStoreError(CheckpointError):
+    """Invalid operation on the checkpoint store (e.g. committing a
+    partial staged image, or loading an evicted generation)."""
+
+
 class RestartError(ReproError):
     """Restart from a checkpoint image failed."""
+
+
+class CorruptCheckpointError(RestartError):
+    """A committed image failed checksum verification at restore time.
+
+    The store computes per-region CRCs when an image is staged; any
+    byte flipped afterwards (disk corruption, a torn write that slipped
+    past the commit protocol) is detected here — deterministically —
+    instead of silently restoring garbage into the upper half.
+    """
+
+
+class InjectedFault(ReproError):
+    """A fault deliberately fired by the fault-injection harness.
+
+    Models a crash (node loss, OOM-kill, power cut) at a named stage of
+    the checkpoint/restore pipeline; carries the stage so tests and the
+    self-healing restart path can assert where the failure landed.
+    """
+
+    def __init__(self, stage: str, context: str = "") -> None:
+        self.stage = stage
+        self.context = context
+        msg = f"injected fault at stage {stage!r}"
+        if context:
+            msg += f" ({context})"
+        super().__init__(msg)
 
 
 class ReplayDivergenceError(RestartError):

@@ -10,6 +10,7 @@
   tables/series the paper reports.
 """
 
+from repro.harness.fault_injection import FaultInjector, FaultSpec, FiredFault
 from repro.harness.metrics import cps, overhead_pct
 from repro.harness.runner import CkptRecord, Machine, RunResult, run_app
 
@@ -20,4 +21,7 @@ __all__ = [
     "run_app",
     "overhead_pct",
     "cps",
+    "FaultInjector",
+    "FaultSpec",
+    "FiredFault",
 ]

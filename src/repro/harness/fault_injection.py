@@ -1,0 +1,168 @@
+"""Seeded fault injection for the checkpoint/restore pipeline.
+
+CRAC's value proposition is surviving failures, so the reproduction's
+checkpoint path must itself be a failure domain: a node can die while a
+region is being saved, while the store is writing the image, during a
+plugin's precheckpoint drain, during allocation-log replay, or halfway
+through a restore. A :class:`FaultInjector` holds a *fault plan* — a
+list of :class:`FaultSpec` — and is consulted by the checkpointer, the
+checkpoint store, the coordinator's two-phase commit, and the restart
+path at the named stages below. Every random draw comes from one seeded
+RNG so fault schedules are exactly reproducible.
+
+Stages (``FaultInjector.STAGES``):
+
+- ``precheckpoint`` — inside a plugin's drain/stage hook (per plugin);
+- ``region-save``   — while the checkpointer walks memory (per region);
+- ``image-write``   — while the store writes a staged image (per
+  region); a crash here leaves a *partial* staged image behind, which
+  is exactly what the store's two-phase commit protocol must tolerate;
+- ``commit``        — between stage and commit of a coordinated
+  two-phase checkpoint (forces the all-abort path);
+- ``replay``        — during allocation-log replay at restart
+  (``kind="divergence"`` raises :class:`ReplayDivergenceError`);
+- ``restore``       — mid-restore, after upper-half memory is mapped
+  but before the lower half is rebuilt.
+
+Kinds:
+
+- ``crash``      — raise :class:`InjectedFault` at the stage (default);
+- ``corrupt``    — do *not* raise; the site silently corrupts the bytes
+  it is handling (only the store's ``image-write`` honours this — the
+  corruption is then caught by checksum verification at restore);
+- ``divergence`` — at ``replay``, raise :class:`ReplayDivergenceError`
+  (elsewhere treated as a crash).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.errors import InjectedFault, ReplayDivergenceError
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One planned fault: *where* (stage), *when* (probability per visit
+    or a deterministic visit count), and *what* (kind).
+
+    ``at_count=N`` fires on the Nth visit to the stage (1-based);
+    ``probability=p`` fires each visit with probability ``p``. Exactly
+    one of the two must be given. ``max_fires`` bounds how often the
+    spec may fire (``None`` = unlimited; deterministic specs default to
+    once).
+    """
+
+    stage: str
+    kind: str = "crash"
+    probability: float | None = None
+    at_count: int | None = None
+    max_fires: int | None = 1
+
+    def __post_init__(self) -> None:
+        if self.stage not in FaultInjector.STAGES:
+            raise ValueError(
+                f"unknown stage {self.stage!r}; expected one of "
+                f"{FaultInjector.STAGES}"
+            )
+        if self.kind not in ("crash", "corrupt", "divergence"):
+            raise ValueError(f"unknown fault kind {self.kind!r}")
+        if (self.probability is None) == (self.at_count is None):
+            raise ValueError("give exactly one of probability / at_count")
+        if self.probability is not None and not 0.0 <= self.probability <= 1.0:
+            raise ValueError("probability must be in [0, 1]")
+        if self.at_count is not None and self.at_count < 1:
+            raise ValueError("at_count is 1-based")
+
+
+@dataclass(frozen=True)
+class FiredFault:
+    """One fault that actually fired (the injector keeps a trail)."""
+
+    stage: str
+    kind: str
+    visit: int
+    context: str
+
+
+class FaultInjector:
+    """Evaluates a fault plan at named pipeline stages.
+
+    Hook sites call :meth:`check`, which raises for crash/divergence
+    kinds and returns ``"corrupt"`` for silent-corruption faults (the
+    site then corrupts its own bytes). Sites that cannot corrupt treat
+    ``"corrupt"`` as a crash by passing ``corruptible=False``.
+    """
+
+    STAGES = (
+        "precheckpoint",
+        "region-save",
+        "image-write",
+        "commit",
+        "replay",
+        "restore",
+    )
+
+    def __init__(self, specs: list[FaultSpec] | None = None, seed: int = 0) -> None:
+        self.specs = list(specs or [])
+        self._rng = random.Random(seed)
+        self.visits: dict[str, int] = {s: 0 for s in self.STAGES}
+        self._fires_per_spec: dict[int, int] = {}
+        self.fired: list[FiredFault] = []
+
+    # -- plan management -------------------------------------------------------
+
+    def arm(self, spec: FaultSpec) -> None:
+        """Add one more planned fault."""
+        self.specs.append(spec)
+
+    def reset_counters(self) -> None:
+        """Zero the per-stage visit counters (the fired trail is kept)."""
+        self.visits = {s: 0 for s in self.STAGES}
+
+    # -- evaluation ------------------------------------------------------------
+
+    def trip(self, stage: str, context: str = "") -> str | None:
+        """Record a visit to ``stage``; return the fault kind if one fires."""
+        if stage not in self.visits:
+            raise ValueError(f"unknown stage {stage!r}")
+        self.visits[stage] += 1
+        visit = self.visits[stage]
+        for i, spec in enumerate(self.specs):
+            if spec.stage != stage:
+                continue
+            fires = self._fires_per_spec.get(i, 0)
+            if spec.max_fires is not None and fires >= spec.max_fires:
+                continue
+            hit = (
+                visit == spec.at_count
+                if spec.at_count is not None
+                else self._rng.random() < spec.probability
+            )
+            if not hit:
+                continue
+            self._fires_per_spec[i] = fires + 1
+            self.fired.append(FiredFault(stage, spec.kind, visit, context))
+            return spec.kind
+        return None
+
+    def check(self, stage: str, context: str = "", *,
+              corruptible: bool = False) -> str | None:
+        """Visit ``stage``; raise for crash/divergence faults.
+
+        Returns ``"corrupt"`` (without raising) when a corruption fault
+        fires at a site that can honour it, else ``None``.
+        """
+        kind = self.trip(stage, context)
+        if kind is None:
+            return None
+        if kind == "divergence" and stage == "replay":
+            raise ReplayDivergenceError(
+                f"injected replay divergence ({context})"
+                if context
+                else "injected replay divergence"
+            )
+        if kind == "corrupt" and corruptible:
+            return kind
+        raise InjectedFault(stage, context)

@@ -19,7 +19,7 @@ from __future__ import annotations
 
 import math
 import random
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 
 def young_interval(checkpoint_cost_s: float, mtbf_s: float) -> float:
@@ -55,8 +55,12 @@ def expected_completion_time(
     failure costs the partial segment (≈ half on average, modelled via
     the exponential's memorylessness exactly) plus the restart.
     """
+    if work_s <= 0:
+        raise ValueError("work must be positive")
     if interval_s <= 0:
         raise ValueError("interval must be positive")
+    if mtbf_s <= 0:
+        raise ValueError("MTBF must be positive")
     lam = 1.0 / mtbf_s
     segments = max(1, math.ceil(work_s / interval_s))
     seg_work = work_s / segments
@@ -64,9 +68,15 @@ def expected_completion_time(
     # Expected time to push one segment through, with exponential
     # failures at rate λ: E = (e^{λT} − 1)/λ per attempt-cycle plus a
     # restart per failure (classic renewal argument).
+    p_survive = math.exp(-lam * seg_span)
+    if p_survive == 0.0:
+        # Degenerate regime: a segment is so long relative to the MTBF
+        # that (in double precision) it can never complete fault-free —
+        # the expected makespan diverges.
+        return math.inf
     e_attempt = (math.exp(lam * seg_span) - 1.0) / lam
-    p_fail = 1.0 - math.exp(-lam * seg_span)
-    e_segment = e_attempt + (p_fail / (1.0 - p_fail + 1e-300)) * restart_cost_s
+    p_fail = 1.0 - p_survive
+    e_segment = e_attempt + (p_fail / p_survive) * restart_cost_s
     return segments * e_segment
 
 
@@ -78,6 +88,32 @@ class SimOutcome:
     failures: int
     checkpoints: int
     work_lost_s: float
+
+
+@dataclass
+class SessionSimOutcome(SimOutcome):
+    """Result of one *session-backed* run (real checkpoint pipeline)."""
+
+    aborted_checkpoints: int = 0
+    restart_attempts: int = 0
+    generations_restored: list[int] = field(default_factory=list)
+
+
+@dataclass
+class CrossValidation:
+    """Analytic Young/Daly prediction vs end-to-end simulated runs."""
+
+    interval_s: float
+    checkpoint_cost_s: float
+    restart_cost_s: float
+    analytic_s: float
+    simulated_s: float
+    outcomes: list[SessionSimOutcome]
+
+    @property
+    def ratio(self) -> float:
+        """simulated / analytic (1.0 = perfect agreement)."""
+        return self.simulated_s / self.analytic_s if self.analytic_s else math.inf
 
 
 class FaultSimulator:
@@ -112,10 +148,12 @@ class FaultSimulator:
             else:
                 until_ckpt = min(interval_s - progress, work_s - done - progress)
             if clock + until_ckpt >= next_fault:
-                # Failure strikes mid-segment.
-                ran = max(0.0, next_fault - clock)
-                lost += min(progress + ran, progress + until_ckpt)
-                progress = 0.0 if interval_s is None else 0.0
+                # Failure strikes mid-segment: everything run since the
+                # last checkpoint — the uncommitted progress plus the
+                # part of this slice that actually ran — is lost.
+                ran = min(max(0.0, next_fault - clock), until_ckpt)
+                lost += progress + ran
+                progress = 0.0
                 if interval_s is None:
                     done = 0.0  # no checkpoint: start over
                 clock = next_fault + restart_cost_s
@@ -159,3 +197,195 @@ class FaultSimulator:
                 work_s, interval_s, checkpoint_cost_s, restart_cost_s
             ).makespan_s
         return total / runs
+
+    # -- session-backed mode ---------------------------------------------------
+
+    def run_session_once(
+        self,
+        work_s: float,
+        interval_s: float,
+        *,
+        ckpt_fault_prob: float = 0.0,
+        restore_fault_prob: float = 0.0,
+        keep_generations: int = 3,
+        retries: int = 3,
+        backoff_s: float = 0.05,
+        gpu: str = "V100",
+    ) -> SessionSimOutcome:
+        """One end-to-end run through the *real* checkpoint pipeline.
+
+        Unlike :meth:`run_once` — which charges abstract per-event
+        costs — this drives an actual :class:`~repro.core.session.CracSession`
+        with a :class:`~repro.dmtcp.store.CheckpointStore`: checkpoints
+        pay the measured drain/stage/write costs, faults can also land
+        *inside* the checkpoint path (``ckpt_fault_prob`` per staged
+        region — the partial is discarded and the job continues from
+        the previous generation), restores can fail transiently
+        (``restore_fault_prob``) and self-heal via
+        :meth:`~repro.core.session.CracSession.restart_latest`'s
+        backoff + generation fallback. Work advances the session's
+        virtual clock; the makespan is the session's own elapsed time.
+        """
+        from repro.core.session import CracSession
+        from repro.dmtcp.store import CheckpointStore
+        from repro.errors import InjectedFault
+        from repro.harness.fault_injection import FaultInjector, FaultSpec
+
+        specs = []
+        if ckpt_fault_prob > 0.0:
+            specs.append(FaultSpec(
+                "image-write", probability=ckpt_fault_prob, max_fires=None))
+        if restore_fault_prob > 0.0:
+            specs.append(FaultSpec(
+                "restore", probability=restore_fault_prob, max_fires=None))
+        injector = FaultInjector(specs, seed=self._rng.randrange(1 << 30))
+        store = CheckpointStore(
+            keep_generations=keep_generations, fault_injector=injector)
+        session = CracSession(
+            gpu=gpu, seed=self._rng.randrange(1 << 30),
+            fault_injector=injector,
+        )
+        # Give the job some state worth checkpointing.
+        ptr = session.backend.malloc(1 << 16)
+        session.backend.memset(ptr, 0x5A, 1 << 16)
+
+        def take_checkpoint() -> int | None:
+            """Two-phase checkpoint; None if a fault tore the write."""
+            try:
+                session.checkpoint(store=store)
+            except InjectedFault:
+                store.discard_partials()
+                return None
+            return store.latest()
+
+        # Anchor generation 0 so the very first fault has a recovery
+        # line (a job with *no* checkpoint yet would restart from
+        # scratch; cap the attempts so a hostile plan cannot spin).
+        committed_at: dict[int, float] = {}
+        for _ in range(50):
+            gen = take_checkpoint()
+            if gen is not None:
+                committed_at[gen] = 0.0
+                break
+        else:
+            raise RuntimeError("could not commit the anchor checkpoint")
+
+        t0 = session.process.clock_ns
+        committed = 0.0  # work protected by the latest committed image
+        progress = 0.0  # work since the last *committed* checkpoint
+        since_attempt = 0.0  # work since the last checkpoint *attempt*
+        failures = 0
+        checkpoints = 0
+        aborted = 0
+        lost = 0.0
+        restart_attempts = 0
+        restored_gens: list[int] = []
+        next_fault = self._rng.expovariate(1.0 / self.mtbf_s)
+
+        while committed + progress < work_s:
+            until_attempt = min(
+                interval_s - since_attempt, work_s - committed - progress
+            )
+            elapsed = (session.process.clock_ns - t0) / 1e9
+            if elapsed + until_attempt >= next_fault:
+                # The node dies mid-segment.
+                ran = min(max(0.0, next_fault - elapsed), until_attempt)
+                session.process.advance(ran * 1e9)
+                lost += progress + ran
+                progress = 0.0
+                since_attempt = 0.0
+                failures += 1
+                session.kill()
+                report = session.restart_latest(
+                    store, retries=retries, backoff_s=backoff_s
+                )
+                restart_attempts += len(report.attempts)
+                restored_gens.append(report.generation)
+                if committed_at[report.generation] < committed:
+                    # Fell back past the newest cut: that work is lost too.
+                    lost += committed - committed_at[report.generation]
+                    committed = committed_at[report.generation]
+                now = (session.process.clock_ns - t0) / 1e9
+                next_fault = now + self._rng.expovariate(1.0 / self.mtbf_s)
+                continue
+            session.process.advance(until_attempt * 1e9)
+            progress += until_attempt
+            since_attempt += until_attempt
+            if committed + progress >= work_s:
+                break
+            gen = take_checkpoint()
+            since_attempt = 0.0
+            if gen is None:
+                aborted += 1  # torn write discarded; keep running uncommitted
+                continue
+            committed += progress
+            progress = 0.0
+            committed_at[gen] = committed
+            checkpoints += 1
+
+        return SessionSimOutcome(
+            makespan_s=(session.process.clock_ns - t0) / 1e9,
+            failures=failures,
+            checkpoints=checkpoints,
+            work_lost_s=lost,
+            aborted_checkpoints=aborted,
+            restart_attempts=restart_attempts,
+            generations_restored=restored_gens,
+        )
+
+    def measure_session_costs(self, *, gpu: str = "V100") -> tuple[float, float]:
+        """Probe one checkpoint + restart of a minimal session; returns
+        (checkpoint_cost_s, restart_cost_s) in virtual seconds."""
+        from repro.core.session import CracSession
+
+        session = CracSession(gpu=gpu, seed=0)
+        ptr = session.backend.malloc(1 << 16)
+        session.backend.memset(ptr, 0x5A, 1 << 16)
+        image = session.checkpoint()
+        session.kill()
+        report = session.restart(image)
+        return image.checkpoint_time_ns / 1e9, report.restart_time_ns / 1e9
+
+    def cross_validate_session(
+        self,
+        work_s: float,
+        interval_s: float | None = None,
+        *,
+        runs: int = 3,
+        ckpt_fault_prob: float = 0.0,
+        restore_fault_prob: float = 0.0,
+        gpu: str = "V100",
+    ) -> CrossValidation:
+        """Cross-validate Young/Daly analytics against end-to-end runs.
+
+        Probes the real checkpoint/restart costs, predicts the makespan
+        with :func:`expected_completion_time` (at ``interval_s`` or
+        Young's optimum), then measures the mean makespan of ``runs``
+        session-backed simulations *with* checkpoint-stage faults
+        enabled. The returned :class:`CrossValidation` carries both
+        numbers and the per-run outcomes.
+        """
+        ckpt_cost, restart_cost = self.measure_session_costs(gpu=gpu)
+        if interval_s is None:
+            interval_s = young_interval(max(ckpt_cost, 1e-6), self.mtbf_s)
+        analytic = expected_completion_time(
+            work_s, interval_s, ckpt_cost, restart_cost, self.mtbf_s
+        )
+        outcomes = [
+            self.run_session_once(
+                work_s, interval_s,
+                ckpt_fault_prob=ckpt_fault_prob,
+                restore_fault_prob=restore_fault_prob,
+                gpu=gpu,
+            )
+            for _ in range(runs)
+        ]
+        simulated = sum(o.makespan_s for o in outcomes) / len(outcomes)
+        return CrossValidation(
+            interval_s=interval_s,
+            checkpoint_cost_s=ckpt_cost,
+            restart_cost_s=restart_cost,
+            analytic_s=analytic,
+            simulated_s=simulated,
+            outcomes=outcomes,
+        )

@@ -23,7 +23,9 @@ from repro.apps.base import AppContext, AppResult, CudaApp
 from repro.core.session import CracSession
 from repro.core.halves import SplitProcess
 from repro.cuda.interface import CudaDispatchBase, NativeBackend
+from repro.dmtcp.store import CheckpointStore
 from repro.gpu.timing import DEFAULT_HOST_COSTS, HostCosts
+from repro.harness.fault_injection import FaultInjector
 from repro.proxy.crcuda import CrcudaBackend
 from repro.proxy.crum import CrumBackend
 from repro.proxy.proxy_runtime import NaiveProxyBackend
@@ -103,6 +105,8 @@ def run_app(
     gzip: bool = False,
     noise: bool = True,
     costs: HostCosts = DEFAULT_HOST_COSTS,
+    store: CheckpointStore | None = None,
+    fault_injector: FaultInjector | None = None,
 ) -> RunResult:
     """Run ``app`` on a fresh machine under ``mode``.
 
@@ -113,6 +117,11 @@ def run_app(
     the full transparency path, whose output digest must equal a native
     run's. ``incremental=True`` chains the checkpoints as
     base + dirty-page deltas.
+
+    ``store`` (CRAC only) commits every checkpoint through the store's
+    two-phase protocol and performs the restart via the self-healing
+    ``restart_latest`` path; ``fault_injector`` arms a seeded fault plan
+    over the whole pipeline.
     """
     if mode not in MODES:
         raise ValueError(f"mode must be one of {MODES}")
@@ -127,7 +136,7 @@ def run_app(
     if mode == "crac":
         session = CracSession(
             gpu=machine.gpu, fsgsbase=machine.fsgsbase, seed=machine.seed,
-            costs=costs,
+            costs=costs, fault_injector=fault_injector,
         )
         backend: CudaDispatchBase = session.backend
         upper_mmap = lambda size: session.split.upper_mmap(size)  # noqa: E731
@@ -141,6 +150,7 @@ def run_app(
                 gzip=gzip,
                 incremental=incremental and bool(chain),
                 parent=chain[-1] if (incremental and chain) else None,
+                store=store,
             )
             chain.append(image)
             rec = CkptRecord(
@@ -150,7 +160,11 @@ def run_app(
             )
             if restart_after_checkpoint and is_last:
                 session.kill()
-                report = session.restart(image)
+                report = (
+                    session.restart_latest(store)
+                    if store is not None
+                    else session.restart(image)
+                )
                 rec.restart_s = report.restart_time_ns / 1e9
                 rec.replayed_calls = report.replayed_calls
             records.append(rec)

@@ -105,16 +105,38 @@ class MpiJacobi:
             backend.device_synchronize()
 
     def run(self, *, checkpoint_at_iter: int | None = None,
-            restart: bool = True) -> int:
+            restart: bool = True, stores: "list | None" = None) -> int:
         """Run to completion; optionally checkpoint+kill+restart the whole
         world at iteration ``checkpoint_at_iter``. Returns the digest of
-        all slabs."""
+        all slabs.
+
+        With ``stores`` (one :class:`~repro.dmtcp.store.CheckpointStore`
+        per rank) the checkpoint goes through the coordinated two-phase
+        commit and the restart is the self-healing store-backed path —
+        a failed coordinated checkpoint is absorbed (the job continues
+        and retries at the next scheduled iteration) rather than fatal.
+        """
+        from repro.errors import CheckpointError
+
+        pending_ckpt = checkpoint_at_iter
         for it in range(self.iterations):
-            if checkpoint_at_iter is not None and it == checkpoint_at_iter:
-                images = self.world.checkpoint_all()
-                if restart:
-                    self.world.kill_all()
-                    self.world.restart_all(images)
+            if pending_ckpt is not None and it >= pending_ckpt:
+                if stores is None:
+                    pending_ckpt = None
+                    images = self.world.checkpoint_all()
+                    if restart:
+                        self.world.kill_all()
+                        self.world.restart_all(images)
+                else:
+                    try:
+                        self.world.checkpoint_all_2pc(stores)
+                    except CheckpointError:
+                        pending_ckpt = it + 1  # absorbed; retry next iter
+                    else:
+                        pending_ckpt = None
+                        if restart:
+                            self.world.kill_all()
+                            self.world.restart_all_latest(stores)
             self.step()
         self.world.barrier()
         return digest_arrays(*[self._slab(r).copy() for r in range(self.world.size)])

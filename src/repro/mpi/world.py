@@ -20,9 +20,11 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.core.session import CracSession
+from repro.core.session import CracSession, RestartReport
+from repro.dmtcp.coordinator import DmtcpCoordinator
 from repro.dmtcp.image import CheckpointImage
-from repro.errors import ReproError
+from repro.dmtcp.store import CheckpointStore, StagedCheckpoint
+from repro.errors import CheckpointError, ReproError
 from repro.gpu.timing import NS_PER_S
 
 #: Intra-node MPI costs (shared-memory transport).
@@ -60,11 +62,26 @@ class MpiRank:
 class MpiWorld:
     """N single-node MPI ranks under coordinated CRAC checkpointing."""
 
-    def __init__(self, n_ranks: int, *, gpu: str = "V100", seed: int = 0) -> None:
+    def __init__(
+        self,
+        n_ranks: int,
+        *,
+        gpu: str = "V100",
+        seed: int = 0,
+        fault_injector=None,
+    ) -> None:
         if n_ranks < 1:
             raise ValueError("need at least one rank")
+        # One injector shared by every rank: stage-visit counts span the
+        # whole job, so ``at_count=k`` can target "the kth region staged
+        # anywhere in the job" — which is how a single node loss lands.
         self.ranks = [
-            MpiRank(rank=i, session=CracSession(gpu=gpu, seed=seed))
+            MpiRank(
+                rank=i,
+                session=CracSession(
+                    gpu=gpu, seed=seed, fault_injector=fault_injector
+                ),
+            )
             for i in range(n_ranks)
         ]
 
@@ -156,6 +173,49 @@ class MpiWorld:
         self.barrier()
         return images
 
+    def checkpoint_all_2pc(
+        self, stores: list[CheckpointStore], *, gzip: bool = False
+    ) -> list[int]:
+        """Coordinated checkpoint with all-or-nothing commit.
+
+        Phase 1: every rank checkpoints and *stages* its image into its
+        store. If any rank fails mid-stage (a checkpoint-stage fault),
+        every already-staged image is aborted and any partial is
+        discarded — the previous consistent cut stays the recovery line
+        and :class:`CheckpointError` propagates. Phase 2: the
+        coordinator commits all stages; no rank ever holds a generation
+        its peers lack. Returns one committed generation id per rank.
+        """
+        if len(stores) != self.size:
+            raise ValueError("one store per rank required")
+        self.barrier()
+        staged: list[tuple[CheckpointStore, StagedCheckpoint]] = []
+        try:
+            for r, store in zip(self.ranks, stores):
+                staged.append(
+                    (store, r.session.coordinator.stage_checkpoint(
+                        store, gzip=gzip))
+                )
+        except ReproError as exc:
+            for store, s in staged:
+                store.abort(s)
+            for store in stores:
+                store.discard_partials()
+            self.barrier()
+            raise CheckpointError(
+                f"coordinated checkpoint aborted in phase 1: {exc}"
+            ) from exc
+        injector = next(
+            (r.session.fault_injector for r in self.ranks
+             if r.session.fault_injector is not None),
+            None,
+        )
+        generations = DmtcpCoordinator.two_phase_commit(
+            staged, fault_injector=injector
+        )
+        self.barrier()
+        return generations
+
     def kill_all(self) -> None:
         """Terminate every rank (whole-job failure)."""
         for r in self.ranks:
@@ -168,6 +228,38 @@ class MpiWorld:
         for r, image in zip(self.ranks, images):
             r.session.restart(image)
         self.barrier()
+
+    def restart_all_latest(
+        self,
+        stores: list[CheckpointStore],
+        *,
+        retries: int = 2,
+        backoff_s: float = 0.25,
+    ) -> list[RestartReport]:
+        """Self-healing whole-job restart from per-rank stores.
+
+        Every rank runs its own :meth:`CracSession.restart_latest`
+        (backoff + generation fallback); the ranks then synchronize so
+        the restored cut is consistent before the job continues. All
+        ranks restore the *same* generation id — staged cuts commit
+        atomically across ranks, so falling back independently can only
+        land on a cut every peer also holds; a mismatch means the
+        stores were managed outside :meth:`checkpoint_all_2pc`.
+        """
+        if len(stores) != self.size:
+            raise ValueError("one store per rank required")
+        reports = [
+            r.session.restart_latest(store, retries=retries, backoff_s=backoff_s)
+            for r, store in zip(self.ranks, stores)
+        ]
+        cut = {rep.generation for rep in reports}
+        if len(cut) > 1:
+            raise CheckpointError(
+                f"ranks restored inconsistent generations {sorted(cut)} — "
+                "stores must be populated via checkpoint_all_2pc"
+            )
+        self.barrier()
+        return reports
 
     # -- utilities ---------------------------------------------------------------------
 

@@ -1,0 +1,173 @@
+"""Tests for the crash-consistent checkpoint store."""
+
+import pytest
+
+from repro.core.session import CracSession
+from repro.dmtcp.store import CheckpointStore
+from repro.errors import (
+    CheckpointStoreError,
+    CorruptCheckpointError,
+    InjectedFault,
+)
+from repro.harness.fault_injection import FaultInjector, FaultSpec
+
+
+def make_session(seed=3):
+    s = CracSession(seed=seed)
+    ptr = s.backend.malloc(1 << 14)
+    s.backend.memset(ptr, 0xAB, 1 << 14)
+    # Back some upper-half pages so images carry host bytes to corrupt.
+    host = s.split.upper_mmap(8192)
+    s.process.vas.write(host, b"\xC3" * 8192)
+    return s
+
+
+class TestTwoPhaseCommit:
+    def test_stage_then_commit_becomes_generation(self):
+        s = make_session()
+        store = CheckpointStore()
+        staged = store.stage(s.checkpoint())
+        assert staged.complete
+        assert store.latest() is None  # not visible until committed
+        gen = store.commit(staged)
+        assert store.latest() == gen
+        assert store.generations == [gen]
+
+    def test_put_is_stage_plus_commit(self):
+        s = make_session()
+        store = CheckpointStore()
+        gen = store.put(s.checkpoint())
+        assert store.generations == [gen]
+
+    def test_abort_discards_staged(self):
+        s = make_session()
+        store = CheckpointStore()
+        staged = store.stage(s.checkpoint())
+        store.abort(staged)
+        assert store.latest() is None
+        with pytest.raises(CheckpointStoreError):
+            store.commit(staged)
+
+    def test_crash_mid_write_leaves_discardable_partial(self):
+        inj = FaultInjector([FaultSpec("image-write", at_count=2)])
+        store = CheckpointStore(fault_injector=inj)
+        s = make_session()
+        image = s.checkpoint()
+        with pytest.raises(InjectedFault):
+            store.stage(image)
+        (partial,) = store.partials()
+        assert not partial.complete
+        assert partial.written_regions < len(image.regions)
+        # A torn image must never become a generation.
+        with pytest.raises(CheckpointStoreError, match="partial"):
+            store.commit(partial)
+        assert store.discard_partials() == 1
+        assert store.partials() == []
+        assert store.latest() is None
+
+    def test_generation_ids_are_monotone(self):
+        s = make_session()
+        store = CheckpointStore(keep_generations=5)
+        gens = [store.put(s.checkpoint()) for _ in range(3)]
+        assert gens == sorted(gens)
+        assert store.generations == gens
+
+
+class TestChecksums:
+    def test_load_verifies_clean_image(self):
+        s = make_session()
+        store = CheckpointStore()
+        gen = store.put(s.checkpoint())
+        assert store.load(gen) is store.get(gen).image
+
+    def test_corrupting_committed_bytes_fails_deterministically(self):
+        s = make_session()
+        store = CheckpointStore()
+        gen = store.put(s.checkpoint())
+        image = store.get(gen).image
+        region = next(r for r in image.regions if r.pages)
+        pg = min(region.pages)
+        region.pages[pg] = b"\x00" * len(region.pages[pg])
+        for _ in range(2):  # deterministic: fails the same way every time
+            with pytest.raises(CorruptCheckpointError, match="checksum"):
+                store.load(gen)
+
+    def test_corruption_fault_kind_is_silent_until_restore(self):
+        # probability=1: every staged region rots, including paged ones.
+        inj = FaultInjector(
+            [FaultSpec("image-write", probability=1.0, kind="corrupt",
+                       max_fires=None)]
+        )
+        store = CheckpointStore(fault_injector=inj)
+        s = make_session()
+        gen = store.put(s.checkpoint())  # write "succeeds" silently
+        with pytest.raises(CorruptCheckpointError):
+            store.load(gen)
+
+    def test_load_latest_by_default(self):
+        s = make_session()
+        store = CheckpointStore()
+        store.put(s.checkpoint())
+        g2 = store.put(s.checkpoint())
+        assert store.load() is store.get(g2).image
+
+    def test_load_empty_store_raises(self):
+        with pytest.raises(CheckpointStoreError, match="no generations"):
+            CheckpointStore().load()
+
+    def test_incremental_chain_verified_through_parents(self):
+        s = make_session()
+        store = CheckpointStore()
+        base = s.checkpoint()
+        store.put(base)
+        inc = s.checkpoint(incremental=True, parent=base)
+        gen_inc = store.put(inc)
+        # Corrupt the *base*: loading the increment must catch it.
+        region = next(r for r in base.regions if r.pages)
+        pg = min(region.pages)
+        region.pages[pg] = bytes(len(region.pages[pg]))
+        with pytest.raises(CorruptCheckpointError):
+            store.load(gen_inc)
+
+
+class TestRetention:
+    def test_keep_n_evicts_oldest(self):
+        s = make_session()
+        store = CheckpointStore(keep_generations=2)
+        gens = [store.put(s.checkpoint()) for _ in range(4)]
+        assert store.generations == gens[-2:]
+        assert store.evicted == 2
+
+    def test_gc_protects_incremental_parents(self):
+        """A base image a live chain still parents must survive keep-N."""
+        s = make_session()
+        store = CheckpointStore(keep_generations=1)
+        base = s.checkpoint()
+        gen_base = store.put(base)
+        prev = base
+        for _ in range(3):
+            inc = s.checkpoint(incremental=True, parent=prev)
+            store.put(inc)
+            prev = inc
+        # keep=1 would normally leave only the newest — but the newest
+        # chains back through every increment to the base.
+        assert gen_base in store.generations
+        assert len(store.generations) == 4
+        assert store.load() is prev  # and the whole chain verifies
+
+    def test_gc_collects_unchained_when_full_checkpoints(self):
+        s = make_session()
+        store = CheckpointStore(keep_generations=1)
+        for _ in range(3):
+            store.put(s.checkpoint())  # full images: no parent links
+        assert len(store.generations) == 1
+
+    def test_invalid_keep(self):
+        with pytest.raises(ValueError):
+            CheckpointStore(keep_generations=0)
+
+    def test_describe_mentions_generations(self):
+        s = make_session()
+        store = CheckpointStore()
+        store.put(s.checkpoint())
+        assert "1 generations" in store.describe()

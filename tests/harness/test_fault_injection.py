@@ -1,0 +1,127 @@
+"""Tests for the seeded fault-injection harness."""
+
+import pytest
+
+from repro.errors import InjectedFault, ReplayDivergenceError
+from repro.harness.fault_injection import FaultInjector, FaultSpec
+
+
+class TestFaultSpec:
+    def test_unknown_stage_rejected(self):
+        with pytest.raises(ValueError, match="unknown stage"):
+            FaultSpec("mid-lunch", at_count=1)
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown fault kind"):
+            FaultSpec("restore", at_count=1, kind="meltdown")
+
+    def test_exactly_one_trigger(self):
+        with pytest.raises(ValueError):
+            FaultSpec("restore")
+        with pytest.raises(ValueError):
+            FaultSpec("restore", probability=0.5, at_count=1)
+
+    def test_probability_bounds(self):
+        with pytest.raises(ValueError):
+            FaultSpec("restore", probability=1.5)
+
+    def test_at_count_is_one_based(self):
+        with pytest.raises(ValueError):
+            FaultSpec("restore", at_count=0)
+
+
+class TestDeterministicFiring:
+    def test_fires_on_nth_visit_only(self):
+        inj = FaultInjector([FaultSpec("region-save", at_count=3)])
+        assert inj.trip("region-save") is None
+        assert inj.trip("region-save") is None
+        assert inj.trip("region-save") == "crash"
+
+    def test_max_fires_default_once(self):
+        inj = FaultInjector([FaultSpec("restore", at_count=1)])
+        assert inj.trip("restore") == "crash"
+        assert inj.trip("restore") is None  # spent
+
+    def test_fired_trail_records_context(self):
+        inj = FaultInjector([FaultSpec("restore", at_count=2)])
+        inj.trip("restore", "first")
+        inj.trip("restore", "second")
+        (fault,) = inj.fired
+        assert fault.stage == "restore"
+        assert fault.visit == 2
+        assert fault.context == "second"
+
+    def test_stages_counted_independently(self):
+        inj = FaultInjector([FaultSpec("restore", at_count=1)])
+        inj.trip("region-save")
+        inj.trip("image-write")
+        assert inj.trip("restore") == "crash"
+
+
+class TestProbabilisticFiring:
+    def test_seeded_and_reproducible(self):
+        def schedule(seed):
+            inj = FaultInjector(
+                [FaultSpec("image-write", probability=0.3, max_fires=None)],
+                seed=seed,
+            )
+            return [inj.trip("image-write") for _ in range(50)]
+
+        assert schedule(7) == schedule(7)
+        assert schedule(7) != schedule(8)
+
+    def test_probability_zero_never_fires(self):
+        inj = FaultInjector([FaultSpec("restore", probability=0.0)])
+        assert all(inj.trip("restore") is None for _ in range(100))
+
+    def test_probability_one_always_fires_until_spent(self):
+        inj = FaultInjector(
+            [FaultSpec("restore", probability=1.0, max_fires=2)]
+        )
+        assert inj.trip("restore") == "crash"
+        assert inj.trip("restore") == "crash"
+        assert inj.trip("restore") is None
+
+
+class TestCheck:
+    def test_crash_raises_injected_fault_with_stage(self):
+        inj = FaultInjector([FaultSpec("precheckpoint", at_count=1)])
+        with pytest.raises(InjectedFault) as exc:
+            inj.check("precheckpoint", "crac plugin")
+        assert exc.value.stage == "precheckpoint"
+        assert "crac plugin" in str(exc.value)
+
+    def test_divergence_kind_at_replay(self):
+        inj = FaultInjector(
+            [FaultSpec("replay", at_count=1, kind="divergence")]
+        )
+        with pytest.raises(ReplayDivergenceError):
+            inj.check("replay")
+
+    def test_corrupt_returned_when_site_is_corruptible(self):
+        inj = FaultInjector(
+            [FaultSpec("image-write", at_count=1, kind="corrupt")]
+        )
+        assert inj.check("image-write", corruptible=True) == "corrupt"
+
+    def test_corrupt_treated_as_crash_elsewhere(self):
+        inj = FaultInjector([FaultSpec("restore", at_count=1, kind="corrupt")])
+        with pytest.raises(InjectedFault):
+            inj.check("restore")
+
+    def test_unknown_stage_at_trip_time(self):
+        with pytest.raises(ValueError):
+            FaultInjector().trip("nonsense")
+
+    def test_arm_adds_spec(self):
+        inj = FaultInjector()
+        assert inj.trip("restore") is None
+        inj.arm(FaultSpec("restore", at_count=2))
+        assert inj.trip("restore") == "crash"
+
+    def test_reset_counters_keeps_trail(self):
+        inj = FaultInjector([FaultSpec("restore", at_count=1)])
+        inj.trip("restore")
+        inj.reset_counters()
+        assert inj.visits["restore"] == 0
+        assert len(inj.fired) == 1

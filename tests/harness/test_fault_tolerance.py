@@ -64,6 +64,23 @@ class TestAnalyticModel:
         with pytest.raises(ValueError):
             expected_completion_time(100, 0, 1, 1, 100)
 
+    def test_invalid_work(self):
+        with pytest.raises(ValueError):
+            expected_completion_time(0, 10, 1, 1, 100)
+
+    def test_invalid_mtbf(self):
+        with pytest.raises(ValueError):
+            expected_completion_time(100, 10, 1, 1, 0)
+
+    def test_degenerate_regime_returns_infinity(self):
+        """A segment far longer than the MTBF can never complete: the
+        expected makespan diverges (explicitly, not via a 1e-300 fudge)."""
+        t = expected_completion_time(
+            work_s=1e6, interval_s=1e6, checkpoint_cost_s=1.0,
+            restart_cost_s=5.0, mtbf_s=1.0,
+        )
+        assert math.isinf(t)
+
 
 class TestSimulator:
     def test_reproducible(self):
@@ -106,6 +123,68 @@ class TestSimulator:
         if out.failures:
             assert out.work_lost_s > 0
 
+    def test_work_lost_bounded_by_interval_per_failure(self):
+        """Each failure can lose at most one interval of mid-segment work
+        plus one committed-but-unchecked segment — never more than 2τ."""
+        out = FaultSimulator(mtbf_s=60, seed=6).run_once(2000, 50, 1, 5)
+        assert out.failures > 0
+        assert out.work_lost_s <= out.failures * 2 * 50
+
     def test_invalid_mtbf(self):
         with pytest.raises(ValueError):
             FaultSimulator(mtbf_s=0)
+
+
+class TestSessionBackedSimulator:
+    """The end-to-end mode: real CracSession + CheckpointStore + faults."""
+
+    def test_reproducible(self):
+        a = FaultSimulator(mtbf_s=40, seed=9).run_session_once(
+            100.0, 10.0, ckpt_fault_prob=0.001, restore_fault_prob=0.2
+        )
+        b = FaultSimulator(mtbf_s=40, seed=9).run_session_once(
+            100.0, 10.0, ckpt_fault_prob=0.001, restore_fault_prob=0.2
+        )
+        assert a == b
+
+    def test_completes_all_work(self):
+        out = FaultSimulator(mtbf_s=30, seed=10).run_session_once(80.0, 10.0)
+        assert out.makespan_s >= 80.0
+        assert out.checkpoints > 0
+
+    def test_faults_roll_back_to_committed_generations(self):
+        out = FaultSimulator(mtbf_s=15, seed=11).run_session_once(
+            120.0, 10.0, restore_fault_prob=0.3
+        )
+        assert out.failures > 0
+        assert out.restart_attempts >= out.failures
+        assert len(out.generations_restored) == out.failures
+        assert out.work_lost_s > 0
+
+    def test_checkpoint_stage_faults_are_absorbed(self):
+        """Torn writes abort the cut but never kill the job."""
+        out = FaultSimulator(mtbf_s=200, seed=12).run_session_once(
+            150.0, 10.0, ckpt_fault_prob=0.05
+        )
+        assert out.aborted_checkpoints > 0
+        assert out.makespan_s >= 150.0  # all work still completed
+
+    def test_cross_validation_tracks_analytic_model(self):
+        """§1(a)/(b): the end-to-end pipeline (with checkpoint-stage
+        faults enabled) agrees with Young/Daly within ~35%."""
+        sim = FaultSimulator(mtbf_s=25.0, seed=13)
+        cv = sim.cross_validate_session(
+            150.0, 10.0, runs=3,
+            ckpt_fault_prob=0.002, restore_fault_prob=0.1,
+        )
+        assert cv.checkpoint_cost_s > 0
+        assert cv.restart_cost_s > 0
+        assert cv.simulated_s == pytest.approx(cv.analytic_s, rel=0.35)
+        assert cv.ratio == pytest.approx(cv.simulated_s / cv.analytic_s)
+
+    def test_cross_validation_defaults_to_young_interval(self):
+        sim = FaultSimulator(mtbf_s=50.0, seed=14)
+        cv = sim.cross_validate_session(40.0, runs=1)
+        assert cv.interval_s == pytest.approx(
+            young_interval(cv.checkpoint_cost_s, 50.0)
+        )

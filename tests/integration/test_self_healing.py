@@ -1,0 +1,255 @@
+"""End-to-end self-healing: faults in the checkpoint/restore pipeline.
+
+The acceptance scenarios for the crash-consistent store:
+
+- a fault mid-checkpoint tears the staged write; the store discards the
+  partial and the job keeps running — and later restarts — from the
+  previous committed generation;
+- a fault mid-restore makes ``restart_latest`` back off, retry, and
+  fall back one generation, with the full attempt trail in the report;
+- a corrupted committed region fails restore deterministically via
+  checksum verification;
+- a coordinated multi-rank checkpoint aborts atomically when any rank
+  fails to stage (no rank ever commits a cut its peers lack).
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.session import CracSession
+from repro.cuda.api import FatBinary
+from repro.dmtcp.store import CheckpointStore
+from repro.errors import (
+    CheckpointError,
+    CorruptCheckpointError,
+    InjectedFault,
+    ReplayDivergenceError,
+    RestartError,
+)
+from repro.harness.fault_injection import FaultInjector, FaultSpec
+from repro.mpi import MpiJacobi, MpiWorld
+
+
+FB = FatBinary("selfheal.fatbin", ("mutate",))
+
+
+def make_session(injector=None, seed=11):
+    session = CracSession(seed=seed, fault_injector=injector)
+    session.backend.register_app_binary(FB)
+    ptr = session.backend.malloc(4 * 64)
+    x = np.arange(64, dtype=np.float32)
+    session.backend.memcpy(ptr, x, x.nbytes, "h2d")
+    # Back some upper-half pages so images carry host bytes too.
+    host = session.split.upper_mmap(8192)
+    session.process.vas.write(host, b"\xC3" * 8192)
+    return session, ptr
+
+
+def device_values(session, ptr):
+    return session.backend.device_view(ptr, 4 * 64, np.float32).copy()
+
+
+class TestMidCheckpointFault:
+    def test_partial_discarded_job_continues_from_previous_generation(self):
+        """Fault tears the 2nd checkpoint's write → gen 1 remains the
+        recovery line and restores the gen-1 state."""
+        inj = FaultInjector(seed=5)
+        store = CheckpointStore(fault_injector=inj)
+        session, ptr = make_session()
+
+        # Generation 1 commits cleanly (no fault armed yet).
+        session.checkpoint(store=store)
+        gen1_values = device_values(session, ptr)
+        # Arm a crash partway through the *next* image's write.
+        inj.reset_counters()
+        inj.arm(FaultSpec("image-write", at_count=3))
+
+        # Progress past gen 1, then the 2nd checkpoint tears mid-write.
+        view = session.backend.device_view(ptr, 4 * 64, np.float32)
+        session.backend.launch("mutate", lambda: view.__iadd__(100.0))
+        session.backend.device_synchronize()
+        with pytest.raises(InjectedFault):
+            session.checkpoint(store=store)
+        assert len(store.partials()) == 1
+        assert store.generations == [1]  # the torn image never committed
+
+        # The node then dies; self-healing restart discards the partial
+        # and restores generation 1.
+        session.kill()
+        report = session.restart_latest(store)
+        assert store.partials() == []
+        assert report.generation == 1
+        np.testing.assert_array_equal(device_values(session, ptr), gen1_values)
+
+    def test_job_level_continuity_after_absorbed_checkpoint_fault(self):
+        """The app can keep computing after an aborted checkpoint."""
+        inj = FaultInjector([FaultSpec("image-write", at_count=2)], seed=5)
+        store = CheckpointStore(fault_injector=inj)
+        session, ptr = make_session()
+        with pytest.raises(InjectedFault):
+            session.checkpoint(store=store)
+        store.discard_partials()
+        # Work continues; the next checkpoint (fault spent) commits.
+        session.checkpoint(store=store)
+        assert store.latest() == 1
+
+
+class TestMidRestoreFault:
+    def test_backoff_then_generation_fallback_with_attempt_trail(self):
+        """Mid-restore faults exhaust gen 2's retries; restart_latest
+        backs off exponentially and completes from gen 1."""
+        inj = FaultInjector(
+            [FaultSpec("restore", probability=1.0, max_fires=2)], seed=3
+        )
+        store = CheckpointStore()
+        session, ptr = make_session(injector=inj)
+        session.checkpoint(store=store)  # gen 1
+        view = session.backend.device_view(ptr, 4 * 64, np.float32)
+        session.backend.launch("mutate", lambda: view.__imul__(3.0))
+        session.backend.device_synchronize()
+        gen2_values = device_values(session, ptr)
+        session.checkpoint(store=store)  # gen 2
+        session.kill()
+
+        report = session.restart_latest(store, retries=1, backoff_s=0.5)
+        # Trail: gen 2 try 1 (fail), gen 2 try 2 after backoff (fail),
+        # gen 1 try 1 (success).
+        assert [a.generation for a in report.attempts] == [2, 2, 1]
+        assert [a.succeeded for a in report.attempts] == [False, False, True]
+        assert report.attempts[1].backoff_ns == 0.5e9
+        assert report.generation == 1
+        assert report.backoff_ns > 0
+        # Fell back one generation: gen-1 state, not gen-2's.
+        restored = device_values(session, ptr)
+        assert not np.array_equal(restored, gen2_values)
+        np.testing.assert_array_equal(restored, np.arange(64, dtype=np.float32))
+
+    def test_transient_fault_heals_on_same_generation(self):
+        inj = FaultInjector([FaultSpec("restore", at_count=1)], seed=3)
+        store = CheckpointStore()
+        session, ptr = make_session(injector=inj)
+        session.checkpoint(store=store)
+        session.kill()
+        report = session.restart_latest(store, retries=2, backoff_s=0.25)
+        assert [a.generation for a in report.attempts] == [1, 1]
+        assert report.generation == 1
+
+    def test_injected_replay_divergence_falls_back(self):
+        inj = FaultInjector(
+            [FaultSpec("replay", at_count=1, kind="divergence")], seed=3
+        )
+        store = CheckpointStore()
+        session, ptr = make_session(injector=inj)
+        session.checkpoint(store=store)
+        session.checkpoint(store=store)
+        session.kill()
+        report = session.restart_latest(store, retries=0)
+        assert report.generation == 1  # gen 2's replay diverged
+        assert "divergence" in report.attempts[0].error
+
+    def test_exhausting_every_generation_raises(self):
+        inj = FaultInjector(
+            [FaultSpec("restore", probability=1.0, max_fires=None)], seed=3
+        )
+        store = CheckpointStore()
+        session, ptr = make_session(injector=inj)
+        session.checkpoint(store=store)
+        session.kill()
+        with pytest.raises(RestartError, match="exhausted"):
+            session.restart_latest(store, retries=1, backoff_s=0.01)
+
+
+class TestCorruptionDetection:
+    def test_corrupt_committed_region_fails_restore_deterministically(self):
+        store = CheckpointStore()
+        session, ptr = make_session()
+        session.checkpoint(store=store)
+        image = store.get(1).image
+        region = next(r for r in image.regions if r.pages)
+        pg = min(region.pages)
+        flipped = bytearray(region.pages[pg])
+        flipped[0] ^= 0x01  # a single flipped bit
+        region.pages[pg] = bytes(flipped)
+        session.kill()
+        for _ in range(2):
+            with pytest.raises(CorruptCheckpointError):
+                store.load(1)
+
+    def test_restart_latest_skips_corrupt_newest(self):
+        store = CheckpointStore()
+        session, ptr = make_session()
+        session.checkpoint(store=store)  # gen 1 (clean)
+        session.checkpoint(store=store)  # gen 2 (to be corrupted)
+        image = store.get(2).image
+        region = next(r for r in image.regions if r.pages)
+        pg = min(region.pages)
+        region.pages[pg] = bytes(len(region.pages[pg]))
+        session.kill()
+        report = session.restart_latest(store, retries=3)
+        # Corruption is deterministic: exactly one attempt on gen 2
+        # (no retries wasted), then gen 1 succeeds.
+        assert [a.generation for a in report.attempts] == [2, 1]
+        assert "Corrupt" in report.attempts[0].error
+
+
+class TestCoordinatedTwoPhaseCommit:
+    def test_one_rank_failing_to_stage_aborts_all(self):
+        inj = FaultInjector([FaultSpec("precheckpoint", at_count=2)], seed=1)
+        world = MpiWorld(2, fault_injector=inj)
+        stores = [CheckpointStore() for _ in range(2)]
+        with pytest.raises(CheckpointError, match="aborted in phase 1"):
+            world.checkpoint_all_2pc(stores)
+        # All-or-nothing: nobody committed, nothing torn left behind.
+        for store in stores:
+            assert store.generations == []
+            assert store.partials() == []
+
+    def test_commit_stage_fault_aborts_all(self):
+        inj = FaultInjector([FaultSpec("commit", at_count=1)], seed=1)
+        world = MpiWorld(2, fault_injector=inj)
+        stores = [CheckpointStore() for _ in range(2)]
+        with pytest.raises(InjectedFault):
+            world.checkpoint_all_2pc(stores)
+        for store in stores:
+            assert store.generations == []
+
+    def test_clean_2pc_commits_every_rank(self):
+        world = MpiWorld(3)
+        stores = [CheckpointStore() for _ in range(3)]
+        gens = world.checkpoint_all_2pc(stores)
+        assert gens == [1, 1, 1]
+        for store in stores:
+            assert store.generations == [1]
+
+    def test_store_count_must_match_ranks(self):
+        world = MpiWorld(2)
+        with pytest.raises(ValueError):
+            world.checkpoint_all_2pc([CheckpointStore()])
+
+
+class TestJacobiStoreBacked:
+    def test_digest_matches_uninterrupted_run(self):
+        """2PC checkpoint + store-backed whole-job restart is transparent."""
+        baseline = MpiJacobi(MpiWorld(2, seed=4), iterations=10, seed=4).run()
+        world = MpiWorld(2, seed=4)
+        stores = [CheckpointStore() for _ in range(2)]
+        digest = MpiJacobi(world, iterations=10, seed=4).run(
+            checkpoint_at_iter=5, stores=stores
+        )
+        assert digest == baseline
+        for store in stores:
+            assert store.generations == [1]
+
+    def test_aborted_coordinated_checkpoint_is_absorbed(self):
+        """A phase-1 fault skips that cut; the job still finishes with
+        the right answer and commits on the retry."""
+        baseline = MpiJacobi(MpiWorld(2, seed=4), iterations=10, seed=4).run()
+        inj = FaultInjector([FaultSpec("precheckpoint", at_count=2)], seed=1)
+        world = MpiWorld(2, seed=4, fault_injector=inj)
+        stores = [CheckpointStore() for _ in range(2)]
+        digest = MpiJacobi(world, iterations=10, seed=4).run(
+            checkpoint_at_iter=5, stores=stores
+        )
+        assert digest == baseline
+        for store in stores:  # the retried cut committed
+            assert store.generations == [1]
