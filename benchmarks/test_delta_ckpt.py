@@ -1,0 +1,45 @@
+"""Checkpoint-mode comparison: full vs incremental vs forked.
+
+Runs ≥2 Rodinia apps with several mid-run cuts under each checkpoint
+mode and asserts the headline claim of the delta/forked pipeline:
+forked+incremental checkpointing cuts the app-visible checkpoint stall
+by at least 30% versus synchronous full checkpoints. The report is
+written to ``BENCH_delta_ckpt.json`` at the repo root so CI can upload
+it as an artifact.
+"""
+
+import json
+from pathlib import Path
+
+from benchmarks.conftest import BENCH_SCALE, run_once
+from repro.apps.rodinia import Gaussian, Kmeans
+from repro.harness import format_report, run_ckpt_bench
+
+OUT = Path(__file__).resolve().parents[1] / "BENCH_delta_ckpt.json"
+
+
+def test_delta_ckpt_modes(benchmark):
+    report = run_once(
+        benchmark,
+        # Below ~quarter scale the fixed quiesce cost (which no mode can
+        # hide) dominates the stall and the ≥30% claim is meaningless.
+        lambda: run_ckpt_bench(
+            [Gaussian, Kmeans], scale=max(BENCH_SCALE, 0.25), n_cuts=4
+        ),
+    )
+    print()
+    print(format_report(report))
+    OUT.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+
+    for app, row in report["apps"].items():
+        modes = row["modes"]
+        # Incremental shrinks the image chain after the base cut.
+        assert modes["incremental"]["image_mb"] <= modes["full"]["image_mb"]
+        # Forked must never stall longer than the synchronous modes.
+        assert modes["forked"]["stall_s"] <= modes["full"]["stall_s"]
+        red = row["reduction_pct"]["forked"]
+        assert red >= 30.0, (
+            f"{app}: forked+incremental reduced stall by only {red:.1f}% "
+            f"(claim: ≥30%) — see BENCH_delta_ckpt.json"
+        )
+    assert report["summary"]["min_forked_reduction_pct"] >= 30.0

@@ -11,6 +11,8 @@ Commands:
   intervals, the analytic makespan, a Monte-Carlo check, and (with
   ``--session``) an end-to-end cross-validation that drives the real
   checkpoint pipeline with injected checkpoint/restore-stage faults;
+- ``ckpt-bench`` — full vs incremental vs forked checkpoint stall
+  comparison over Rodinia workloads, emitting ``BENCH_delta_ckpt.json``;
 - ``info``      — package version plus the calibrated cost model.
 """
 
@@ -115,6 +117,26 @@ def build_parser() -> argparse.ArgumentParser:
                     metavar="P", help="per-attempt mid-restore fault "
                     "probability (session mode)")
     fs.add_argument("--seed", type=int, default=0)
+
+    cb = sub.add_parser(
+        "ckpt-bench",
+        help="full vs incremental vs forked checkpoint stall comparison",
+    )
+    cb.add_argument("--apps", nargs="+", default=["gaussian", "kmeans"],
+                    choices=sorted(APP_REGISTRY),
+                    help="workloads to sweep (large-image Rodinia apps "
+                    "show the effect best)")
+    cb.add_argument("--scale", type=float, default=1.0)
+    cb.add_argument("--cuts", type=int, default=4,
+                    help="number of evenly spaced checkpoint cuts")
+    cb.add_argument("--gpu", default="V100", choices=["V100", "K600"])
+    cb.add_argument("--out", default="BENCH_delta_ckpt.json",
+                    metavar="PATH", help="write the JSON report here "
+                    "('-' to skip)")
+    cb.add_argument("--smoke", action="store_true",
+                    help="CI smoke mode: cap the scale so the sweep "
+                    "finishes in seconds")
+    cb.add_argument("--seed", type=int, default=0)
     return parser
 
 
@@ -271,6 +293,29 @@ def cmd_fault_sim(args, out) -> int:
     return 0
 
 
+def cmd_ckpt_bench(args, out) -> int:
+    """``repro ckpt-bench``: checkpoint-mode stall sweep + JSON report."""
+    import json
+
+    from repro.harness.ckpt_bench import format_report, run_ckpt_bench
+
+    scale = min(args.scale, 0.25) if args.smoke else args.scale
+    report = run_ckpt_bench(
+        [APP_REGISTRY[name] for name in args.apps],
+        scale=scale,
+        n_cuts=args.cuts,
+        seed=args.seed,
+        gpu=args.gpu,
+    )
+    print(format_report(report), file=out)
+    if args.out != "-":
+        with open(args.out, "w") as fh:
+            json.dump(report, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"\nwrote {args.out}", file=out)
+    return 0
+
+
 def cmd_reproduce(args, out) -> int:
     """``repro reproduce WHAT``: regenerate a table/figure."""
     from repro.harness import experiments as ex
@@ -327,6 +372,8 @@ def main(argv: list[str] | None = None, out=None) -> int:
         return cmd_calibrate(args, out)
     if args.command == "fault-sim":
         return cmd_fault_sim(args, out)
+    if args.command == "ckpt-bench":
+        return cmd_ckpt_bench(args, out)
     if args.command == "reproduce":
         return cmd_reproduce(args, out)
     raise AssertionError(args.command)  # pragma: no cover

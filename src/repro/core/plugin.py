@@ -20,7 +20,18 @@ from repro.core.trampoline import CracBackend
 from repro.dmtcp.image import CheckpointImage
 from repro.dmtcp.plugins import DmtcpPlugin
 from repro.gpu.timing import NS_PER_S
-from repro.gpu.uvm import ManagedBuffer
+from repro.gpu.uvm import UVM_PAGE, ManagedBuffer
+
+
+def _resident_dirty_bytes(buf: ManagedBuffer) -> int:
+    """Dirty bytes of a managed buffer that live on device-resident pages
+    (only those cross PCIe at drain/refill time)."""
+    total = 0
+    for lo, hi in buf.contents.dirty_spans():
+        for pg in range(lo // UVM_PAGE, (hi - 1) // UVM_PAGE + 1):
+            if pg < buf.num_pages and buf.residency[pg] == 1:
+                total += min(hi, (pg + 1) * UVM_PAGE) - max(lo, pg * UVM_PAGE)
+    return total
 
 
 class CracPlugin(DmtcpPlugin):
@@ -51,25 +62,56 @@ class CracPlugin(DmtcpPlugin):
         for dev in runtime.devices:
             runtime.process.advance_to(dev.synchronize_all())
         runtime.cudaDeviceSynchronize()
+        # The device is drained: every recorded managed write has ended,
+        # so the CRUM-conflict log can be compacted (it otherwise grows
+        # without bound across a long run).
+        for mbuf in runtime.uvm.buffers.values():
+            runtime.uvm.compact_writes(mbuf, before_ns=process.clock_ns)
 
         # 2. Stage active allocations; drain device-side bytes over PCIe.
+        #    For an incremental image only the *dirtied* spans are staged
+        #    (a GPU delta that chains exactly like host dirty pages);
+        #    ``uid`` guards the chain against arena address reuse. Each
+        #    entry records what it costs in the image (``image_bytes``)
+        #    and over PCIe at drain/refill time (``pcie_bytes``).
+        delta = image.incremental
         buffers: dict[int, dict] = {}
         drain_bytes = 0
         for buf in runtime.active_allocations():
             is_managed = isinstance(buf, ManagedBuffer)
             kind = "managed" if is_managed else buf.kind
+            dirty_spans = tuple(buf.contents.dirty_spans())
             entry = {
                 "kind": kind,
                 "size": buf.size,
-                "snapshot": buf.contents.snapshot(),
+                "uid": buf.uid,
+                "delta": delta,
+                "snapshot": (
+                    buf.contents.dirty_snapshot()
+                    if delta
+                    else buf.contents.snapshot()
+                ),
             }
+            entry["image_bytes"] = (
+                buf.contents.dirty_byte_count if delta else buf.size
+            )
             if is_managed:
                 entry["residency"] = buf.residency.copy()
                 # Only device-resident pages cross PCIe at drain time.
-                drain_bytes += int((buf.residency == 1).sum()) * 64 * 1024
+                entry["pcie_bytes"] = (
+                    _resident_dirty_bytes(buf)
+                    if delta
+                    else int((buf.residency == 1).sum()) * UVM_PAGE
+                )
             elif kind == "device":
-                drain_bytes += buf.size
+                entry["pcie_bytes"] = entry["image_bytes"]
+            else:  # host-pinned: bytes never cross PCIe
+                entry["pcie_bytes"] = 0
+            drain_bytes += entry["pcie_bytes"]
             buffers[buf.addr] = entry
+            # Whichever spans this image captured get cleared from the
+            # live buffer only when the image durably commits.
+            image.record_contents_capture(buf.contents, dirty_spans)
         process.advance(
             drain_bytes / runtime.device.spec.pcie_bw * NS_PER_S
         )
@@ -83,7 +125,7 @@ class CracPlugin(DmtcpPlugin):
             )
             accounted = max(accounted, sum(e["size"] for e in buffers.values()))
         else:
-            accounted = sum(e["size"] for e in buffers.values())
+            accounted = sum(e["image_bytes"] for e in buffers.values())
         image.add_blob("crac/buffers", buffers, accounted_bytes=accounted)
 
         # 3. Replay log + live handle metadata.

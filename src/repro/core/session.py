@@ -33,6 +33,7 @@ from repro.core.plugin import CracPlugin
 from repro.core.trampoline import CracBackend
 from repro.dmtcp.checkpointer import DmtcpCheckpointer
 from repro.dmtcp.coordinator import DmtcpCoordinator
+from repro.dmtcp.forked import ForkedCheckpoint
 from repro.dmtcp.image import CheckpointImage
 from repro.dmtcp.store import CheckpointStore
 from repro.errors import (
@@ -125,6 +126,10 @@ class CracSession:
         self.coordinator = DmtcpCoordinator(self.checkpointer, seed=seed)
         self.backend.coordinator = self.coordinator
         self.restarts: list[RestartReport] = []
+        #: forked checkpoints whose background image write has not been
+        #: finished yet (at most one in practice — a new checkpoint first
+        #: drains the previous write)
+        self.pending_forks: list[ForkedCheckpoint] = []
 
     # -- conveniences ------------------------------------------------------------
 
@@ -156,19 +161,48 @@ class CracSession:
         incremental: bool = False,
         parent: CheckpointImage | None = None,
         store: CheckpointStore | None = None,
+        forked: bool = False,
     ) -> CheckpointImage:
         """Take a checkpoint now (drain → stage → dump upper half).
 
-        ``incremental=True`` saves only host pages dirtied since
-        ``parent`` (GPU buffers are always staged in full). With
-        ``store`` the image additionally goes through the store's
-        two-phase commit and becomes a restorable generation."""
-        return self.coordinator.checkpoint(
-            gzip=gzip, incremental=incremental, parent=parent, store=store
+        ``incremental=True`` saves only host pages *and GPU buffer
+        spans* dirtied since ``parent``. With ``store`` the image goes
+        through the store's two-phase commit and becomes a restorable
+        generation. ``forked=True`` moves the image write (and the
+        commit point) onto a background timeline: the app resumes right
+        after quiesce + snapshot, pays copy-on-write for bytes it
+        touches inside the write window, and the write completes at
+        :meth:`finish_forked_checkpoints` (called automatically before
+        the next checkpoint and at kill)."""
+        # Only one background write at a time: drain the previous one
+        # first (usually long done — residual wait is then zero).
+        self.finish_forked_checkpoints()
+        image = self.coordinator.checkpoint(
+            gzip=gzip, incremental=incremental, parent=parent, store=store,
+            forked=forked,
         )
+        if forked:
+            self.pending_forks.append(image.forked_writer)
+        return image
+
+    def finish_forked_checkpoints(self, *, block: bool = True) -> None:
+        """Complete every pending forked image write (COW charge +
+        commit). A failure aborts that write — its image never commits,
+        dirty bits stay intact — and propagates."""
+        while self.pending_forks:
+            writer = self.pending_forks.pop(0)
+            writer.finish(
+                self.process if self.process.alive else None, block=block
+            )
 
     def kill(self) -> None:
-        """Terminate the original process (device state is lost)."""
+        """Terminate the original process (device state is lost).
+
+        A forked image write survives the parent's death (the child
+        process owns it — CRUM's model); its COW cost is charged to the
+        parent before death but nobody waits out the write window."""
+        if self.pending_forks:
+            self.finish_forked_checkpoints(block=False)
         self.process.kill()
         self.runtime.destroy()
 
@@ -265,17 +299,45 @@ class CracSession:
         patches = self.backend.reregister_fatbins()
 
         # 7. Refill contents of active allocations; device/managed bytes
-        #    cross PCIe again.
+        #    cross PCIe again. GPU deltas chain like host dirty pages:
+        #    walk the image chain base-first and overlay each image's
+        #    staged spans. A full entry — or a uid change, meaning the
+        #    arena reused the address for a *different* allocation —
+        #    resets the merge so stale bytes never leak across a free.
         refill_bytes = 0
-        for addr, entry in buffers.items():
+        for addr, final_entry in buffers.items():
+            seq: list[dict] = []
+            for img in image.chain():
+                blob = img.blobs.get("crac/buffers")
+                if blob is None or addr not in blob.payload:
+                    continue
+                entry = blob.payload[addr]
+                if (
+                    entry.get("delta")
+                    and seq
+                    and seq[-1].get("uid") == entry.get("uid")
+                ):
+                    seq.append(entry)
+                else:
+                    # Full snapshot, or a delta of a fresh allocation
+                    # (its pre-history is the replay-created zero-filled
+                    # buffer, which is exactly the fresh state).
+                    seq = [entry]
             buf = fresh.runtime.buffers[translation.get(addr, addr)]
-            buf.contents.restore(entry["snapshot"])
-            if entry["kind"] == "managed":
+            for entry in seq:
+                if entry.get("delta"):
+                    buf.contents.apply_delta(entry["snapshot"])
+                else:
+                    buf.contents.restore(entry["snapshot"])
+                refill_bytes += entry.get(
+                    "pcie_bytes",
+                    entry["size"] if entry["kind"] == "device" else 0,
+                )
+            if final_entry["kind"] == "managed":
                 assert isinstance(buf, ManagedBuffer)
-                buf.residency[:] = entry["residency"]
-                refill_bytes += int((buf.residency == 1).sum()) * 64 * 1024
-            elif entry["kind"] == "device":
-                refill_bytes += entry["size"]
+                buf.residency[:] = final_entry["residency"]
+            # The refilled contents *are* the committed cut's state.
+            buf.contents.clear_dirty()
         proc.advance(refill_bytes / fresh.device.spec.pcie_bw * NS_PER_S)
 
         # Restore the application's cudaSetDevice state (replay may have

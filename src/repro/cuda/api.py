@@ -131,6 +131,10 @@ class CudaRuntime:
         )
         self.uvm = UvmManager(self.devices[0])
         self.buffers: dict[int, DeviceBuffer | ManagedBuffer] = {}
+        #: allocation ids: arena addresses get reused after a free, so a
+        #: checkpoint delta chain keys buffers by (addr, uid), never addr
+        #: alone
+        self._buffer_uids = itertools.count(1)
 
         # The legacy default stream lives on device 0; launches on other
         # devices must name an explicit stream (a documented simulation
@@ -210,7 +214,7 @@ class CudaRuntime:
         addr = self._device_alloc.alloc(nbytes)
         self.buffers[addr] = DeviceBuffer(
             addr=addr, size=nbytes, kind="device",
-            device_index=self.current_device,
+            device_index=self.current_device, uid=next(self._buffer_uids),
         )
         return addr
 
@@ -234,7 +238,10 @@ class CudaRuntime:
         """Allocate pinned host memory (library-allocated! — §3.2.1)."""
         self._entry("cudaMallocHost")
         addr = self._pinned_alloc.alloc(nbytes)
-        self.buffers[addr] = DeviceBuffer(addr=addr, size=nbytes, kind="host-pinned")
+        self.buffers[addr] = DeviceBuffer(
+            addr=addr, size=nbytes, kind="host-pinned",
+            uid=next(self._buffer_uids),
+        )
         self._host_origin[addr] = "pinned"
         return addr
 
@@ -243,7 +250,10 @@ class CudaRuntime:
         treats the two differently at restart (§3.2.4)."""
         self._entry("cudaHostAlloc")
         addr = self._hostalloc_alloc.alloc(nbytes)
-        buf = DeviceBuffer(addr=addr, size=nbytes, kind="host-pinned")
+        buf = DeviceBuffer(
+            addr=addr, size=nbytes, kind="host-pinned",
+            uid=next(self._buffer_uids),
+        )
         buf.via_hostalloc = True  # type: ignore[attr-defined]
         self.buffers[addr] = buf
         self._host_origin[addr] = "hostalloc"
@@ -275,7 +285,7 @@ class CudaRuntime:
         """Allocate UVM managed memory; perturbs library⇄driver state."""
         self._entry("cudaMallocManaged")
         addr = self._managed_alloc.alloc(nbytes)
-        buf = ManagedBuffer(addr=addr, size=nbytes)
+        buf = ManagedBuffer(addr=addr, size=nbytes, uid=next(self._buffer_uids))
         self.uvm.register(buf)
         self.buffers[addr] = buf
         # UVA/UVM mappings entangle library and driver state (§2.2).
@@ -296,7 +306,10 @@ class CudaRuntime:
             CudaErrorCode.INVALID_VALUE,
             "cudaHostRegister of an already-registered pointer",
         )
-        buf = DeviceBuffer(addr=addr, size=nbytes, kind="host-pinned")
+        buf = DeviceBuffer(
+            addr=addr, size=nbytes, kind="host-pinned",
+            uid=next(self._buffer_uids),
+        )
         buf.via_hostalloc = True  # type: ignore[attr-defined]
         self.buffers[addr] = buf
         self._host_origin[addr] = "registered"
@@ -504,7 +517,8 @@ class CudaRuntime:
         for use in uses:
             if "w" in use.mode:
                 self.uvm.record_device_write(
-                    self.buffers[use.addr], use.offset, use.nbytes, s, start, end
+                    self.buffers[use.addr], use.offset, use.nbytes, s,
+                    start, end, now_ns=self.now,
                 )
         if fn is not None:
             fn(*args)

@@ -17,6 +17,7 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING
 
+from repro.dmtcp.forked import ForkedCheckpoint
 from repro.dmtcp.image import CheckpointImage, SavedRegion
 from repro.dmtcp.plugins import DmtcpPlugin
 from repro.gpu.timing import DEFAULT_HOST_COSTS, NS_PER_S, HostCosts
@@ -70,14 +71,30 @@ class DmtcpCheckpointer:
         gzip: bool = False,
         incremental: bool = False,
         parent: CheckpointImage | None = None,
+        forked: bool = False,
+        defer_commit: bool = False,
     ) -> CheckpointImage:
         """Take a checkpoint; advances the process clock by the cost.
 
         With ``incremental=True`` (requires a ``parent`` image) only the
         pages dirtied since the previous checkpoint are saved; restore
-        walks the parent chain base-first. Plugin blobs (CRAC's staged
-        GPU buffers) are always saved in full — only host memory is
-        delta-encoded.
+        walks the parent chain base-first. Plugins see ``image.incremental``
+        and may delta-encode their blobs the same way (CRAC stages only
+        dirtied GPU spans).
+
+        Dirty tracking is cleared only when the image durably *commits*
+        (:meth:`CheckpointImage.mark_committed`): a fault at any later
+        stage — region-save, image-write, 2PC commit — leaves every dirty
+        bit intact so the next incremental cut still captures them. With
+        ``defer_commit=True`` the caller (a checkpoint store or a forked
+        writer) owns the commit point; otherwise the image commits at the
+        end of this call.
+
+        ``forked=True`` skips the synchronous image write: the app
+        resumes after quiesce + snapshot, and the write proceeds on a
+        background timeline tracked by the :class:`ForkedCheckpoint`
+        attached as ``image.forked_writer`` — commit (and the
+        ``image-write`` fault stage) move to its ``finish()``.
         """
         if incremental and parent is None:
             raise ValueError("incremental checkpoint requires a parent image")
@@ -97,9 +114,17 @@ class DmtcpCheckpointer:
                 self.fault_injector.check("precheckpoint", plugin.name)
             plugin.on_precheckpoint(image)
 
+        # Plugin veto ranges are not guaranteed page-aligned, but both
+        # the dirty-page bookkeeping and restore's MAP_FIXED mmap work in
+        # whole pages: expand every skip outward to page boundaries (skip
+        # granularity is the page, like DMTCP's).
         skips: list[tuple[int, int]] = []
         for plugin in self.plugins:
-            skips.extend(plugin.skip_ranges())
+            for s_start, s_size in plugin.skip_ranges():
+                lo = s_start - (s_start % PAGE_SIZE)
+                hi = s_start + s_size
+                hi = (hi + PAGE_SIZE - 1) // PAGE_SIZE * PAGE_SIZE
+                skips.append((lo, hi - lo))
 
         for region in proc.vas.regions():
             if self.fault_injector is not None:
@@ -127,16 +152,31 @@ class DmtcpCheckpointer:
                         incremental=incremental,
                     )
                 )
-            region.clear_dirty()
+            image.record_region_capture(region, frozenset(region.dirty))
 
         written = image.size_bytes
-        proc.advance(written / self.costs.ckpt_write_bw * NS_PER_S)
+        write_ns = written / self.costs.ckpt_write_bw * NS_PER_S
         if gzip:
-            proc.advance(written / self.costs.gzip_bw * NS_PER_S)
+            write_ns += written / self.costs.gzip_bw * NS_PER_S
+        if forked:
+            # The write happens on the forked child's timeline; the app
+            # resumes now and only pays COW for pages it touches inside
+            # the write window (charged at finish()).
+            image.forked_writer = ForkedCheckpoint(  # type: ignore[attr-defined]
+                image=image,
+                fork_ns=proc.clock_ns,
+                write_end_ns=proc.clock_ns + write_ns,
+                costs=self.costs,
+                fault_injector=self.fault_injector,
+            )
+        else:
+            proc.advance(write_ns)
 
         for plugin in self.plugins:
             plugin.on_resume(image)
         image.checkpoint_time_ns = proc.clock_ns - t_start
+        if not forked and not defer_commit:
+            image.mark_committed()
         return image
 
     # -- restore -----------------------------------------------------------------

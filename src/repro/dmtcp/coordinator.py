@@ -71,17 +71,24 @@ class DmtcpCoordinator:
         incremental: bool = False,
         parent: CheckpointImage | None = None,
         store: CheckpointStore | None = None,
+        forked: bool = False,
     ) -> CheckpointImage:
         """Take a checkpoint now.
 
         With ``store`` the image goes through the store's two-phase
         commit (stage → commit); a crash mid-write leaves a discardable
-        partial in the store and propagates.
+        partial in the store and propagates. With ``forked`` the image
+        write (and the store commit, if any) happens later, when the
+        attached ``image.forked_writer`` finishes — the session drives
+        that.
         """
         image = self.checkpointer.checkpoint(
-            gzip=gzip, incremental=incremental, parent=parent
+            gzip=gzip, incremental=incremental, parent=parent,
+            forked=forked, defer_commit=store is not None,
         )
-        if store is not None:
+        if forked:
+            image.forked_writer.store = store
+        elif store is not None:
             store.put(image)
         self.images.append(image)
         if self.on_checkpoint is not None:
@@ -96,9 +103,15 @@ class DmtcpCoordinator:
         incremental: bool = False,
         parent: CheckpointImage | None = None,
     ) -> StagedCheckpoint:
-        """Phase 1 of a coordinated checkpoint: capture + stage, no commit."""
+        """Phase 1 of a coordinated checkpoint: capture + stage, no commit.
+
+        The commit point (and with it the dirty-tracking reset) stays
+        with phase 2: an aborted 2PC leaves every rank's dirty state
+        intact for the next attempt.
+        """
         image = self.checkpointer.checkpoint(
-            gzip=gzip, incremental=incremental, parent=parent
+            gzip=gzip, incremental=incremental, parent=parent,
+            defer_commit=True,
         )
         return store.stage(image)
 

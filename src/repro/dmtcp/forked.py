@@ -1,0 +1,109 @@
+"""Forked (copy-on-write) checkpointing: write the image off the
+application's critical path.
+
+CRUM (Garg et al.) observed that most of a GPU checkpoint's cost is the
+image write, and that a forked child can flush the snapshot while the
+parent keeps computing; PhoenixOS extends the idea to concurrent
+checkpoint/restore. The model here: after quiesce + snapshot, the
+application resumes immediately and the image write proceeds on a
+*background virtual timeline* ending at ``write_end_ns``. The price:
+
+- writes the application lands inside the not-yet-flushed window charge
+  a copy-on-write duplication cost (``HostCosts.cow_copy_bw``), pro-rated
+  by how much of the write window the application's dirtying overlapped;
+- the *commit point* — and with it the ``image-write`` fault stage and
+  the dirty-state clearing of :meth:`CheckpointImage.mark_committed` —
+  moves to write completion. A crash before :meth:`ForkedCheckpoint
+  .finish` completes leaves the previous generation as the recovery line
+  and every dirty bit intact, exactly like an aborted 2PC checkpoint.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+from repro.dmtcp.image import CheckpointImage
+from repro.gpu.timing import NS_PER_S, HostCosts
+from repro.linux.process import SimProcess
+
+if TYPE_CHECKING:  # avoid a dmtcp → harness import cycle at runtime
+    from repro.dmtcp.store import CheckpointStore
+    from repro.harness.fault_injection import FaultInjector
+
+
+@dataclass
+class ForkedCheckpoint:
+    """An in-flight background image write (the forked child's work)."""
+
+    image: CheckpointImage
+    #: application clock when the write was forked off
+    fork_ns: float
+    #: background-timeline instant the full image is durable on disk
+    write_end_ns: float
+    costs: HostCosts
+    store: "CheckpointStore | None" = None
+    fault_injector: "FaultInjector | None" = None
+    #: bytes the application dirtied inside the write window and thus
+    #: had to be COW-duplicated (filled in by :meth:`finish`)
+    cow_bytes: int = 0
+    cow_time_ns: float = 0.0
+    #: residual time the application blocked waiting for the write to
+    #: drain (non-zero only if it needed durability before write_end)
+    residual_wait_ns: float = 0.0
+    generation: int | None = None
+    aborted: bool = False
+    _finished: bool = field(default=False, repr=False)
+
+    @property
+    def committed(self) -> bool:
+        return self.image.committed
+
+    def in_flight(self, now_ns: float) -> bool:
+        """True while the background write is still flushing at ``now_ns``."""
+        return not self._finished and now_ns < self.write_end_ns
+
+    def finish(
+        self, process: SimProcess | None = None, *, block: bool = True
+    ) -> None:
+        """Complete the background write and move the commit point here.
+
+        ``process`` is the application process to charge COW/residual
+        costs to (``None`` when the parent already died — the forked
+        child outlives it and still commits). With ``block=False`` the
+        caller does not wait out the remaining write window (the child
+        keeps flushing on its own timeline); the commit is still
+        recorded, since restore always happens after the child's
+        ``write_end_ns``.
+        """
+        if self._finished:
+            return
+        if process is not None and process.alive:
+            now = process.clock_ns
+            window = max(now - self.fork_ns, 1.0)
+            # Fraction of the app's post-fork dirtying that landed while
+            # the writer still held unflushed pages.
+            overlap = min(1.0, (self.write_end_ns - self.fork_ns) / window)
+            self.cow_bytes = int(self.image.new_dirty_bytes() * overlap)
+            self.cow_time_ns = self.cow_bytes / self.costs.cow_copy_bw * NS_PER_S
+            process.advance(self.cow_time_ns)
+            if block and process.clock_ns < self.write_end_ns:
+                self.residual_wait_ns = self.write_end_ns - process.clock_ns
+                process.advance_to(self.write_end_ns)
+        try:
+            if self.store is not None:
+                # Staging fires the image-write fault stage per region; a
+                # crash leaves a discardable partial and the image stays
+                # uncommitted (dirty bits intact).
+                self.generation = self.store.put(self.image)
+            else:
+                if self.fault_injector is not None:
+                    self.fault_injector.check(
+                        "image-write", f"forked write pid {self.image.pid}"
+                    )
+                self.image.mark_committed()
+        except Exception:
+            self.aborted = True
+            self._finished = True
+            raise
+        self._finished = True

@@ -16,7 +16,13 @@ import pickle
 import zlib
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Any
+from typing import TYPE_CHECKING, Any
+
+from repro.linux.address_space import PAGE_SIZE
+
+if TYPE_CHECKING:
+    from repro.gpu.memory import PagedContents
+    from repro.linux.address_space import MemoryRegion
 
 
 @dataclass
@@ -85,6 +91,71 @@ class CheckpointImage:
     checkpoint_time_ns: float = 0.0
     #: CRC recorded by :meth:`seal` (``None`` until sealed).
     sealed_checksum: int | None = None
+    #: True once the image is durably committed (store commit, or the
+    #: end of a direct store-less checkpoint). Dirty-state clearing in
+    #: the live process happens only at this point, so an aborted or
+    #: torn checkpoint never loses the dirty bits the next incremental
+    #: cut depends on.
+    committed: bool = False
+    #: live-process dirty state captured at snapshot time, cleared (only
+    #: the captured part) when the image commits — runtime-only, never
+    #: pickled
+    region_captures: list[tuple["MemoryRegion", frozenset[int]]] = field(
+        default_factory=list, repr=False, compare=False
+    )
+    contents_captures: list[
+        tuple["PagedContents", tuple[tuple[int, int], ...]]
+    ] = field(default_factory=list, repr=False, compare=False)
+
+    # -- commit point ----------------------------------------------------------
+
+    def record_region_capture(
+        self, region: "MemoryRegion", pages: frozenset[int]
+    ) -> None:
+        """Remember which dirty pages of ``region`` this image captured."""
+        self.region_captures.append((region, pages))
+
+    def record_contents_capture(
+        self, contents: "PagedContents", spans: tuple[tuple[int, int], ...]
+    ) -> None:
+        """Remember which dirty byte spans of ``contents`` were captured."""
+        self.contents_captures.append((contents, spans))
+
+    def mark_committed(self) -> None:
+        """The image became durable: clear exactly the captured dirty
+        state from the live process (idempotent).
+
+        Pages/spans dirtied *after* the snapshot — e.g. while a forked
+        write was still in flight — keep their dirty bits.
+        """
+        if self.committed:
+            return
+        for region, pages in self.region_captures:
+            region.clear_dirty(pages)
+        for contents, spans in self.contents_captures:
+            contents.clear_dirty(list(spans))
+        self.region_captures = []
+        self.contents_captures = []
+        self.committed = True
+
+    def new_dirty_bytes(self) -> int:
+        """Bytes dirtied since this image's snapshot (the forked
+        checkpoint's copy-on-write exposure)."""
+        total = 0
+        for region, pages in self.region_captures:
+            total += len(region.dirty - pages) * PAGE_SIZE
+        for contents, spans in self.contents_captures:
+            total += contents.dirty_bytes_outside(list(spans))
+        return total
+
+    def __getstate__(self) -> dict:
+        # Captures reference live process objects; they exist only until
+        # commit and must never be serialized with the image.
+        state = dict(self.__dict__)
+        state["region_captures"] = []
+        state["contents_captures"] = []
+        state.pop("forked_writer", None)  # runtime handle, never on disk
+        return state
 
     def chain(self) -> list["CheckpointImage"]:
         """The restore chain, base (full) image first."""

@@ -164,6 +164,11 @@ class CheckpointStore:
             checksums=dict(staged.checksums),
             committed_at_ns=staged.image.created_at_ns,
         )
+        # The image is durable now — this is the one point where the live
+        # process's dirty tracking (captured at snapshot time) may be
+        # cleared. Aborted/partial stagings never reach here, so a torn
+        # checkpoint keeps every dirty bit for the next incremental cut.
+        staged.image.mark_committed()
         self.gc()
         return gen
 

@@ -34,6 +34,39 @@ def _align_up(n: int, a: int = ALLOC_ALIGN) -> int:
     return (n + a - 1) & ~(a - 1)
 
 
+def merge_spans(spans: list[tuple[int, int]]) -> list[tuple[int, int]]:
+    """Normalize (start, end) intervals: sorted, disjoint, non-empty."""
+    out: list[tuple[int, int]] = []
+    for lo, hi in sorted(s for s in spans if s[1] > s[0]):
+        if out and lo <= out[-1][1]:
+            out[-1] = (out[-1][0], max(out[-1][1], hi))
+        else:
+            out.append((lo, hi))
+    return out
+
+
+def subtract_spans(
+    base: list[tuple[int, int]], minus: list[tuple[int, int]]
+) -> list[tuple[int, int]]:
+    """Interval-set difference ``base - minus`` (both normalized)."""
+    out: list[tuple[int, int]] = []
+    for lo, hi in base:
+        parts = [(lo, hi)]
+        for m_lo, m_hi in minus:
+            nxt: list[tuple[int, int]] = []
+            for p_lo, p_hi in parts:
+                if m_hi <= p_lo or m_lo >= p_hi:
+                    nxt.append((p_lo, p_hi))
+                    continue
+                if p_lo < m_lo:
+                    nxt.append((p_lo, m_lo))
+                if m_hi < p_hi:
+                    nxt.append((m_hi, p_hi))
+            parts = nxt
+        out.extend(parts)
+    return out
+
+
 class PagedContents:
     """Sparse byte contents of a (possibly huge) buffer.
 
@@ -41,16 +74,93 @@ class PagedContents:
     plus a background fill value for unmaterialized bytes. ``view()``
     returns a writable numpy view into the stored span, so kernels mutate
     contents in place; overlapping spans are consolidated on demand.
+
+    Every mutation path also records the touched byte range in a *dirty*
+    interval set so checkpointing can delta-encode device memory the way
+    soft-dirty page tracking delta-encodes host memory. Because ``view()``
+    hands out writable views, any viewed range counts as dirtied —
+    conservative, never lossy.
     """
 
     def __init__(self, size: int, fill_value: int = 0) -> None:
         self.size = size
         self.fill_value = fill_value
         self._spans: dict[int, np.ndarray] = {}  # start -> uint8 array
+        #: sorted disjoint (start, end) byte ranges touched since the
+        #: last committed checkpoint cut
+        self._dirty: list[tuple[int, int]] = []
 
     @property
     def backed_bytes(self) -> int:
         return sum(a.nbytes for a in self._spans.values())
+
+    # -- dirty-span tracking ---------------------------------------------------
+
+    def _mark_dirty(self, offset: int, nbytes: int) -> None:
+        if nbytes <= 0:
+            return
+        self._dirty = merge_spans(self._dirty + [(offset, offset + nbytes)])
+
+    def dirty_spans(self) -> list[tuple[int, int]]:
+        """Byte ranges touched since the last :meth:`clear_dirty`."""
+        return list(self._dirty)
+
+    @property
+    def dirty_byte_count(self) -> int:
+        return sum(hi - lo for lo, hi in self._dirty)
+
+    def clear_dirty(self, spans: list[tuple[int, int]] | None = None) -> None:
+        """Drop dirty tracking once a checkpoint durably commits.
+
+        ``spans=None`` clears everything; otherwise only the given byte
+        ranges (the ones the committed image captured) are cleared, so
+        bytes dirtied after the snapshot — e.g. during a forked image
+        write — stay dirty for the next incremental cut.
+        """
+        if spans is None:
+            self._dirty = []
+        else:
+            self._dirty = subtract_spans(self._dirty, merge_spans(list(spans)))
+
+    def dirty_bytes_outside(self, spans: list[tuple[int, int]]) -> int:
+        """Dirty bytes *not* covered by ``spans`` (bytes dirtied since a
+        snapshot that captured exactly ``spans``)."""
+        return sum(
+            hi - lo
+            for lo, hi in subtract_spans(self._dirty, merge_spans(list(spans)))
+        )
+
+    def dirty_snapshot(self) -> dict:
+        """Deep copy of only the dirtied byte ranges (a GPU *delta*).
+
+        ``whole=True`` marks a delta that happens to cover the entire
+        buffer (e.g. after ``fill``); applying it is equivalent to a full
+        :meth:`restore`, which also resets the fill value.
+        """
+        if self._dirty == [(0, self.size)]:
+            snap = self.snapshot()
+            snap["whole"] = True
+            return snap
+        return {
+            "size": self.size,
+            "whole": False,
+            "spans": {
+                lo: np.frombuffer(
+                    self.read_bytes(lo, hi - lo), dtype=np.uint8
+                ).copy()
+                for lo, hi in self._dirty
+            },
+        }
+
+    def apply_delta(self, snap: dict) -> None:
+        """Overlay a :meth:`dirty_snapshot` onto the current contents."""
+        if snap["size"] != self.size:
+            raise ValueError("delta snapshot size mismatch")
+        if snap.get("whole"):
+            self.restore(snap)
+            return
+        for lo, arr in snap["spans"].items():
+            self.write_bytes(lo, arr)
 
     def _check(self, offset: int, nbytes: int) -> None:
         if offset < 0 or nbytes < 0 or offset + nbytes > self.size:
@@ -65,8 +175,12 @@ class PagedContents:
         consolidates overlapping spans so the view is one contiguous
         array. Holding a view across a *later overlapping* ``view()``
         call is allowed — consolidation reuses an exactly-matching span.
+
+        The viewed range is conservatively marked dirty: the caller holds
+        a writable view, so these bytes *may* change under us.
         """
         self._check(offset, nbytes)
+        self._mark_dirty(offset, nbytes)
         exact = self._spans.get(offset)
         if exact is not None and exact.nbytes == nbytes:
             return exact.view(dtype)
@@ -111,6 +225,7 @@ class PagedContents:
         """
         self._check(dst_offset, nbytes)
         other._check(src_offset, nbytes)
+        self._mark_dirty(dst_offset, nbytes)
         if self.fill_value != other.fill_value:
             # Rare slow path: differing fills force materialization.
             self.write_bytes(dst_offset, other.read_bytes(src_offset, nbytes))
@@ -133,6 +248,7 @@ class PagedContents:
         """cudaMemset over the whole buffer: drop spans, set fill value."""
         self._spans.clear()
         self.fill_value = value & 0xFF
+        self._mark_dirty(0, self.size)
 
     def snapshot(self) -> dict:
         """Deep copy for checkpointing."""
@@ -143,11 +259,14 @@ class PagedContents:
         }
 
     def restore(self, snap: dict) -> None:
-        """Restore from :meth:`snapshot`."""
+        """Restore from :meth:`snapshot`; the whole buffer becomes dirty
+        (contents were replaced wholesale — callers that restore *to the
+        committed cut's state*, like restart refill, clear it after)."""
         if snap["size"] != self.size:
             raise ValueError("snapshot size mismatch")
         self.fill_value = snap["fill"]
         self._spans = {s: a.copy() for s, a in snap["spans"].items()}
+        self._mark_dirty(0, self.size)
 
     def equal_contents(self, other: "PagedContents") -> bool:
         """Bit-exact comparison (materialization-layout independent)."""
@@ -184,6 +303,10 @@ class DeviceBuffer:
     freed: bool = False
     #: index of the GPU holding this allocation ("device" kind only)
     device_index: int = 0
+    #: runtime-unique allocation id; distinguishes two allocations that
+    #: reused the same arena address across checkpoint cuts, so a GPU
+    #: delta never stacks on a stale predecessor's bytes
+    uid: int = 0
 
     def __post_init__(self) -> None:
         if self.contents is None:

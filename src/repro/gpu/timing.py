@@ -123,6 +123,10 @@ class HostCosts:
     restart_bootstrap_ns: float = 70_000_000.0
     #: Fixed checkpoint coordination cost (quiesce threads, drain), ns.
     ckpt_quiesce_ns: float = 90_000_000.0
+    #: Copy-on-write page-duplication bandwidth during a *forked*
+    #: checkpoint's write window (memcpy of a touched page before the
+    #: writer has flushed it), bytes/s.
+    cow_copy_bw: float = 8.0e9
 
 
 DEFAULT_HOST_COSTS = HostCosts()

@@ -66,6 +66,8 @@ class ManagedBuffer:
     residency: np.ndarray = field(default=None)  # type: ignore[assignment]
     freed: bool = False
     device_writes: list[DeviceWriteRecord] = field(default_factory=list)
+    #: runtime-unique allocation id (see :class:`DeviceBuffer.uid`)
+    uid: int = 0
 
     def __post_init__(self) -> None:
         if self.contents is None:
@@ -143,6 +145,11 @@ class UvmManager:
         lo, hi = buf.page_range(offset, nbytes)
         return self._migrate(buf, lo, hi, PageLocation.DEVICE)
 
+    #: ``record_device_write`` opportunistically compacts once a buffer's
+    #: log exceeds this many records, so the log stays bounded even on
+    #: checkpoint-free runs.
+    COMPACT_THRESHOLD = 512
+
     def record_device_write(
         self,
         buf: ManagedBuffer,
@@ -151,29 +158,70 @@ class UvmManager:
         stream: Stream,
         start_ns: float,
         end_ns: float,
+        *,
+        now_ns: float | None = None,
     ) -> None:
-        """Log a kernel's write footprint (used by the CRUM failure check)."""
+        """Log a kernel's write footprint (used by the CRUM failure check).
+
+        ``now_ns`` (the enqueue-time clock) enables opportunistic
+        compaction: a record that ended before *now* can never overlap a
+        future enqueue (kernel start times are bounded below by their
+        enqueue time), so once the log grows past ``COMPACT_THRESHOLD``
+        those dead records are dropped.
+        """
         lo, hi = buf.page_range(offset, nbytes)
         buf.device_writes.append(
             DeviceWriteRecord(lo, hi, stream.sid, start_ns, end_ns)
         )
+        if (
+            now_ns is not None
+            and len(buf.device_writes) > self.COMPACT_THRESHOLD
+        ):
+            self.compact_writes(buf, before_ns=now_ns)
 
-    def concurrent_same_page_writes(self, buf: ManagedBuffer) -> list[
-        tuple[DeviceWriteRecord, DeviceWriteRecord]
-    ]:
+    def compact_writes(self, buf: ManagedBuffer, *, before_ns: float) -> int:
+        """Drop write records that finished at or before ``before_ns``.
+
+        Safe whenever every conflict involving those records has already
+        been observed — e.g. right after a device synchronize at
+        checkpoint time, or after an overlap query over the drained log.
+        Returns the number of records dropped.
+        """
+        kept = [r for r in buf.device_writes if r.end_ns > before_ns]
+        dropped = len(buf.device_writes) - len(kept)
+        buf.device_writes = kept
+        return dropped
+
+    def concurrent_same_page_writes(
+        self, buf: ManagedBuffer, *, compact_before_ns: float | None = None
+    ) -> list[tuple[DeviceWriteRecord, DeviceWriteRecord]]:
         """Pairs of writes from *different streams* that overlapped in time
         on the *same page* — the pattern CRUM's shadow-page strategy cannot
-        synchronize (paper §1, contribution 2)."""
-        out = []
-        writes = buf.device_writes
-        for i, a in enumerate(writes):
-            for b in writes[i + 1 :]:
+        synchronize (paper §1, contribution 2).
+
+        Implemented as a sweep over records sorted by start time with an
+        active set of still-in-flight records, so cost is O(n log n +
+        conflicts) instead of the naive O(n²) pairwise scan. Pass
+        ``compact_before_ns`` (typically the current clock, after a
+        synchronize) to also drop drained records once they are reported.
+        """
+        writes = sorted(
+            buf.device_writes, key=lambda r: (r.start_ns, r.end_ns)
+        )
+        out: list[tuple[DeviceWriteRecord, DeviceWriteRecord]] = []
+        active: list[DeviceWriteRecord] = []
+        for rec in writes:
+            active = [a for a in active if a.end_ns > rec.start_ns]
+            for a in active:
                 if (
-                    a.stream_sid != b.stream_sid
-                    and a.overlaps_pages(b)
-                    and a.overlaps_time(b)
+                    a.stream_sid != rec.stream_sid
+                    and a.overlaps_pages(rec)
+                    and a.overlaps_time(rec)
                 ):
-                    out.append((a, b))
+                    out.append((a, rec))
+            active.append(rec)
+        if compact_before_ns is not None:
+            self.compact_writes(buf, before_ns=compact_before_ns)
         return out
 
     # -- checkpoint support -------------------------------------------------------

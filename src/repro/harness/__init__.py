@@ -10,6 +10,7 @@
   tables/series the paper reports.
 """
 
+from repro.harness.ckpt_bench import format_report, run_ckpt_bench
 from repro.harness.fault_injection import FaultInjector, FaultSpec, FiredFault
 from repro.harness.metrics import cps, overhead_pct
 from repro.harness.runner import CkptRecord, Machine, RunResult, run_app
@@ -19,6 +20,8 @@ __all__ = [
     "RunResult",
     "CkptRecord",
     "run_app",
+    "run_ckpt_bench",
+    "format_report",
     "overhead_pct",
     "cps",
     "FaultInjector",

@@ -102,6 +102,7 @@ def run_app(
     checkpoint_at: float | Sequence[float] | None = None,
     restart_after_checkpoint: bool = True,
     incremental: bool = False,
+    forked: bool = False,
     gzip: bool = False,
     noise: bool = True,
     costs: HostCosts = DEFAULT_HOST_COSTS,
@@ -116,7 +117,9 @@ def run_app(
     the last checkpoint* and the run continues in a restarted process —
     the full transparency path, whose output digest must equal a native
     run's. ``incremental=True`` chains the checkpoints as
-    base + dirty-page deltas.
+    base + dirty-page deltas (host pages *and* GPU buffer spans);
+    ``forked=True`` writes each image on a background timeline while the
+    app keeps running (COW-charged — the CRUM-style forked checkpoint).
 
     ``store`` (CRAC only) commits every checkpoint through the store's
     two-phase protocol and performs the restart via the self-healing
@@ -151,6 +154,7 @@ def run_app(
                 incremental=incremental and bool(chain),
                 parent=chain[-1] if (incremental and chain) else None,
                 store=store,
+                forked=forked,
             )
             chain.append(image)
             rec = CkptRecord(
@@ -197,6 +201,10 @@ def run_app(
         )
 
     result: AppResult = app.run(ctx)
+    if mode == "crac":
+        # Drain any still-in-flight forked image write: the job is not
+        # durably checkpointed until the background write commits.
+        session.finish_forked_checkpoints()
     # Whole-process lifetime: includes CRAC/DMTCP startup (which the
     # paper identifies as the dominant overhead for short apps) and any
     # checkpoint/restart work.

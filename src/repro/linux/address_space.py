@@ -181,9 +181,18 @@ class MemoryRegion:
             self._pages[pg] = bytearray(data)
             self.dirty.add(pg)
 
-    def clear_dirty(self) -> None:
-        """Reset soft-dirty tracking (after a checkpoint)."""
-        self.dirty.clear()
+    def clear_dirty(self, pages: "set[int] | frozenset[int] | None" = None) -> None:
+        """Reset soft-dirty tracking once a checkpoint durably commits.
+
+        ``pages=None`` clears everything; otherwise only the given page
+        indices are cleared — pages dirtied *after* the checkpoint's
+        snapshot (e.g. during a forked image write) keep their bits so
+        the next incremental cut still captures them.
+        """
+        if pages is None:
+            self.dirty.clear()
+        else:
+            self.dirty.difference_update(pages)
 
     def dirty_pages_snapshot(self) -> dict[int, bytes]:
         """Copies of only the pages written since the last clear."""

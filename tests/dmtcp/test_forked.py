@@ -1,0 +1,169 @@
+"""Forked (copy-on-write) checkpoint semantics.
+
+The app resumes right after quiesce + snapshot; the image write runs on
+a background timeline. Commit — and the image-write fault stage — move
+to write completion, preserving the 2PC/abort crash-consistency rules.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import CracSession
+from repro.cuda.api import FatBinary
+from repro.dmtcp.store import CheckpointStore
+from repro.errors import InjectedFault
+from repro.harness.fault_injection import FaultInjector, FaultSpec
+from repro.linux import PAGE_SIZE
+
+
+def make_session(**kw):
+    session = CracSession(seed=23, **kw)
+    session.backend.register_app_binary(FatBinary("fk.fatbin", ("k",)))
+    return session
+
+
+BIG = 512 << 20  # large enough that the write time dominates the stall
+
+
+class TestForkedStall:
+    def test_forked_checkpoint_stalls_less_than_synchronous(self):
+        s_sync = make_session()
+        s_sync.split.upper_mmap(BIG)
+        t0 = s_sync.process.clock_ns
+        s_sync.checkpoint()
+        sync_stall = s_sync.process.clock_ns - t0
+
+        s_fork = make_session()
+        s_fork.split.upper_mmap(BIG)
+        t0 = s_fork.process.clock_ns
+        image = s_fork.checkpoint(forked=True)
+        fork_stall = s_fork.process.clock_ns - t0
+
+        assert fork_stall < sync_stall / 2
+        assert image.checkpoint_time_ns == pytest.approx(fork_stall)
+        writer = s_fork.pending_forks[0]
+        assert writer.in_flight(s_fork.process.clock_ns)
+        assert writer.write_end_ns > s_fork.process.clock_ns
+
+    def test_finish_blocks_until_write_end_when_idle(self):
+        session = make_session()
+        session.split.upper_mmap(BIG)
+        session.checkpoint(forked=True)
+        writer = session.pending_forks[0]
+        session.finish_forked_checkpoints()
+        assert session.process.clock_ns == pytest.approx(writer.write_end_ns)
+        assert writer.residual_wait_ns > 0
+        assert writer.committed
+
+    def test_app_work_overlaps_the_write(self):
+        """If the app computes past write_end on its own, finish() adds
+        no residual wait — the write was hidden entirely."""
+        session = make_session()
+        session.split.upper_mmap(BIG)
+        session.checkpoint(forked=True)
+        writer = session.pending_forks[0]
+        session.process.advance_to(writer.write_end_ns + 1.0)
+        session.finish_forked_checkpoints()
+        assert writer.residual_wait_ns == 0.0
+        assert writer.committed
+
+
+class TestForkedCommitPoint:
+    def test_commit_deferred_to_finish(self):
+        session = make_session()
+        upper = session.split.upper_mmap(4 * PAGE_SIZE)
+        session.process.vas.write(upper, b"dirty")
+        image = session.checkpoint(forked=True)
+        assert not image.committed
+        # Dirty bits must survive until the background write commits.
+        assert 0 in session.process.vas.find(upper).dirty
+        session.finish_forked_checkpoints()
+        assert image.committed
+        assert 0 not in session.process.vas.find(upper).dirty
+
+    def test_cow_window_writes_stay_dirty_and_charge_cow(self):
+        session = make_session()
+        upper = session.split.upper_mmap(BIG)
+        session.process.vas.write(upper, b"base")
+        session.checkpoint(forked=True)
+        writer = session.pending_forks[0]
+        # Dirty a chunk inside the write window.
+        session.process.vas.write(upper + PAGE_SIZE, b"z" * (128 * PAGE_SIZE))
+        session.finish_forked_checkpoints()
+        assert writer.cow_bytes > 0
+        assert writer.cow_time_ns > 0
+        # COW-copied pages were NOT captured by the image: still dirty.
+        assert 1 in session.process.vas.find(upper).dirty
+
+    def test_fault_at_write_completion_aborts_commit(self):
+        fi = FaultInjector()
+        session = make_session(fault_injector=fi)
+        upper = session.split.upper_mmap(4 * PAGE_SIZE)
+        session.process.vas.write(upper, b"dirty")
+        image = session.checkpoint(forked=True)
+        fi.arm(FaultSpec("image-write", at_count=fi.visits["image-write"] + 1))
+        with pytest.raises(InjectedFault):
+            session.finish_forked_checkpoints()
+        assert not image.committed
+        assert session.pending_forks == []
+        assert 0 in session.process.vas.find(upper).dirty, (
+            "crashed forked write lost dirty bits"
+        )
+
+    def test_next_checkpoint_drains_previous_fork(self):
+        session = make_session()
+        session.split.upper_mmap(BIG)
+        first = session.checkpoint(forked=True)
+        second = session.checkpoint()
+        assert first.committed
+        assert second.committed
+        assert session.pending_forks == []
+
+
+class TestForkedWithStore:
+    def test_generation_appears_at_finish_not_fork(self):
+        session = make_session()
+        session.split.upper_mmap(BIG)
+        store = CheckpointStore()
+        session.checkpoint(store=store, forked=True)
+        assert store.generations == []
+        session.finish_forked_checkpoints()
+        assert len(store.generations) == 1
+
+    def test_store_write_crash_leaves_partial_and_dirty(self):
+        fi = FaultInjector()
+        session = make_session(fault_injector=fi)
+        upper = session.split.upper_mmap(4 * PAGE_SIZE)
+        session.process.vas.write(upper, b"dirty")
+        store = CheckpointStore(fault_injector=fi)
+        image = session.checkpoint(store=store, forked=True)
+        fi.arm(FaultSpec("image-write", at_count=fi.visits["image-write"] + 1))
+        with pytest.raises(InjectedFault):
+            session.finish_forked_checkpoints()
+        assert store.generations == []
+        assert store.discard_partials() == 1
+        assert not image.committed
+        assert 0 in session.process.vas.find(upper).dirty
+
+    def test_kill_with_inflight_fork_still_commits(self):
+        """The forked child outlives the parent (CRUM's model): the
+        generation is restorable even though the app died mid-write."""
+        session = make_session()
+        upper = session.split.upper_mmap(BIG)
+        session.process.vas.write(upper, b"survives")
+        p = session.backend.malloc(4096)
+        session.backend.device_view(p, 8)[:] = np.arange(8, dtype=np.uint8)
+        store = CheckpointStore()
+        session.checkpoint(store=store, forked=True)
+        writer = session.pending_forks[0]
+        assert writer.in_flight(session.process.clock_ns)
+        death_clock = session.process.clock_ns
+        session.kill()
+        # The parent never waited out the write window...
+        assert death_clock <= writer.write_end_ns
+        # ...but the child committed the generation.
+        assert len(store.generations) == 1
+        report = session.restart_latest(store)
+        assert report.generation == 1
+        assert session.process.vas.read(upper, 8) == b"survives"
+        assert session.backend.device_view(p, 8).tobytes() == bytes(range(8))

@@ -1,0 +1,81 @@
+"""Regression tests: unaligned plugin skip ranges must not drop pages.
+
+``shift = (lo - region.start) // PAGE_SIZE`` silently truncated when a
+plugin returned a skip range that was not page-aligned, dropping or
+misattributing the boundary pages. Skips are now expanded outward to
+page boundaries before subtraction (skip granularity is the page).
+"""
+
+import pytest
+
+from repro.dmtcp import DmtcpCheckpointer, DmtcpPlugin
+from repro.linux import PAGE_SIZE, SimProcess
+
+
+@pytest.fixture
+def proc():
+    return SimProcess(aslr=False, seed=13)
+
+
+def _veto(ranges):
+    class Veto(DmtcpPlugin):
+        def skip_ranges(self):
+            return list(ranges)
+
+    return Veto()
+
+
+class TestUnalignedSkips:
+    def test_unaligned_skip_keeps_boundary_page_content(self, proc):
+        """A skip starting mid-page: surviving parts stay page-aligned
+        and every non-vetoed page's content restores byte-exact."""
+        base = proc.vas.mmap(6 * PAGE_SIZE, tag="upper:mixed")
+        for pg in range(6):
+            proc.vas.write(base + pg * PAGE_SIZE, f"page-{pg}".encode())
+        # Veto [page2+100, page3+200): expands outward to pages 2–3.
+        ckpt = DmtcpCheckpointer(
+            proc, [_veto([(base + 2 * PAGE_SIZE + 100, PAGE_SIZE + 100)])]
+        )
+        image = ckpt.checkpoint()
+        regions = [r for r in image.regions if base <= r.start < base + 6 * PAGE_SIZE]
+        for r in regions:
+            assert r.start % PAGE_SIZE == 0, "saved region must be page-aligned"
+            assert r.size % PAGE_SIZE == 0
+        saved_pages = {
+            (r.start - base) // PAGE_SIZE + pg
+            for r in regions
+            for pg in r.pages
+        }
+        # Pages 2 and 3 are (conservatively) vetoed; 0,1,4,5 must survive.
+        assert saved_pages == {0, 1, 4, 5}
+
+        fresh = SimProcess(aslr=False)
+        ckpt.restore_memory(image, fresh)
+        for pg in (0, 1, 4, 5):
+            want = f"page-{pg}".encode()
+            assert fresh.vas.read(base + pg * PAGE_SIZE, len(want)) == want
+
+    def test_unaligned_skip_drops_no_unrelated_page(self, proc):
+        """The truncated-shift bug misattributed pages *after* the hole:
+        page keys must stay consistent with the region's new start."""
+        base = proc.vas.mmap(4 * PAGE_SIZE, tag="upper:data")
+        proc.vas.write(base + 3 * PAGE_SIZE, b"tail")
+        ckpt = DmtcpCheckpointer(proc, [_veto([(base + PAGE_SIZE + 7, 17)])])
+        image = ckpt.checkpoint()
+        tail_region = next(
+            r for r in image.regions if r.start == base + 2 * PAGE_SIZE
+        )
+        assert tail_region.pages[1][:4] == b"tail"
+
+    def test_incremental_with_unaligned_skip(self, proc):
+        base = proc.vas.mmap(4 * PAGE_SIZE, tag="upper:data")
+        ckpt = DmtcpCheckpointer(proc, [_veto([(base + PAGE_SIZE + 1, 10)])])
+        parent = ckpt.checkpoint()
+        proc.vas.write(base + 2 * PAGE_SIZE, b"dirty")
+        inc = ckpt.checkpoint(incremental=True, parent=parent)
+        saved = {
+            r.start + pg * PAGE_SIZE
+            for r in inc.regions
+            for pg in r.pages
+        }
+        assert saved == {base + 2 * PAGE_SIZE}

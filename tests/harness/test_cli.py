@@ -91,6 +91,41 @@ class TestReproduce:
             run_cli("reproduce", "fig99")
 
 
+class TestCkptBench:
+    def test_smoke_writes_report(self, tmp_path):
+        out_path = tmp_path / "BENCH_delta_ckpt.json"
+        code, text = run_cli(
+            "ckpt-bench", "--apps", "bfs", "--scale", "0.02", "--cuts", "2",
+            "--out", str(out_path),
+        )
+        assert code == 0
+        assert "checkpoint-mode sweep" in text
+        assert "forked" in text
+
+        import json
+
+        report = json.loads(out_path.read_text())
+        assert len(report["cuts"]) == 2
+        row = report["apps"]["BFS"]
+        assert set(row["modes"]) == {"full", "incremental", "forked"}
+        for mode in row["modes"].values():
+            assert mode["runtime_s"] >= row["baseline_s"]
+        assert "min_forked_reduction_pct" in report["summary"]
+
+    def test_dash_out_skips_file(self, tmp_path, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        code, text = run_cli(
+            "ckpt-bench", "--apps", "bfs", "--scale", "0.02", "--cuts", "1",
+            "--out", "-",
+        )
+        assert code == 0
+        assert not (tmp_path / "BENCH_delta_ckpt.json").exists()
+
+    def test_unknown_app_rejected(self):
+        with pytest.raises(SystemExit):
+            run_cli("ckpt-bench", "--apps", "doom")
+
+
 class TestVersion:
     def test_version_flag(self):
         with pytest.raises(SystemExit) as exc:
