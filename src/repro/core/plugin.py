@@ -110,8 +110,11 @@ class CracPlugin(DmtcpPlugin):
             drain_bytes += entry["pcie_bytes"]
             buffers[buf.addr] = entry
             # Whichever spans this image captured get cleared from the
-            # live buffer only when the image durably commits.
-            image.record_contents_capture(buf.contents, dirty_spans)
+            # live buffer only when the image durably commits — and only
+            # where no later write superseded them (epoch-bounded).
+            image.record_contents_capture(
+                buf.contents, dirty_spans, buf.contents.write_seq
+            )
         process.advance(
             drain_bytes / runtime.device.spec.pcie_bw * NS_PER_S
         )

@@ -44,7 +44,7 @@ from repro.errors import (
 )
 from repro.gpu.device import GpuDevice
 from repro.gpu.timing import DEFAULT_HOST_COSTS, NS_PER_S, HostCosts
-from repro.gpu.uvm import ManagedBuffer
+from repro.gpu.uvm import UVM_PAGE, ManagedBuffer
 from repro.linux.loader import ProgramImage
 
 if TYPE_CHECKING:  # core must not import harness at runtime
@@ -329,10 +329,16 @@ class CracSession:
                     buf.contents.apply_delta(entry["snapshot"])
                 else:
                     buf.contents.restore(entry["snapshot"])
-                refill_bytes += entry.get(
-                    "pcie_bytes",
-                    entry["size"] if entry["kind"] == "device" else 0,
-                )
+                if "pcie_bytes" in entry:
+                    refill_bytes += entry["pcie_bytes"]
+                elif entry["kind"] == "device":
+                    refill_bytes += entry["size"]
+                elif entry["kind"] == "managed":
+                    # Image written before pcie_bytes existed: mirror the
+                    # old accounting (device-resident pages cross PCIe).
+                    refill_bytes += (
+                        int((entry["residency"] == 1).sum()) * UVM_PAGE
+                    )
             if final_entry["kind"] == "managed":
                 assert isinstance(buf, ManagedBuffer)
                 buf.residency[:] = final_entry["residency"]

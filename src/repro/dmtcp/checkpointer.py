@@ -152,7 +152,9 @@ class DmtcpCheckpointer:
                         incremental=incremental,
                     )
                 )
-            image.record_region_capture(region, frozenset(region.dirty))
+            image.record_region_capture(
+                region, frozenset(region.dirty), region.write_seq
+            )
 
         written = image.size_bytes
         write_ns = written / self.costs.ckpt_write_bw * NS_PER_S

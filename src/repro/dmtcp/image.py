@@ -97,55 +97,67 @@ class CheckpointImage:
     #: torn checkpoint never loses the dirty bits the next incremental
     #: cut depends on.
     committed: bool = False
-    #: live-process dirty state captured at snapshot time, cleared (only
-    #: the captured part) when the image commits — runtime-only, never
-    #: pickled
-    region_captures: list[tuple["MemoryRegion", frozenset[int]]] = field(
+    #: live-process dirty state captured at snapshot time — (object,
+    #: captured pages/spans, snapshot write epoch) — cleared (only the
+    #: captured part, and only where the last write precedes the
+    #: snapshot epoch) when the image commits. Runtime-only, never
+    #: pickled.
+    region_captures: list[tuple["MemoryRegion", frozenset[int], int]] = field(
         default_factory=list, repr=False, compare=False
     )
     contents_captures: list[
-        tuple["PagedContents", tuple[tuple[int, int], ...]]
+        tuple["PagedContents", tuple[tuple[int, int], ...], int]
     ] = field(default_factory=list, repr=False, compare=False)
 
     # -- commit point ----------------------------------------------------------
 
     def record_region_capture(
-        self, region: "MemoryRegion", pages: frozenset[int]
+        self, region: "MemoryRegion", pages: frozenset[int], epoch: int
     ) -> None:
-        """Remember which dirty pages of ``region`` this image captured."""
-        self.region_captures.append((region, pages))
+        """Remember which dirty pages of ``region`` this image captured,
+        and the region's write epoch at snapshot time."""
+        self.region_captures.append((region, pages, epoch))
 
     def record_contents_capture(
-        self, contents: "PagedContents", spans: tuple[tuple[int, int], ...]
+        self,
+        contents: "PagedContents",
+        spans: tuple[tuple[int, int], ...],
+        epoch: int,
     ) -> None:
-        """Remember which dirty byte spans of ``contents`` were captured."""
-        self.contents_captures.append((contents, spans))
+        """Remember which dirty byte spans of ``contents`` were captured,
+        and the contents' write epoch at snapshot time."""
+        self.contents_captures.append((contents, spans, epoch))
 
     def mark_committed(self) -> None:
         """The image became durable: clear exactly the captured dirty
         state from the live process (idempotent).
 
-        Pages/spans dirtied *after* the snapshot — e.g. while a forked
-        write was still in flight — keep their dirty bits.
+        Clearing is epoch-bounded: a page/span dirtied *after* the
+        snapshot — including one the image captured that was re-written
+        while a forked write was still in flight — keeps its dirty bit,
+        because the image holds the pre-window bytes and the next
+        incremental cut must save the new content.
         """
         if self.committed:
             return
-        for region, pages in self.region_captures:
-            region.clear_dirty(pages)
-        for contents, spans in self.contents_captures:
-            contents.clear_dirty(list(spans))
+        for region, pages, epoch in self.region_captures:
+            region.clear_dirty(pages, up_to_epoch=epoch)
+        for contents, spans, epoch in self.contents_captures:
+            contents.clear_dirty(list(spans), up_to_epoch=epoch)
         self.region_captures = []
         self.contents_captures = []
         self.committed = True
 
     def new_dirty_bytes(self) -> int:
         """Bytes dirtied since this image's snapshot (the forked
-        checkpoint's copy-on-write exposure)."""
+        checkpoint's copy-on-write exposure). Re-writes of captured
+        pages/spans count too — the forked child still holds the old
+        bytes, so they must be COW-duplicated like any other write."""
         total = 0
-        for region, pages in self.region_captures:
-            total += len(region.dirty - pages) * PAGE_SIZE
-        for contents, spans in self.contents_captures:
-            total += contents.dirty_bytes_outside(list(spans))
+        for region, _pages, epoch in self.region_captures:
+            total += region.dirty_pages_since(epoch) * PAGE_SIZE
+        for contents, _spans, epoch in self.contents_captures:
+            total += contents.dirty_bytes_since(epoch)
         return total
 
     def __getstate__(self) -> dict:

@@ -86,9 +86,11 @@ class PagedContents:
         self.size = size
         self.fill_value = fill_value
         self._spans: dict[int, np.ndarray] = {}  # start -> uint8 array
-        #: sorted disjoint (start, end) byte ranges touched since the
-        #: last committed checkpoint cut
-        self._dirty: list[tuple[int, int]] = []
+        #: sorted disjoint (start, end, epoch) byte ranges touched since
+        #: the last committed checkpoint cut; ``epoch`` is the
+        #: :attr:`write_seq` value of the range's last write
+        self._dirty: list[tuple[int, int, int]] = []
+        self._write_seq = 0
 
     @property
     def backed_bytes(self) -> int:
@@ -96,39 +98,82 @@ class PagedContents:
 
     # -- dirty-span tracking ---------------------------------------------------
 
+    @property
+    def write_seq(self) -> int:
+        """Monotone write counter; a checkpoint snapshot records it so
+        commit can distinguish pre-snapshot dirtiness (safe to clear)
+        from bytes re-written while the image was still being flushed
+        (must stay dirty for the next incremental cut)."""
+        return self._write_seq
+
     def _mark_dirty(self, offset: int, nbytes: int) -> None:
         if nbytes <= 0:
             return
-        self._dirty = merge_spans(self._dirty + [(offset, offset + nbytes)])
+        self._write_seq += 1
+        lo, hi = offset, offset + nbytes
+        out: list[tuple[int, int, int]] = []
+        for s, e, ep in self._dirty:
+            if e <= lo or s >= hi:
+                out.append((s, e, ep))
+                continue
+            # The new write supersedes the overlapped part's epoch.
+            if s < lo:
+                out.append((s, lo, ep))
+            if e > hi:
+                out.append((hi, e, ep))
+        out.append((lo, hi, self._write_seq))
+        out.sort()
+        merged: list[tuple[int, int, int]] = []
+        for s, e, ep in out:
+            if merged and merged[-1][1] == s and merged[-1][2] == ep:
+                merged[-1] = (merged[-1][0], e, ep)
+            else:
+                merged.append((s, e, ep))
+        self._dirty = merged
 
     def dirty_spans(self) -> list[tuple[int, int]]:
         """Byte ranges touched since the last :meth:`clear_dirty`."""
-        return list(self._dirty)
+        return merge_spans([(lo, hi) for lo, hi, _ in self._dirty])
 
     @property
     def dirty_byte_count(self) -> int:
-        return sum(hi - lo for lo, hi in self._dirty)
+        return sum(hi - lo for lo, hi, _ in self._dirty)
 
-    def clear_dirty(self, spans: list[tuple[int, int]] | None = None) -> None:
+    def clear_dirty(
+        self,
+        spans: list[tuple[int, int]] | None = None,
+        *,
+        up_to_epoch: int | None = None,
+    ) -> None:
         """Drop dirty tracking once a checkpoint durably commits.
 
         ``spans=None`` clears everything; otherwise only the given byte
-        ranges (the ones the committed image captured) are cleared, so
-        bytes dirtied after the snapshot — e.g. during a forked image
-        write — stay dirty for the next incremental cut.
+        ranges (the ones the committed image captured) are cleared. With
+        ``up_to_epoch`` (the :attr:`write_seq` recorded at snapshot
+        time) a range is cleared only where its last write precedes the
+        snapshot — bytes the image captured but the app re-wrote while
+        the (forked) write was still in flight stay dirty, so the next
+        incremental cut saves the new content.
         """
         if spans is None:
             self._dirty = []
-        else:
-            self._dirty = subtract_spans(self._dirty, merge_spans(list(spans)))
+            return
+        clear = merge_spans(list(spans))
+        out: list[tuple[int, int, int]] = []
+        for s, e, ep in self._dirty:
+            if up_to_epoch is not None and ep > up_to_epoch:
+                out.append((s, e, ep))
+                continue
+            out.extend(
+                (p_lo, p_hi, ep)
+                for p_lo, p_hi in subtract_spans([(s, e)], clear)
+            )
+        self._dirty = out
 
-    def dirty_bytes_outside(self, spans: list[tuple[int, int]]) -> int:
-        """Dirty bytes *not* covered by ``spans`` (bytes dirtied since a
-        snapshot that captured exactly ``spans``)."""
-        return sum(
-            hi - lo
-            for lo, hi in subtract_spans(self._dirty, merge_spans(list(spans)))
-        )
+    def dirty_bytes_since(self, epoch: int) -> int:
+        """Bytes whose last write came after ``epoch`` — the
+        copy-on-write exposure of a snapshot taken at that epoch."""
+        return sum(hi - lo for lo, hi, ep in self._dirty if ep > epoch)
 
     def dirty_snapshot(self) -> dict:
         """Deep copy of only the dirtied byte ranges (a GPU *delta*).
@@ -137,7 +182,8 @@ class PagedContents:
         buffer (e.g. after ``fill``); applying it is equivalent to a full
         :meth:`restore`, which also resets the fill value.
         """
-        if self._dirty == [(0, self.size)]:
+        dirty = self.dirty_spans()
+        if dirty == [(0, self.size)]:
             snap = self.snapshot()
             snap["whole"] = True
             return snap
@@ -148,7 +194,7 @@ class PagedContents:
                 lo: np.frombuffer(
                     self.read_bytes(lo, hi - lo), dtype=np.uint8
                 ).copy()
-                for lo, hi in self._dirty
+                for lo, hi in dirty
             },
         }
 

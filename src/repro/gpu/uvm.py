@@ -66,6 +66,13 @@ class ManagedBuffer:
     residency: np.ndarray = field(default=None)  # type: ignore[assignment]
     freed: bool = False
     device_writes: list[DeviceWriteRecord] = field(default_factory=list)
+    #: conflict pairs whose records were compacted out of
+    #: ``device_writes`` before any overlap query observed them — kept so
+    #: :meth:`UvmManager.concurrent_same_page_writes` never misses a real
+    #: CRUM failure. Bounded by the number of actual conflicts.
+    stashed_conflicts: list[tuple[DeviceWriteRecord, DeviceWriteRecord]] = field(
+        default_factory=list, repr=False
+    )
     #: runtime-unique allocation id (see :class:`DeviceBuffer.uid`)
     uid: int = 0
 
@@ -167,7 +174,8 @@ class UvmManager:
         compaction: a record that ended before *now* can never overlap a
         future enqueue (kernel start times are bounded below by their
         enqueue time), so once the log grows past ``COMPACT_THRESHOLD``
-        those dead records are dropped.
+        those dead records are dropped — after stashing any conflict
+        pairs they participate in (see :meth:`compact_writes`).
         """
         lo, hi = buf.page_range(offset, nbytes)
         buf.device_writes.append(
@@ -179,35 +187,17 @@ class UvmManager:
         ):
             self.compact_writes(buf, before_ns=now_ns)
 
-    def compact_writes(self, buf: ManagedBuffer, *, before_ns: float) -> int:
-        """Drop write records that finished at or before ``before_ns``.
-
-        Safe whenever every conflict involving those records has already
-        been observed — e.g. right after a device synchronize at
-        checkpoint time, or after an overlap query over the drained log.
-        Returns the number of records dropped.
-        """
-        kept = [r for r in buf.device_writes if r.end_ns > before_ns]
-        dropped = len(buf.device_writes) - len(kept)
-        buf.device_writes = kept
-        return dropped
-
-    def concurrent_same_page_writes(
-        self, buf: ManagedBuffer, *, compact_before_ns: float | None = None
+    @staticmethod
+    def _sweep_conflicts(
+        records: list[DeviceWriteRecord],
     ) -> list[tuple[DeviceWriteRecord, DeviceWriteRecord]]:
-        """Pairs of writes from *different streams* that overlapped in time
-        on the *same page* — the pattern CRUM's shadow-page strategy cannot
-        synchronize (paper §1, contribution 2).
+        """Cross-stream same-page time-overlap pairs among ``records``.
 
-        Implemented as a sweep over records sorted by start time with an
-        active set of still-in-flight records, so cost is O(n log n +
-        conflicts) instead of the naive O(n²) pairwise scan. Pass
-        ``compact_before_ns`` (typically the current clock, after a
-        synchronize) to also drop drained records once they are reported.
+        A sweep over records sorted by start time with an active set of
+        still-in-flight records: O(n log n + conflicts) instead of the
+        naive O(n²) pairwise scan.
         """
-        writes = sorted(
-            buf.device_writes, key=lambda r: (r.start_ns, r.end_ns)
-        )
+        writes = sorted(records, key=lambda r: (r.start_ns, r.end_ns))
         out: list[tuple[DeviceWriteRecord, DeviceWriteRecord]] = []
         active: list[DeviceWriteRecord] = []
         for rec in writes:
@@ -220,8 +210,49 @@ class UvmManager:
                 ):
                     out.append((a, rec))
             active.append(rec)
+        return out
+
+    def compact_writes(self, buf: ManagedBuffer, *, before_ns: float) -> int:
+        """Drop write records that finished at or before ``before_ns``.
+
+        Any conflict pair involving a to-be-dropped record could never be
+        observed again once the record is gone, so those pairs are
+        stashed on the buffer first — compaction is therefore safe at any
+        point, including opportunistically at enqueue time. Returns the
+        number of records dropped.
+        """
+        kept = [r for r in buf.device_writes if r.end_ns > before_ns]
+        dropped = len(buf.device_writes) - len(kept)
+        if dropped:
+            kept_ids = {id(r) for r in kept}
+            buf.stashed_conflicts.extend(
+                (a, b)
+                for a, b in self._sweep_conflicts(buf.device_writes)
+                if id(a) not in kept_ids or id(b) not in kept_ids
+            )
+            buf.device_writes = kept
+        return dropped
+
+    def concurrent_same_page_writes(
+        self, buf: ManagedBuffer, *, compact_before_ns: float | None = None
+    ) -> list[tuple[DeviceWriteRecord, DeviceWriteRecord]]:
+        """Pairs of writes from *different streams* that overlapped in time
+        on the *same page* — the pattern CRUM's shadow-page strategy cannot
+        synchronize (paper §1, contribution 2).
+
+        Reports conflicts found in the live log *plus* any pairs stashed
+        by earlier compactions, so compacting the log never hides a real
+        conflict. Pass ``compact_before_ns`` (typically the current
+        clock, after a synchronize) to also drop drained records — and
+        the just-reported stash — once they are reported.
+        """
+        out = list(buf.stashed_conflicts)
+        out.extend(self._sweep_conflicts(buf.device_writes))
         if compact_before_ns is not None:
             self.compact_writes(buf, before_ns=compact_before_ns)
+            # Everything the compaction stashed was part of the live
+            # sweep above — it has been reported, so drain the stash.
+            buf.stashed_conflicts.clear()
         return out
 
     # -- checkpoint support -------------------------------------------------------

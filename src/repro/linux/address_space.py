@@ -79,7 +79,7 @@ class MemoryRegion:
             conventional *half* owner used by the loader and CRAC.
     """
 
-    __slots__ = ("start", "size", "perms", "tag", "_pages", "dirty")
+    __slots__ = ("start", "size", "perms", "tag", "_pages", "_dirty_epoch", "_write_seq")
 
     def __init__(self, start: int, size: int, perms: str, tag: str) -> None:
         if start % PAGE_SIZE or size % PAGE_SIZE or size <= 0:
@@ -91,9 +91,24 @@ class MemoryRegion:
         self.perms = _check_perms(perms)
         self.tag = tag
         self._pages: dict[int, bytearray] = {}
-        #: page indices written since the last clear_dirty() — the
-        #: soft-dirty tracking incremental checkpointing relies on.
-        self.dirty: set[int] = set()
+        #: page index → epoch of its last write (see :attr:`write_seq`) —
+        #: the soft-dirty tracking incremental checkpointing relies on.
+        #: A page is *dirty* while it has an entry here.
+        self._dirty_epoch: dict[int, int] = {}
+        self._write_seq = 0
+
+    @property
+    def dirty(self) -> set[int]:
+        """Page indices written since the last :meth:`clear_dirty`."""
+        return set(self._dirty_epoch)
+
+    @property
+    def write_seq(self) -> int:
+        """Monotone write counter; a checkpoint snapshot records it so
+        commit can distinguish pre-snapshot dirtiness (safe to clear)
+        from a page re-written while the image was still being flushed
+        (must stay dirty for the next incremental cut)."""
+        return self._write_seq
 
     @property
     def end(self) -> int:
@@ -119,6 +134,7 @@ class MemoryRegion:
             raise SegmentationFault(addr, "write outside region")
         off = addr - self.start
         pos = 0
+        self._write_seq += 1
         while pos < n:
             pg, pg_off = divmod(off + pos, PAGE_SIZE)
             take = min(PAGE_SIZE - pg_off, n - pos)
@@ -126,7 +142,7 @@ class MemoryRegion:
             if page is None:
                 page = self._pages[pg] = bytearray(PAGE_SIZE)
             page[pg_off : pg_off + take] = data[pos : pos + take]
-            self.dirty.add(pg)
+            self._dirty_epoch[pg] = self._write_seq
             pos += take
 
     def read(self, addr: int, n: int) -> bytes:
@@ -159,11 +175,12 @@ class MemoryRegion:
                 left._pages[pg] = page
             else:
                 right._pages[pg - cut_pg] = page
-        for pg in self.dirty:
+        for pg, epoch in self._dirty_epoch.items():
             if pg < cut_pg:
-                left.dirty.add(pg)
+                left._dirty_epoch[pg] = epoch
             else:
-                right.dirty.add(pg - cut_pg)
+                right._dirty_epoch[pg - cut_pg] = epoch
+        left._write_seq = right._write_seq = self._write_seq
         return left, right
 
     def pages_snapshot(self) -> dict[int, bytes]:
@@ -173,31 +190,50 @@ class MemoryRegion:
     def load_pages(self, pages: dict[int, bytes]) -> None:
         """Replace backing pages from a snapshot (used by restore)."""
         self._pages = {pg: bytearray(data) for pg, data in pages.items()}
-        self.dirty = set(pages)
+        self._write_seq += 1
+        self._dirty_epoch = dict.fromkeys(pages, self._write_seq)
 
     def apply_pages(self, pages: dict[int, bytes]) -> None:
         """Overlay pages onto the current backing (incremental restore)."""
+        self._write_seq += 1
         for pg, data in pages.items():
             self._pages[pg] = bytearray(data)
-            self.dirty.add(pg)
+            self._dirty_epoch[pg] = self._write_seq
 
-    def clear_dirty(self, pages: "set[int] | frozenset[int] | None" = None) -> None:
+    def clear_dirty(
+        self,
+        pages: "set[int] | frozenset[int] | None" = None,
+        *,
+        up_to_epoch: int | None = None,
+    ) -> None:
         """Reset soft-dirty tracking once a checkpoint durably commits.
 
         ``pages=None`` clears everything; otherwise only the given page
-        indices are cleared — pages dirtied *after* the checkpoint's
-        snapshot (e.g. during a forked image write) keep their bits so
-        the next incremental cut still captures them.
+        indices are cleared. With ``up_to_epoch`` (the :attr:`write_seq`
+        recorded at snapshot time) a page is cleared only if its last
+        write precedes the snapshot — a page the image captured but the
+        app re-wrote while the (forked) write was still in flight keeps
+        its dirty bit, so the next incremental cut saves the new bytes.
         """
         if pages is None:
-            self.dirty.clear()
-        else:
-            self.dirty.difference_update(pages)
+            self._dirty_epoch.clear()
+            return
+        for pg in pages:
+            epoch = self._dirty_epoch.get(pg)
+            if epoch is not None and (up_to_epoch is None or epoch <= up_to_epoch):
+                del self._dirty_epoch[pg]
+
+    def dirty_pages_since(self, epoch: int) -> int:
+        """Number of pages whose last write came after ``epoch`` — the
+        copy-on-write exposure of a snapshot taken at that epoch."""
+        return sum(1 for e in self._dirty_epoch.values() if e > epoch)
 
     def dirty_pages_snapshot(self) -> dict[int, bytes]:
         """Copies of only the pages written since the last clear."""
         return {
-            pg: bytes(self._pages[pg]) for pg in self.dirty if pg in self._pages
+            pg: bytes(self._pages[pg])
+            for pg in self._dirty_epoch
+            if pg in self._pages
         }
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

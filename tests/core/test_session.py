@@ -164,6 +164,28 @@ class TestRestart:
         dev = session.backend.device_view(state["dev"], 4 * 256, np.float32)
         np.testing.assert_array_equal(dev, state["expect_dev"])
 
+    def test_old_image_without_pcie_bytes_charges_resident_pages(self):
+        """Images written before entries carried ``pcie_bytes`` must fall
+        back to the old accounting: device-resident managed pages cross
+        PCIe at refill time, not zero bytes."""
+        session = CracSession(seed=8)
+        b = session.backend
+        b.register_app_binary(FB)
+        mgd = b.malloc_managed(4 * UVM_PAGE)
+        b.launch(
+            "k", lambda: None, managed=[ManagedUse(mgd, 0, 4 * UVM_PAGE, "w")]
+        )
+        b.device_synchronize()
+        image = session.checkpoint()
+        entry = image.blob("crac/buffers")[mgd]
+        resident = int((entry["residency"] == 1).sum())
+        assert resident == 4
+        del entry["pcie_bytes"]  # simulate the old on-disk entry format
+
+        session.kill()
+        report = session.restart(image)
+        assert report.refilled_bytes >= resident * UVM_PAGE
+
     def test_restart_time_grows_with_log_length(self):
         """Streamcluster/Heartwall behaviour: many mallocs/frees ⇒ restart
         slower than checkpoint (§4.4.1)."""

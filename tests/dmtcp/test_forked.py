@@ -120,6 +120,74 @@ class TestForkedCommitPoint:
         assert session.pending_forks == []
 
 
+class TestCowWindowRewrite:
+    """A page/span the image *captured* that is re-written inside the
+    forked write window. The image holds the pre-window bytes, so the
+    commit must not clear the re-write's dirty bit (epoch-bounded
+    clearing) — otherwise the next incremental cut silently restores
+    stale data."""
+
+    def test_rewritten_captured_page_stays_dirty_and_restores(self):
+        session = make_session()
+        upper = session.split.upper_mmap(4 * PAGE_SIZE)
+        base = session.checkpoint()
+
+        session.process.vas.write(upper, b"v1")
+        image = session.checkpoint(forked=True, incremental=True, parent=base)
+        writer = session.pending_forks[0]
+        # Re-write the SAME page the image just captured, in the window.
+        session.process.vas.write(upper, b"v2")
+        session.finish_forked_checkpoints()
+
+        assert image.committed
+        assert writer.cow_bytes >= PAGE_SIZE, (
+            "re-write of a captured page must charge COW"
+        )
+        assert 0 in session.process.vas.find(upper).dirty, (
+            "commit cleared a page re-written after the snapshot"
+        )
+        # The forked image itself holds the pre-window bytes.
+        assert any(
+            r.start == upper and r.pages.get(0, b"").startswith(b"v1")
+            for r in image.regions
+        )
+
+        inc2 = session.checkpoint(incremental=True, parent=image)
+        from repro.linux import SimProcess
+
+        fresh = SimProcess(aslr=False)
+        session.checkpointer.restore_memory(inc2, fresh)
+        assert fresh.vas.read(upper, 2) == b"v2", (
+            "next incremental cut restored the stale pre-window bytes"
+        )
+
+    def test_rewritten_captured_gpu_span_stays_dirty_and_restores(self):
+        session = make_session()
+        store = CheckpointStore()
+        p = session.backend.malloc(4096)
+        session.backend.device_view(p, 16)[:] = 1
+        base = session.checkpoint(store=store)
+
+        session.backend.device_view(p, 16)[:] = 2
+        image = session.checkpoint(
+            forked=True, incremental=True, parent=base, store=store
+        )
+        # Re-write the captured span inside the write window.
+        session.backend.device_view(p, 16)[:] = 3
+        session.finish_forked_checkpoints()
+
+        buf = session.runtime.buffers[p]
+        assert buf.contents.dirty_byte_count >= 16, (
+            "commit cleared a GPU span re-written after the snapshot"
+        )
+        session.checkpoint(incremental=True, parent=image, store=store)
+        session.kill()
+        session.restart_latest(store)
+        assert session.backend.device_view(p, 16).tobytes() == b"\x03" * 16, (
+            "delta chain restored the stale pre-window GPU bytes"
+        )
+
+
 class TestForkedWithStore:
     def test_generation_appears_at_finish_not_fork(self):
         session = make_session()

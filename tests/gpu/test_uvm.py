@@ -110,6 +110,37 @@ class TestWriteTracking:
         uvm.record_device_write(buf, 0, UVM_PAGE, s1, 50, 150)
         assert uvm.concurrent_same_page_writes(buf) == []
 
+    def test_compaction_stashes_unobserved_conflicts(self, uvm):
+        """Opportunistic enqueue-time compaction must not hide a real
+        conflict: a pair dropped from the log before any overlap query
+        ran is stashed and still reported later."""
+        buf = make_buf(uvm)
+        s1, s2 = Stream(), Stream()
+        uvm.record_device_write(buf, 0, UVM_PAGE, s1, 0, 100)
+        uvm.record_device_write(buf, 0, UVM_PAGE, s2, 50, 150)
+        # Flood the log past the threshold with conflict-free writes so
+        # the conflicting pair is compacted away before any query.
+        for i in range(uvm.COMPACT_THRESHOLD + 8):
+            t = 1000.0 + i
+            uvm.record_device_write(buf, 0, 1, s1, t, t + 0.5, now_ns=t)
+        assert len(buf.device_writes) < uvm.COMPACT_THRESHOLD, (
+            "opportunistic compaction never ran"
+        )
+        pairs = uvm.concurrent_same_page_writes(buf)
+        assert len(pairs) == 1, "compaction lost an unobserved conflict"
+
+    def test_compacting_query_drains_reported_conflicts(self, uvm):
+        buf = make_buf(uvm)
+        s1, s2 = Stream(), Stream()
+        uvm.record_device_write(buf, 0, UVM_PAGE, s1, 0, 100)
+        uvm.record_device_write(buf, 0, UVM_PAGE, s2, 50, 150)
+        uvm.compact_writes(buf, before_ns=200.0)  # stashes the pair
+        assert buf.device_writes == []
+        pairs = uvm.concurrent_same_page_writes(buf, compact_before_ns=200.0)
+        assert len(pairs) == 1
+        # Reported and drained: a later query starts from a clean slate.
+        assert uvm.concurrent_same_page_writes(buf) == []
+
 
 class TestAccounting:
     def test_total_managed_bytes(self, uvm):
