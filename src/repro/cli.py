@@ -13,6 +13,10 @@ Commands:
   checkpoint pipeline with injected checkpoint/restore-stage faults;
 - ``ckpt-bench`` — full vs incremental vs forked checkpoint stall
   comparison over Rodinia workloads, emitting ``BENCH_delta_ckpt.json``;
+- ``fault-campaign`` — GPU runtime fault campaign: sweep fault class ×
+  MTBF over guarded application runs, report per-rung recovery counts,
+  lost virtual work, and bit-correctness, plus the
+  rank-death-during-2PC scenario; emits ``BENCH_fault_campaign.json``;
 - ``info``      — package version plus the calibrated cost model.
 """
 
@@ -137,6 +141,41 @@ def build_parser() -> argparse.ArgumentParser:
                     help="CI smoke mode: cap the scale so the sweep "
                     "finishes in seconds")
     cb.add_argument("--seed", type=int, default=0)
+
+    fc = sub.add_parser(
+        "fault-campaign",
+        help="GPU runtime fault campaign: fault class × MTBF sweep "
+        "through the recovery ladder",
+    )
+    fc.add_argument("--apps", nargs="+", default=["gaussian", "kmeans"],
+                    choices=sorted(APP_REGISTRY),
+                    help="workloads to sweep")
+    fc.add_argument("--scale", type=float, default=0.05,
+                    help="app scale (faults need fully-real iterations, "
+                    "so keep it small)")
+    fc.add_argument("--gpu", default="V100", choices=["V100", "K600"])
+    fc.add_argument("--classes", nargs="+", default=None,
+                    choices=["ecc", "kernel-hang", "copy-stall",
+                             "xfer-corrupt", "uvm-storm"],
+                    help="fault classes to sweep (default: all)")
+    fc.add_argument("--mtbf", nargs="+", type=float, default=None,
+                    metavar="S",
+                    help="absolute MTBF values in virtual seconds "
+                    "(default: --mtbf-factors of each app's baseline "
+                    "runtime)")
+    fc.add_argument("--mtbf-factors", nargs="+", type=float,
+                    default=[0.5, 0.2], metavar="F",
+                    help="per-app MTBF as a fraction of its fault-free "
+                    "runtime")
+    fc.add_argument("--ranks", type=int, default=3,
+                    help="ranks in the rank-death-during-2PC scenario")
+    fc.add_argument("--out", default="BENCH_fault_campaign.json",
+                    metavar="PATH", help="write the JSON report here "
+                    "('-' to skip)")
+    fc.add_argument("--smoke", action="store_true",
+                    help="CI smoke mode: cap the scale and sweep one "
+                    "fault class per ladder rung")
+    fc.add_argument("--seed", type=int, default=0)
     return parser
 
 
@@ -316,6 +355,40 @@ def cmd_ckpt_bench(args, out) -> int:
     return 0
 
 
+def cmd_fault_campaign(args, out) -> int:
+    """``repro fault-campaign``: runtime fault sweep + JSON report."""
+    import json
+
+    from repro.harness.fault_tolerance import (
+        format_fault_campaign,
+        run_fault_campaign,
+    )
+
+    scale = min(args.scale, 0.05) if args.smoke else args.scale
+    classes = args.classes
+    if args.smoke and classes is None:
+        # One class per ladder rung keeps the smoke run small while
+        # still proving retry, stream-reset, and restore all fire.
+        classes = ["xfer-corrupt", "kernel-hang", "ecc"]
+    report = run_fault_campaign(
+        [APP_REGISTRY[name] for name in args.apps],
+        scale=scale,
+        seed=args.seed,
+        gpu=args.gpu,
+        fault_classes=classes,
+        mtbf_s=args.mtbf,
+        mtbf_factors=tuple(args.mtbf_factors),
+        rank_death_ranks=args.ranks,
+    )
+    print(format_fault_campaign(report), file=out)
+    if args.out != "-":
+        with open(args.out, "w") as fh:
+            json.dump(report, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"\nwrote {args.out}", file=out)
+    return 0
+
+
 def cmd_reproduce(args, out) -> int:
     """``repro reproduce WHAT``: regenerate a table/figure."""
     from repro.harness import experiments as ex
@@ -374,6 +447,8 @@ def main(argv: list[str] | None = None, out=None) -> int:
         return cmd_fault_sim(args, out)
     if args.command == "ckpt-bench":
         return cmd_ckpt_bench(args, out)
+    if args.command == "fault-campaign":
+        return cmd_fault_campaign(args, out)
     if args.command == "reproduce":
         return cmd_reproduce(args, out)
     raise AssertionError(args.command)  # pragma: no cover

@@ -141,3 +141,98 @@ class ReplayLog:
                 )
             translation[e.addr] = got
         return replayed if strict else translation
+
+
+# -- stream-op log (fault-domain rung 2) --------------------------------------
+
+
+@dataclass
+class StreamOpRecord:
+    """One device operation enqueued on a stream, for timing replay.
+
+    The fault domain's stream-reset rung must *re-issue* the work a
+    poisoned stream had in flight. Content effects are applied eagerly
+    at enqueue time (simulation convention), so replay is timing-only:
+    the op is re-enqueued on the reset stream to re-charge its device
+    occupancy, not re-executed.
+    """
+
+    stream_sid: int
+    kind: str  # "kernel" | "copy"
+    label: str
+    duration_ns: float
+    #: copy engine ("h2d"/"d2h"/"d2d") for kind="copy", else ""
+    copy_kind: str = ""
+    nbytes: int = 0
+    replayed: bool = False
+
+
+class StreamOpLog:
+    """Ring of recently enqueued, not-yet-synchronized stream ops.
+
+    The device appends a record per enqueue; a successful stream/device
+    synchronization marks everything up to that point as retired. After
+    a sticky fault, ``replay_unsynced`` re-enqueues the surviving window
+    for the affected stream(s) through ``device.requeue`` — which
+    bypasses fault injection and logging, so replay cannot recurse.
+    """
+
+    def __init__(self, max_entries: int = 4096) -> None:
+        self.max_entries = max_entries
+        self.records: list[StreamOpRecord] = []
+        #: total ops ever recorded (diagnostics; survives trimming)
+        self.total_recorded = 0
+
+    def record(self, stream_sid: int, kind: str, label: str,
+               duration_ns: float, *, copy_kind: str = "",
+               nbytes: int = 0) -> None:
+        """Append one enqueued op (trims the oldest retired records)."""
+        self.records.append(StreamOpRecord(
+            stream_sid, kind, label, duration_ns,
+            copy_kind=copy_kind, nbytes=nbytes,
+        ))
+        self.total_recorded += 1
+        if len(self.records) > self.max_entries:
+            keep = [r for r in self.records if not r.replayed]
+            self.records = keep[-self.max_entries:]
+
+    def mark_synced(self, stream_sid: int | None = None) -> int:
+        """Retire ops confirmed complete by a successful synchronization.
+
+        ``stream_sid=None`` retires every stream (device-wide sync);
+        otherwise only that stream's ops. Returns the number retired.
+        """
+        n = 0
+        for r in self.records:
+            if r.replayed:
+                continue
+            if stream_sid is None or r.stream_sid == stream_sid:
+                r.replayed = True
+                n += 1
+        return n
+
+    def unsynced(self, stream_sid: int | None = None) -> list[StreamOpRecord]:
+        """Ops enqueued but not yet confirmed by a synchronization."""
+        return [
+            r for r in self.records
+            if not r.replayed
+            and (stream_sid is None or r.stream_sid == stream_sid)
+        ]
+
+    def replay_unsynced(self, device, streams_by_sid, *,
+                        stream_sid: int | None = None) -> int:
+        """Re-enqueue unsynchronized ops on their (reset) streams.
+
+        Timing-only: goes through ``device.requeue`` so neither fault
+        injection nor this log observes the replayed ops. Records stay
+        live (not retired) — the ops are once again in flight and only
+        the next successful synchronization retires them.
+        """
+        n = 0
+        for r in self.unsynced(stream_sid):
+            stream = streams_by_sid.get(r.stream_sid)
+            if stream is None or stream.destroyed:
+                continue
+            device.requeue(stream, r)
+            n += 1
+        return n

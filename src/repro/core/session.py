@@ -21,16 +21,42 @@ checkpointer with the CRAC plugin, and the coordinator. Its
 Because steps 4–8 restore every pointer and handle the application
 holds, the (simulated) application object simply continues running —
 exactly the transparency argument of the paper.
+
+This module also hosts the **runtime fault domain** (PR 3): a
+virtual-time :class:`Watchdog` that bounds kernel/copy/sync latency, and
+a :class:`FaultDomain` escalation ladder guarding every runtime call the
+dispatch backend issues. The ladder's rungs, cheapest first:
+
+1. **retry** — re-issue the failed call after seeded exponential
+   backoff with jitter (retryable errors: transfer CRC mismatch, UVM
+   fault storm);
+2. **stream reset + replay** — reset the poisoned stream(s) and
+   re-enqueue their unsynchronized window from the device's
+   :class:`~repro.core.replay_log.StreamOpLog` (sticky errors: hung
+   kernel, stalled copy engine);
+3. **device reset + restore** — kill the process, restore from the
+   newest usable checkpoint generation (:meth:`CracSession.\
+restart_latest`), charge the re-executed work back to the clock, and
+   re-apply the pre-fault buffer contents (deterministic redo);
+4. **typed abort** — :class:`~repro.errors.RecoveryAbortedError`
+   carrying the full :class:`RecoveryReport` attempt trail.
+
+Every rung is bounded per failure episode, so ladder recovery always
+terminates — the property the hypothesis suite checks.
 """
 
 from __future__ import annotations
 
+import random
+import zlib
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING
 
 from repro.core.halves import SplitProcess
 from repro.core.plugin import CracPlugin
+from repro.core.replay_log import StreamOpLog
 from repro.core.trampoline import CracBackend
+from repro.cuda.errors import CudaErrorCode, cuda_error
 from repro.dmtcp.checkpointer import DmtcpCheckpointer
 from repro.dmtcp.coordinator import DmtcpCoordinator
 from repro.dmtcp.forked import ForkedCheckpoint
@@ -39,11 +65,20 @@ from repro.dmtcp.store import CheckpointStore
 from repro.errors import (
     CheckpointStoreError,
     CorruptCheckpointError,
+    CudaError,
     InjectedFault,
+    RecoveryAbortedError,
     RestartError,
 )
 from repro.gpu.device import GpuDevice
-from repro.gpu.timing import DEFAULT_HOST_COSTS, NS_PER_S, HostCosts
+from repro.gpu.streams import Stream
+from repro.gpu.timing import (
+    DEFAULT_HOST_COSTS,
+    DEFAULT_WATCHDOG_LIMITS,
+    NS_PER_S,
+    HostCosts,
+    WatchdogLimits,
+)
 from repro.gpu.uvm import UVM_PAGE, ManagedBuffer
 from repro.linux.loader import ProgramImage
 
@@ -130,6 +165,36 @@ class CracSession:
         #: finished yet (at most one in practice — a new checkpoint first
         #: drains the previous write)
         self.pending_forks: list[ForkedCheckpoint] = []
+        #: escalation ladder guarding runtime calls (enable_fault_domain)
+        self.fault_domain: FaultDomain | None = None
+        # Runtime fault stages (ecc, kernel-hang, ...) are tripped by the
+        # devices themselves; without a fault domain the resulting
+        # classified CudaError propagates raw to the application.
+        for dev in self.split.runtime.devices:
+            dev.fault_injector = fault_injector
+
+    def enable_fault_domain(
+        self,
+        store: CheckpointStore | None = None,
+        *,
+        retries: int = 3,
+        max_stream_resets: int = 2,
+        max_restores: int = 2,
+        backoff_s: float = 0.05,
+        max_backoff_s: float = 2.0,
+        limits: WatchdogLimits = DEFAULT_WATCHDOG_LIMITS,
+    ) -> "FaultDomain":
+        """Attach the escalation ladder (module docstring) to this session.
+
+        ``store`` feeds the restore rung; without one the ladder tops out
+        at stream resets. Returns the attached :class:`FaultDomain`.
+        """
+        self.fault_domain = FaultDomain(
+            self, store, retries=retries,
+            max_stream_resets=max_stream_resets, max_restores=max_restores,
+            backoff_s=backoff_s, max_backoff_s=max_backoff_s, limits=limits,
+        )
+        return self.fault_domain
 
     # -- conveniences ------------------------------------------------------------
 
@@ -375,6 +440,11 @@ class CracSession:
         )
         self.coordinator = DmtcpCoordinator(self.checkpointer, seed=self.seed)
         self.backend.coordinator = self.coordinator
+        # Re-wire the runtime fault domain into the fresh devices.
+        for dev in fresh.runtime.devices:
+            dev.fault_injector = self.fault_injector
+        if self.fault_domain is not None:
+            self.fault_domain.attach()
 
         report = RestartReport(
             restart_time_ns=restart_time,
@@ -450,3 +520,319 @@ class CracSession:
             f"self-healing restart exhausted every generation "
             f"({len(attempts)} attempts across {store.generations or 'none'})"
         ) from last_exc
+
+
+# -- runtime fault domain (module docstring) ----------------------------------
+
+
+@dataclass
+class RecoveryAttempt:
+    """One rung taken by the escalation ladder (mirrors RestartAttempt)."""
+
+    rung: str  # "retry" | "stream-reset" | "restore" | "abort"
+    attempt: int  # 1-based index of this rung within its failure episode
+    backoff_ns: float  # virtual-time backoff paid before this attempt
+    error: str  # repr of the error that drove the attempt
+    succeeded: bool = False
+
+
+@dataclass
+class RecoveryReport:
+    """Cumulative attempt trail of one :class:`FaultDomain` (mirrors
+    :class:`RestartReport` for the recovery ladder)."""
+
+    attempts: list[RecoveryAttempt] = field(default_factory=list)
+    retries: int = 0
+    stream_resets: int = 0
+    restores: int = 0
+    watchdog_trips: int = 0
+    #: virtual work re-executed after restores (fault point − restored cut)
+    lost_work_ns: float = 0.0
+    #: total virtual-time backoff paid across retry rungs
+    backoff_ns: float = 0.0
+    aborted: bool = False
+
+    def rung_counts(self) -> dict[str, int]:
+        """Per-rung recovery counts (campaign reporting)."""
+        return {
+            "retry": self.retries,
+            "stream-reset": self.stream_resets,
+            "restore": self.restores,
+        }
+
+
+class Watchdog:
+    """Virtual-time latency watchdog (bounds in :class:`WatchdogLimits`).
+
+    Runtime faults that *hang* rather than fail (kernel-hang,
+    copy-stall) don't raise at enqueue — the op completes absurdly far
+    in the future and the stream carries a poison flag. Like a real
+    driver watchdog, detection happens when the host would block: before
+    a synchronization the watchdog scans for poisoned streams via pure
+    queries, charges the timeout it spent waiting, and raises a *sticky*
+    :class:`~repro.errors.CudaError` instead of letting virtual time
+    silently absorb the stall.
+    """
+
+    def __init__(self, session: CracSession,
+                 limits: WatchdogLimits = DEFAULT_WATCHDOG_LIMITS) -> None:
+        self.session = session
+        self.limits = limits
+        self.trips = 0
+
+    def precheck(self, sync_scope) -> None:
+        """Scan for poisoned streams before blocking on a sync.
+
+        ``sync_scope`` is the Stream being drained or ``"device"``; a
+        stream-scoped sync only trips on its own stream's poison.
+        """
+        for dev in self.session.runtime.devices:
+            for stream in dev.flagged_streams():
+                if (
+                    isinstance(sync_scope, Stream)
+                    and stream.sid != sync_scope.sid
+                ):
+                    continue
+                self.trips += 1
+                if stream.fault == "kernel-hang":
+                    wait = self.limits.kernel_timeout_ns
+                    code = CudaErrorCode.LAUNCH_TIMEOUT
+                    what = "kernel hang"
+                else:
+                    wait = self.limits.copy_timeout_ns
+                    code = CudaErrorCode.STREAM_STALLED
+                    what = "stalled copy engine"
+                # The host blocked until the bound expired, then the
+                # watchdog declared the op stuck.
+                self.session.process.advance(
+                    wait + self.limits.detection_wait_ns
+                )
+                raise cuda_error(
+                    code,
+                    f"watchdog: {what} on stream {stream.sid} "
+                    f"(waited {wait / NS_PER_S:.1f}s virtual)",
+                    stream_sid=stream.sid,
+                )
+
+
+class FaultDomain:
+    """The escalation ladder guarding runtime calls (module docstring).
+
+    Attached to a session via :meth:`CracSession.enable_fault_domain`;
+    the dispatch backend routes kernel/copy/sync calls through
+    :meth:`run`. Rung budgets are per *failure episode* (one guarded
+    call's recovery), so every episode terminates after at most
+    ``retries + max_stream_resets + max_restores + 1`` attempts.
+    """
+
+    def __init__(
+        self,
+        session: CracSession,
+        store: CheckpointStore | None = None,
+        *,
+        retries: int = 3,
+        max_stream_resets: int = 2,
+        max_restores: int = 2,
+        backoff_s: float = 0.05,
+        max_backoff_s: float = 2.0,
+        limits: WatchdogLimits = DEFAULT_WATCHDOG_LIMITS,
+    ) -> None:
+        self.session = session
+        self.store = store
+        self.retries = retries
+        self.max_stream_resets = max_stream_resets
+        self.max_restores = max_restores
+        self.backoff_base_ns = backoff_s * NS_PER_S
+        self.max_backoff_ns = max_backoff_s * NS_PER_S
+        self.watchdog = Watchdog(session, limits)
+        self.report = RecoveryReport()
+        #: virtual clock at which each committed generation was cut
+        #: (restore-rung lost-work accounting)
+        self.committed_at: dict[int, float] = {}
+        # Named RNG stream: backoff jitter draws must not perturb the
+        # injector's or the checkpoint scheduler's randomness (the same
+        # derivation as harness.fault_injection.derive_seed, inlined
+        # because core must not import harness).
+        self._rng = random.Random(
+            (session.seed & 0xFFFFFFFF) ^ zlib.crc32(b"fault-domain-backoff")
+        )
+        self._in_recovery = False
+        self.attach()
+
+    def attach(self) -> None:
+        """(Re-)wire the ladder into the session's current runtime."""
+        self.session.backend.recovery = self
+        for dev in self.session.runtime.devices:
+            dev.fault_injector = self.session.fault_injector
+            dev.op_log = StreamOpLog()
+
+    # -- checkpointing ---------------------------------------------------------
+
+    def checkpoint(self, **kwargs) -> int | None:
+        """Commit a checkpoint to the store; record its cut time.
+
+        An injected pipeline crash aborts the attempt (partials are
+        discarded, nothing half-commits) and returns ``None`` — the
+        prior generation stays the recovery line.
+        """
+        if self.store is None:
+            raise ValueError("FaultDomain.checkpoint needs a store")
+        try:
+            self.session.checkpoint(store=self.store, **kwargs)
+        except InjectedFault:
+            self.store.discard_partials()
+            return None
+        gen = self.store.latest()
+        self.committed_at[gen] = self.session.process.clock_ns
+        return gen
+
+    # -- the ladder ------------------------------------------------------------
+
+    def run(self, kind: str, thunk, *, sync_scope=None):
+        """Run one guarded runtime call; recover per the ladder."""
+        if self._in_recovery:
+            return thunk()
+        n_retry = n_reset = n_restore = 0
+        while True:
+            try:
+                if kind == "sync":
+                    self.watchdog.precheck(sync_scope)
+                result = thunk()
+            except CudaError as exc:
+                sev = exc.severity
+                if sev is None or sev == "program":
+                    raise  # deterministic misuse: no rung can heal it
+                if exc.code in (
+                    CudaErrorCode.LAUNCH_TIMEOUT, CudaErrorCode.STREAM_STALLED
+                ):
+                    self.report.watchdog_trips += 1
+                if sev == "retryable" and n_retry < self.retries:
+                    n_retry += 1
+                    self._retry(n_retry, exc)
+                    continue
+                if (
+                    sev in ("retryable", "sticky")
+                    and n_reset < self.max_stream_resets
+                ):
+                    n_reset += 1
+                    self._stream_reset(n_reset, exc)
+                    continue
+                if (
+                    n_restore < self.max_restores
+                    and self.store is not None
+                    and self.store.generations
+                ):
+                    n_restore += 1
+                    self._restore(n_restore, exc)
+                    continue
+                self.report.aborted = True
+                self.report.attempts.append(RecoveryAttempt(
+                    "abort", 1, 0.0, repr(exc)
+                ))
+                raise RecoveryAbortedError(
+                    f"escalation ladder exhausted ({n_retry} retries, "
+                    f"{n_reset} stream resets, {n_restore} restores): {exc}",
+                    report=self.report, cause=exc,
+                ) from exc
+            else:
+                if kind == "sync":
+                    self._note_synced(sync_scope)
+                return result
+
+    # -- rung 1: retry with backoff -------------------------------------------
+
+    def _retry(self, attempt: int, exc: CudaError) -> None:
+        backoff = min(
+            self.backoff_base_ns * 2.0 ** (attempt - 1), self.max_backoff_ns
+        )
+        backoff *= 0.5 + self._rng.random()  # jitter in [0.5, 1.5)
+        self.session.process.advance(backoff)
+        self.report.retries += 1
+        self.report.backoff_ns += backoff
+        self.report.attempts.append(
+            RecoveryAttempt("retry", attempt, backoff, repr(exc))
+        )
+
+    # -- rung 2: stream reset + replay ----------------------------------------
+
+    def _stream_reset(self, attempt: int, exc: CudaError) -> None:
+        session = self.session
+        runtime = session.runtime
+        for dev in runtime.devices:
+            flagged = dev.flagged_streams()
+            if not flagged and exc.stream_sid is not None:
+                s = runtime.streams.get(exc.stream_sid)
+                if s is not None:
+                    flagged = [s]
+            now = session.process.clock_ns
+            dev.reset_copy_engines(now)
+            for stream in flagged:
+                dev.reset_stream(stream, now)
+                session.process.advance(session.costs.stream_reset_ns)
+                if dev.op_log is not None:
+                    # Timing-only replay of the abandoned in-flight
+                    # window; guarded against re-entry so replayed ops
+                    # are invisible to injection and logging.
+                    self._in_recovery = True
+                    try:
+                        dev.op_log.replay_unsynced(
+                            dev, runtime.streams, stream_sid=stream.sid
+                        )
+                    finally:
+                        self._in_recovery = False
+        self.report.stream_resets += 1
+        self.report.attempts.append(
+            RecoveryAttempt("stream-reset", attempt, 0.0, repr(exc))
+        )
+
+    # -- rung 3: device reset + restore ---------------------------------------
+
+    def _restore(self, attempt: int, exc: CudaError) -> None:
+        """Kill, restore the newest usable generation, redo lost work.
+
+        Redo is by *re-application*: app re-execution from the restored
+        cut is deterministic, so its effect equals the pre-fault buffer
+        contents snapshotted here — the clock is charged for the lost
+        interval and the bytes are applied directly.
+        """
+        session = self.session
+        t_fault = session.process.clock_ns
+        saved: list[tuple[int, bytes, object]] = []
+        for buf in session.runtime.active_allocations():
+            residency = (
+                buf.residency.copy() if isinstance(buf, ManagedBuffer)
+                else None
+            )
+            saved.append(
+                (buf.addr, buf.contents.read_bytes(0, buf.size), residency)
+            )
+        self._in_recovery = True
+        try:
+            session.kill()
+            report = session.restart_latest(self.store)
+            committed = self.committed_at.get(report.generation, t_fault)
+            lost = max(0.0, t_fault - committed)
+            session.process.advance(lost)  # deterministic re-execution
+            for addr, data, residency in saved:
+                buf = session.runtime.buffers.get(addr)
+                if buf is None:
+                    continue  # allocated after the fault point — cannot be
+                buf.contents.write_bytes(0, data)
+                if residency is not None and isinstance(buf, ManagedBuffer):
+                    buf.residency[:] = residency
+        finally:
+            self._in_recovery = False
+            self.attach()
+        self.report.restores += 1
+        self.report.lost_work_ns += lost
+        self.report.attempts.append(
+            RecoveryAttempt("restore", attempt, 0.0, repr(exc), succeeded=True)
+        )
+
+    # -- op-log retirement -----------------------------------------------------
+
+    def _note_synced(self, sync_scope) -> None:
+        sid = sync_scope.sid if isinstance(sync_scope, Stream) else None
+        for dev in self.session.runtime.devices:
+            if dev.op_log is not None:
+                dev.op_log.mark_synced(sid)

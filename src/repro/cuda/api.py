@@ -26,6 +26,7 @@ is charged by the dispatch backend, not by the library.
 from __future__ import annotations
 
 import itertools
+import zlib
 from collections import Counter
 from dataclasses import dataclass
 from typing import Callable, Iterable, Sequence
@@ -33,7 +34,7 @@ from typing import Callable, Iterable, Sequence
 import numpy as np
 
 from repro.errors import CudaError
-from repro.cuda.errors import CudaErrorCode, cuda_check
+from repro.cuda.errors import CudaErrorCode, cuda_check, cuda_error
 from repro.gpu.device import GpuDevice
 from repro.gpu.memory import ArenaAllocator, DeviceBuffer
 from repro.gpu.streams import Event, Stream
@@ -371,6 +372,9 @@ class CudaRuntime:
             if host_buf is None:  # numpy array or plain VAS memory
                 effective = int(nbytes / PAGEABLE_COPY_EFFICIENCY)
         end = dev.enqueue_copy(s, effective, kind, at_ns=self.now)
+        if kind in ("h2d", "d2h"):
+            self._xfer_crc_trip(dev, s, kind, dst, src, nbytes,
+                                dst_offset, src_offset)
         if kind == "h2d":
             buf = self._buffer(dst)
             host_buf, host_off = self._resolve_host_ptr(src)
@@ -403,6 +407,49 @@ class CudaRuntime:
             cuda_check(False, CudaErrorCode.INVALID_VALUE, f"bad kind {kind!r}")
         if not async_:
             self.process.advance_to(end)
+
+    #: bytes of a transfer protected by one CRC word (per-region CRCs in
+    #: the style of the checkpoint image's integrity check)
+    XFER_CRC_WINDOW = 4096
+
+    def _xfer_crc_trip(self, dev, stream, kind, dst, src, nbytes,
+                       dst_offset, src_offset) -> None:
+        """Injected PCIe transfer corruption, caught by a CRC check.
+
+        Fires *after* the DMA is scheduled (the wire time was spent) but
+        *before* any content lands at the destination, so a retried
+        memcpy is a clean retransfer. The check is genuine: the source
+        window's CRC is compared against the CRC of the in-flight bytes
+        with one flipped bit, and the mismatch — not the injector —
+        raises the retryable error.
+        """
+        if dev.fault_injector is None:
+            return
+        if dev.fault_injector.trip("xfer-corrupt", f"memcpy-{kind}") is None:
+            return
+        window = min(nbytes, self.XFER_CRC_WINDOW)
+        if kind == "h2d":
+            host_buf, host_off = self._resolve_host_ptr(src)
+            if host_buf is not None:
+                data = host_buf.contents.read_bytes(
+                    host_off + src_offset, window
+                )
+            else:
+                data = self._host_bytes(src, src_offset, window)
+        else:
+            data = self._buffer(src).contents.read_bytes(src_offset, window)
+        expected = zlib.crc32(data)
+        wire = bytearray(data)
+        if wire:
+            wire[len(wire) // 2] ^= 0x40  # the in-flight bit flip
+        got = zlib.crc32(bytes(wire))
+        if got != expected or not wire:
+            raise cuda_error(
+                CudaErrorCode.TRANSFER_CRC_MISMATCH,
+                f"memcpy-{kind} of {nbytes} B: region CRC {got:#010x} != "
+                f"expected {expected:#010x}",
+                stream_sid=stream.sid,
+            )
 
     def _resolve_host_ptr(self, ptr):
         """If ``ptr`` is an address inside a pinned/managed buffer this

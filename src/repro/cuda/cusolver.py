@@ -20,7 +20,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.errors import CudaError
+from repro.cuda.errors import CudaErrorCode, cuda_error
 from repro.cuda.api import FatBinary
 from repro.cuda.interface import CudaDispatchBase
 
@@ -69,7 +69,11 @@ class CuSolverDn:
             try:
                 a[:] = np.tril(np.linalg.cholesky(a.astype(np.float64)))
             except np.linalg.LinAlgError as e:
-                raise CudaError(f"cusolverDnSpotrf: {e}") from e
+                # Non-SPD input is a deterministic data condition, not a
+                # device failure: program severity, no recovery rung.
+                raise cuda_error(
+                    CudaErrorCode.INVALID_VALUE, f"cusolverDnSpotrf: {e}"
+                ) from e
 
         self._call(
             "cusolverDnSpotrf", "cusolver_potrf_kernel",
@@ -92,7 +96,10 @@ class CuSolverDn:
                     lu[[k, imax]] = lu[[imax, k]]
                     p[[k, imax]] = p[[imax, k]]
                 if abs(lu[k, k]) < 1e-30:
-                    raise CudaError("cusolverDnSgetrf: singular matrix")
+                    raise cuda_error(
+                        CudaErrorCode.INVALID_VALUE,
+                        "cusolverDnSgetrf: singular matrix",
+                    )
                 lu[k + 1 :, k] /= lu[k, k]
                 lu[k + 1 :, k + 1 :] -= np.outer(lu[k + 1 :, k], lu[k, k + 1 :])
             a[:] = lu

@@ -1,4 +1,26 @@
-"""``cudaError_t`` codes and error raising helpers."""
+"""``cudaError_t`` codes, the recovery-severity taxonomy, and helpers.
+
+The fault domain (``core/session.py``) needs to know, for every error
+the runtime can produce, which recovery rung is worth trying:
+
+- **retryable** — transient transport faults (a corrupted PCIe/UVM
+  transfer caught by CRC, a UVM fault storm): re-issuing the call is
+  safe and usually succeeds;
+- **sticky** — the issuing stream is poisoned (hung kernel, stalled
+  copy engine, launch failure): no call on that stream can make
+  progress until the stream is reset and its unsynchronized ops are
+  replayed;
+- **fatal** — the device/context is gone (uncorrectable ECC, lost
+  device, irreconcilable library state): only a device reset plus
+  restore from a checkpoint can continue the job;
+- **program** — deterministic API misuse (bad pointer, bad value,
+  unsupported feature, true OOM): retrying reproduces the same error,
+  so the ladder surfaces it to the application unchanged.
+
+Codes with real ``cudaError_t`` values use them (e.g. 214 is
+``cudaErrorECCUncorrectable``, 702 is ``cudaErrorLaunchTimeout``);
+simulation-specific conditions take values ≥ 990.
+"""
 
 from __future__ import annotations
 
@@ -15,14 +37,65 @@ class CudaErrorCode(enum.Enum):
     INITIALIZATION_ERROR = 3
     INVALID_VALUE = 11
     INVALID_DEVICE_POINTER = 17
-    LIBRARY_STATE_INCONSISTENT = 999  # simulation-specific: post-restore UVA mismatch
-    NOT_SUPPORTED = 801
+    DEVICES_UNAVAILABLE = 46
+    ECC_UNCORRECTABLE = 214
+    LAUNCH_TIMEOUT = 702
     LAUNCH_FAILURE = 719
+    NOT_SUPPORTED = 801
+    LIBRARY_STATE_INCONSISTENT = 999  # simulation-specific: post-restore UVA mismatch
+    # -- simulation-specific runtime fault conditions (≥ 990) --
+    HEARTBEAT_LOST = 993
+    STREAM_STALLED = 994
+    TRANSFER_CRC_MISMATCH = 995
+    UVM_FAULT_STORM = 996
+
+
+class ErrorSeverity(enum.Enum):
+    """Recovery classification of a ``cudaError_t`` (module docstring)."""
+
+    RETRYABLE = "retryable"
+    STICKY = "sticky"
+    FATAL = "fatal"
+    PROGRAM = "program"
+
+
+#: Severity of every producible code. Unlisted/unknown codes classify as
+#: FATAL: when the runtime cannot tell what broke, assuming the device is
+#: lost is the only classification that still guarantees recovery.
+SEVERITY: dict[CudaErrorCode, ErrorSeverity] = {
+    CudaErrorCode.MEMORY_ALLOCATION: ErrorSeverity.PROGRAM,
+    CudaErrorCode.INITIALIZATION_ERROR: ErrorSeverity.FATAL,
+    CudaErrorCode.INVALID_VALUE: ErrorSeverity.PROGRAM,
+    CudaErrorCode.INVALID_DEVICE_POINTER: ErrorSeverity.PROGRAM,
+    CudaErrorCode.DEVICES_UNAVAILABLE: ErrorSeverity.FATAL,
+    CudaErrorCode.ECC_UNCORRECTABLE: ErrorSeverity.FATAL,
+    CudaErrorCode.LAUNCH_TIMEOUT: ErrorSeverity.STICKY,
+    CudaErrorCode.LAUNCH_FAILURE: ErrorSeverity.STICKY,
+    CudaErrorCode.NOT_SUPPORTED: ErrorSeverity.PROGRAM,
+    CudaErrorCode.LIBRARY_STATE_INCONSISTENT: ErrorSeverity.FATAL,
+    CudaErrorCode.HEARTBEAT_LOST: ErrorSeverity.FATAL,
+    CudaErrorCode.STREAM_STALLED: ErrorSeverity.STICKY,
+    CudaErrorCode.TRANSFER_CRC_MISMATCH: ErrorSeverity.RETRYABLE,
+    CudaErrorCode.UVM_FAULT_STORM: ErrorSeverity.RETRYABLE,
+}
+
+
+def classify(code: CudaErrorCode) -> ErrorSeverity:
+    """Severity of ``code`` (unknown codes classify as FATAL)."""
+    return SEVERITY.get(code, ErrorSeverity.FATAL)
+
+
+def cuda_error(
+    code: CudaErrorCode, msg: str, *, stream_sid: int | None = None
+) -> CudaError:
+    """Build a classified :class:`~repro.errors.CudaError` for ``code``."""
+    return CudaError(
+        f"{code.name}: {msg}", code=code, severity=classify(code),
+        stream_sid=stream_sid,
+    )
 
 
 def cuda_check(ok: bool, code: CudaErrorCode, msg: str) -> None:
-    """Raise :class:`~repro.errors.CudaError` carrying ``code`` if not ok."""
+    """Raise a classified :class:`~repro.errors.CudaError` if not ok."""
     if not ok:
-        err = CudaError(f"{code.name}: {msg}")
-        err.code = code  # type: ignore[attr-defined]
-        raise err
+        raise cuda_error(code, msg)

@@ -57,6 +57,21 @@ class CudaDispatchBase:
         #: CUDA stream" (paper §6) — set this via use_thread(); CRAC's
         #: trampoline switches that thread's fs register.
         self.current_thread = None
+        #: fault-domain ladder (:class:`repro.core.session.FaultDomain`)
+        #: guarding runtime calls, or None (faults propagate raw).
+        self.recovery = None
+
+    def _invoke(self, kind: str, thunk, *, sync_scope=None):
+        """Run one runtime call through the fault-domain ladder.
+
+        ``kind`` is ``"kernel"``/``"copy"``/``"sync"``; ``sync_scope``
+        names what a sync drains (a Stream or ``"device"``) so the
+        watchdog can pre-check for hung work before blocking on it.
+        With no fault domain attached this is a plain call.
+        """
+        if self.recovery is None:
+            return thunk()
+        return self.recovery.run(kind, thunk, sync_scope=sync_scope)
 
     # -- cost hook -------------------------------------------------------------
 
@@ -177,7 +192,7 @@ class CudaDispatchBase:
         # Host-side payload crosses the dispatch boundary for h2d/d2h.
         payload = nbytes if kind in ("h2d", "d2h") else 32
         self._dispatch(name, payload_bytes=payload)
-        self.runtime.cudaMemcpy(
+        self._invoke("copy", lambda: self.runtime.cudaMemcpy(
             dst,
             src,
             nbytes,
@@ -186,7 +201,7 @@ class CudaDispatchBase:
             async_=async_,
             dst_offset=dst_offset,
             src_offset=src_offset,
-        )
+        ))
 
     def memset(
         self,
@@ -199,7 +214,9 @@ class CudaDispatchBase:
     ) -> None:
         """cudaMemset(Async): fill a buffer with a byte value."""
         self._dispatch("cudaMemsetAsync" if async_ else "cudaMemset", payload_bytes=24)
-        self.runtime.cudaMemset(addr, value, nbytes, stream=stream, async_=async_)
+        self._invoke("copy", lambda: self.runtime.cudaMemset(
+            addr, value, nbytes, stream=stream, async_=async_
+        ))
 
     # -- kernels ------------------------------------------------------------------
 
@@ -226,7 +243,7 @@ class CudaDispatchBase:
             ship_in=self._launch_ship_buffers(managed),
             ship_out=self._launch_ship_buffers(managed),
         )
-        return self.runtime.cudaLaunchKernel(
+        return self._invoke("kernel", lambda: self.runtime.cudaLaunchKernel(
             name,
             fn,
             args=args,
@@ -235,7 +252,7 @@ class CudaDispatchBase:
             stream=stream,
             managed=managed,
             duration_ns=duration_ns,
-        )
+        ))
 
     def _launch_ship_buffers(self, managed: Iterable[ManagedUse]) -> Sequence[int]:
         """Buffers a (naive) proxy would have to ship for this launch; the
@@ -257,12 +274,18 @@ class CudaDispatchBase:
     def stream_synchronize(self, stream: Stream | None = None) -> None:
         """cudaStreamSynchronize: block until the stream drains."""
         self._dispatch("cudaStreamSynchronize", payload_bytes=8)
-        self.runtime.cudaStreamSynchronize(stream)
+        self._invoke(
+            "sync", lambda: self.runtime.cudaStreamSynchronize(stream),
+            sync_scope=stream if stream is not None else "device",
+        )
 
     def device_synchronize(self) -> None:
         """cudaDeviceSynchronize: block until the current GPU drains."""
         self._dispatch("cudaDeviceSynchronize", payload_bytes=0)
-        self.runtime.cudaDeviceSynchronize()
+        self._invoke(
+            "sync", lambda: self.runtime.cudaDeviceSynchronize(),
+            sync_scope="device",
+        )
 
     # -- events --------------------------------------------------------------------
 
@@ -284,7 +307,10 @@ class CudaDispatchBase:
     def event_synchronize(self, event: Event) -> None:
         """cudaEventSynchronize: block until the event completes."""
         self._dispatch("cudaEventSynchronize", payload_bytes=8)
-        self.runtime.cudaEventSynchronize(event)
+        self._invoke(
+            "sync", lambda: self.runtime.cudaEventSynchronize(event),
+            sync_scope="device",
+        )
 
     def event_elapsed_ms(self, start: Event, end: Event) -> float:
         """cudaEventElapsedTime in milliseconds."""
@@ -378,9 +404,9 @@ class CudaDispatchBase:
     ) -> None:
         """cudaMemPrefetchAsync: migrate managed pages ahead of use."""
         self._dispatch("cudaMemPrefetchAsync", payload_bytes=32)
-        self.runtime.cudaMemPrefetchAsync(
+        self._invoke("copy", lambda: self.runtime.cudaMemPrefetchAsync(
             addr, nbytes, to_device=to_device, stream=stream, offset=offset
-        )
+        ))
 
     # -- simulation accessors (zero-cost, not CUDA entry points) ----------------------------
 

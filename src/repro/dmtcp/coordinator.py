@@ -13,11 +13,20 @@ successfully does the coordinator commit them all (phase 2) — otherwise
 every staged image is aborted and the previous consistent cut remains
 the job's recovery line (:meth:`DmtcpCoordinator.two_phase_commit`,
 driven by ``MpiWorld.checkpoint_all_2pc``).
+
+PR 3 adds the :class:`HeartbeatMonitor`: between prepare and commit the
+coordinator polls every rank's heartbeat; a rank that misses
+``max_missed`` consecutive beats is declared dead, the 2PC is aborted
+(no generation half-commits), and the survivors take a quorum decision —
+a strict majority continues from the prior cut, anything less aborts the
+whole job.
 """
 
 from __future__ import annotations
 
 import random
+import zlib
+from dataclasses import dataclass
 from typing import TYPE_CHECKING, Callable, Sequence
 
 from repro.dmtcp.checkpointer import DmtcpCheckpointer
@@ -35,14 +44,24 @@ class DmtcpCoordinator:
     def __init__(self, checkpointer: DmtcpCheckpointer, seed: int = 0) -> None:
         self.checkpointer = checkpointer
         self._rng = random.Random(seed)
+        # Named RNG stream for checkpoint *placement*: other consumers of
+        # seeded randomness (fault injection, backoff jitter) must never
+        # shift where a scheduled checkpoint lands, or campaigns stop
+        # being comparable across fault plans. Same derivation as
+        # harness.fault_injection.derive_seed (inlined: dmtcp must not
+        # import harness at runtime).
+        self._ckpt_rng = random.Random(
+            (seed & 0xFFFFFFFF) ^ zlib.crc32(b"ckpt-schedule")
+        )
         self._trigger_at_call: int | None = None
         self._calls_seen = 0
         self.images: list[CheckpointImage] = []
         self.on_checkpoint: Callable[[CheckpointImage], None] | None = None
 
     def schedule_random_checkpoint(self, expected_total_calls: int) -> int:
-        """Arm a checkpoint at a uniformly random call index."""
-        self._trigger_at_call = self._rng.randrange(
+        """Arm a checkpoint at a uniformly random call index (drawn from
+        the placement-only RNG stream)."""
+        self._trigger_at_call = self._ckpt_rng.randrange(
             1, max(2, expected_total_calls)
         )
         self._calls_seen = 0
@@ -141,3 +160,73 @@ class DmtcpCoordinator:
                 store.abort(s)
             raise
         return [store.commit(s) for store, s in staged]
+
+
+# -- heartbeats (runtime fault domain) ----------------------------------------
+
+
+@dataclass
+class RankHealth:
+    """The coordinator's view of one rank's liveness."""
+
+    rank: int
+    missed: int = 0
+    dead: bool = False
+    #: beats the coordinator actually received (diagnostics)
+    beats: int = 0
+
+
+class HeartbeatMonitor:
+    """Coordinator-side rank liveness during a coordinated checkpoint.
+
+    Between prepare and commit the coordinator runs ``max_missed``
+    heartbeat rounds: each round every rank is polled (``beat``), the
+    poll interval is charged to the surviving ranks' clocks by the
+    caller, and a rank that misses every round is declared dead. The
+    ``heartbeat`` fault stage drives misses: kind ``"crash"`` means the
+    rank's process died (it misses this and every later round); any
+    other kind drops just this round's beat (a transient network miss a
+    healthy rank recovers from).
+    """
+
+    def __init__(self, n_ranks: int, *, interval_s: float = 0.5,
+                 max_missed: int = 3) -> None:
+        if max_missed < 1:
+            raise ValueError("max_missed must be >= 1")
+        self.interval_s = interval_s
+        self.max_missed = max_missed
+        self.health = [RankHealth(r) for r in range(n_ranks)]
+
+    @property
+    def interval_ns(self) -> float:
+        return self.interval_s * 1e9
+
+    def beat(self, rank: int, *, arrived: bool) -> None:
+        """Record one polling round's outcome for ``rank``."""
+        h = self.health[rank]
+        if h.dead:
+            return
+        if arrived:
+            h.beats += 1
+            h.missed = 0
+        else:
+            h.missed += 1
+            if h.missed >= self.max_missed:
+                h.dead = True
+
+    def dead_ranks(self) -> list[int]:
+        """Ranks declared dead so far."""
+        return [h.rank for h in self.health if h.dead]
+
+    def alive_ranks(self) -> list[int]:
+        """Ranks still considered live."""
+        return [h.rank for h in self.health if not h.dead]
+
+    def has_quorum(self) -> bool:
+        """Strict majority of ranks alive — the continue/abort decision.
+
+        Without a strict majority the survivors could be the minority
+        half of a partition; continuing risks two recovery lines
+        (split-brain), so the job must abort.
+        """
+        return len(self.alive_ranks()) * 2 > len(self.health)

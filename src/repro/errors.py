@@ -83,7 +83,95 @@ class ReplayDivergenceError(RestartError):
 
 
 class CudaError(ReproError):
-    """A CUDA API call returned a non-success ``cudaError_t``."""
+    """A CUDA API call returned a non-success ``cudaError_t``.
+
+    Carries the error ``code`` (a
+    :class:`repro.cuda.errors.CudaErrorCode`) and its recovery
+    ``severity`` — one of ``"retryable"``, ``"sticky"``, ``"fatal"``,
+    ``"program"`` — so the fault-domain ladder can pick its entry rung:
+    *retryable* errors are transient (re-issue the call), *sticky*
+    errors poison the issuing stream (stream reset + replay of
+    unsynchronized ops), *fatal* errors mean the device/context is lost
+    (device reset + restore from a checkpoint), and *program* errors
+    are deterministic API misuse no rung can heal (surfaced to the
+    application unchanged).
+
+    The severity is stored as a plain string (not the
+    :class:`~repro.cuda.errors.ErrorSeverity` enum) so modules below
+    ``repro.cuda`` in the import graph — ``gpu/device.py``,
+    ``gpu/uvm.py`` — can raise and classify without importing the
+    ``repro.cuda`` package at module load time.
+    """
+
+    def __init__(self, msg: str, *, code=None, severity=None,
+                 stream_sid: int | None = None) -> None:
+        super().__init__(msg)
+        self.code = code
+        if severity is None and code is not None:
+            # Deferred import: repro.errors must stay import-cycle free.
+            from repro.cuda.errors import classify
+
+            severity = classify(code)
+        #: "retryable" | "sticky" | "fatal" | "program" | None
+        self.severity = getattr(severity, "value", severity)
+        #: stream the failed op was issued on (hang/stall classification)
+        self.stream_sid = stream_sid
+
+    @property
+    def retryable(self) -> bool:
+        """Transient: re-issuing the same call may succeed."""
+        return self.severity == "retryable"
+
+    @property
+    def sticky(self) -> bool:
+        """Poisons the issuing stream; cleared by a stream reset."""
+        return self.severity == "sticky"
+
+    @property
+    def fatal(self) -> bool:
+        """Device/context is lost; only a restore can continue the job."""
+        return self.severity == "fatal"
+
+
+class RecoveryAbortedError(ReproError):
+    """The fault-domain escalation ladder ran out of rungs.
+
+    Raised by :class:`repro.core.session.FaultDomain` when every bounded
+    recovery attempt (retry, stream replay, checkpoint restore) has been
+    spent; carries the full :class:`~repro.core.session.RecoveryReport`
+    attempt trail and the final error, so callers see a *typed* abort —
+    never silent corruption.
+    """
+
+    def __init__(self, msg: str, *, report=None, cause=None) -> None:
+        super().__init__(msg)
+        self.report = report
+        self.cause = cause
+
+
+class RankDeathError(CheckpointError):
+    """One or more ranks went silent during a coordinated checkpoint.
+
+    The coordinator's heartbeat monitor declared the ranks dead after N
+    missed beats; the in-flight 2PC was aborted (no generation was
+    half-committed) and the surviving quorum should recover from the
+    prior committed cut via ``restart_all_latest``.
+    """
+
+    def __init__(self, dead_ranks, msg: str = "") -> None:
+        self.dead_ranks = sorted(dead_ranks)
+        super().__init__(
+            msg or f"rank(s) {self.dead_ranks} missed heartbeats during "
+            "a coordinated checkpoint; 2PC aborted"
+        )
+
+
+class CoordinatedAbortError(CheckpointError):
+    """The surviving ranks lost quorum: the whole job must abort.
+
+    Raised when rank deaths leave no strict majority alive — continuing
+    without quorum could split-brain the recovery line.
+    """
 
 
 class UnsupportedFeatureError(ReproError):

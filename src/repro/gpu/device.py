@@ -13,6 +13,17 @@ stream experiments (Figure 4):
 
 All methods take and return virtual-time nanoseconds; the host's clock is
 owned by :class:`repro.linux.process.SimProcess`, not by the device.
+
+Runtime fault domain (PR 3): when a :class:`FaultInjector` is attached
+(``fault_injector`` attribute), enqueue paths consult the runtime fault
+stages. An ``ecc`` fault raises a fatal :class:`~repro.errors.CudaError`
+*before* any scheduling state changes, so a retried enqueue is clean. A
+``kernel-hang``/``copy-stall`` fault completes the enqueue but inflates
+the op past the watchdog bound and poisons the stream (``stream.fault``)
+— detection happens later, at the next synchronization, exactly like a
+real driver watchdog. Every enqueue is also recorded into ``op_log`` (a
+:class:`repro.core.replay_log.StreamOpLog`) so the fault domain's
+stream-reset rung can re-issue the in-flight window.
 """
 
 from __future__ import annotations
@@ -20,8 +31,9 @@ from __future__ import annotations
 import heapq
 from dataclasses import dataclass
 
+from repro.errors import CudaError
 from repro.gpu.streams import Event, Stream
-from repro.gpu.timing import GpuSpec
+from repro.gpu.timing import COPY_STALL_NS, KERNEL_HANG_NS, GpuSpec
 
 
 @dataclass(frozen=True)
@@ -56,6 +68,31 @@ class GpuDevice:
         self.copied_bytes = {"h2d": 0, "d2h": 0, "d2d": 0}
         #: nvprof-style timeline; None unless tracing is enabled
         self.trace: list[TraceEvent] | None = None
+        # -- runtime fault domain (module docstring) --
+        #: FaultInjector consulted at enqueue time; None = no faults
+        self.fault_injector = None
+        #: StreamOpLog of in-flight ops for the stream-reset rung; None
+        #: until the fault domain attaches one
+        self.op_log = None
+        #: count of injected ECC page errors (campaign accounting)
+        self.ecc_errors = 0
+
+    def _trip(self, stage: str, context: str) -> str | None:
+        """Consult the attached injector at a runtime fault stage."""
+        if self.fault_injector is None:
+            return None
+        return self.fault_injector.trip(stage, context)
+
+    @staticmethod
+    def _fatal(code_name: str, msg: str) -> CudaError:
+        # Deferred import: repro.gpu must not pull in repro.cuda at
+        # module load time (cuda/api.py imports this module).
+        from repro.cuda.errors import CudaErrorCode
+
+        return CudaError(
+            f"{code_name}: {msg}", code=CudaErrorCode[code_name],
+            severity="fatal",
+        )
 
     def enable_trace(self) -> None:
         """Start recording a device timeline (nvprof --print-gpu-trace)."""
@@ -105,6 +142,19 @@ class GpuDevice:
         Admission respects the concurrent-kernel limit: when the device is
         saturated the kernel waits for the earliest-finishing one.
         """
+        # ECC fires before any scheduling state changes: a post-restore
+        # re-issue of this launch starts from a clean timeline.
+        if self._trip("ecc", label) is not None:
+            self.ecc_errors += 1
+            raise self._fatal(
+                "ECC_UNCORRECTABLE",
+                f"uncorrectable ECC page error during {label!r}",
+            )
+        intended_ns = duration_ns
+        hang = self._trip("kernel-hang", label) is not None
+        if hang:
+            duration_ns += KERNEL_HANG_NS
+            stream.fault = "kernel-hang"
         earliest = self._start_time(stream, at_ns)
         start = self._admit_kernel(earliest)
         end = start + duration_ns
@@ -113,6 +163,12 @@ class GpuDevice:
         stream.kernel_count += 1
         self.total_kernel_ns += duration_ns
         self.total_kernels += 1
+        if self.op_log is not None:
+            # Log the *intended* duration: the stream-reset rung replays
+            # the op as it should have run, not the hung version.
+            self.op_log.record(
+                stream.sid, "kernel", label, intended_ns
+            )
         if self.trace is not None:
             self.trace.append(TraceEvent("kernel", label, stream.sid, start, end))
         return end
@@ -135,18 +191,91 @@ class GpuDevice:
         """Schedule a DMA copy; returns its completion time."""
         if kind not in self._copy_engine_ready:
             raise ValueError(f"unknown copy kind {kind!r}")
+        stall = self._trip("copy-stall", f"memcpy-{kind}") is not None
         earliest = max(
             self._start_time(stream, at_ns), self._copy_engine_ready[kind]
         )
         end = earliest + self.spec.copy_cost_ns(nbytes, kind)
+        if stall:
+            # The engine wedges mid-transfer: it (and the stream) stay
+            # busy past the watchdog bound until a stream reset clears it.
+            end += COPY_STALL_NS
+            stream.fault = "copy-stall"
         self._copy_engine_ready[kind] = end
         self._finish(stream, end)
         self.copied_bytes[kind] += nbytes
+        if self.op_log is not None:
+            self.op_log.record(
+                stream.sid, "copy", f"memcpy-{kind}",
+                self.spec.copy_cost_ns(nbytes, kind),
+                copy_kind=kind, nbytes=nbytes,
+            )
         if self.trace is not None:
             self.trace.append(
                 TraceEvent("copy", f"memcpy-{kind}", stream.sid, earliest, end)
             )
         return end
+
+    def requeue(self, stream: Stream, record) -> float:
+        """Re-enqueue a logged op during stream-reset replay.
+
+        Timing-only re-issue of a :class:`StreamOpRecord`: bypasses
+        fault injection (replay must not re-fault) and op logging
+        (replay must not observe itself). Content was already applied at
+        the original enqueue, so only device occupancy is re-charged.
+        """
+        at_ns = stream.ready_ns
+        if record.kind == "kernel":
+            earliest = self._start_time(stream, at_ns)
+            start = self._admit_kernel(earliest)
+            end = start + record.duration_ns
+            heapq.heappush(self._running, end)
+            self._finish(stream, end)
+            self.total_kernel_ns += record.duration_ns
+            if self.trace is not None:
+                self.trace.append(TraceEvent(
+                    "kernel", f"replay:{record.label}", stream.sid, start, end
+                ))
+            return end
+        engine = record.copy_kind or "d2d"
+        earliest = max(
+            self._start_time(stream, at_ns), self._copy_engine_ready[engine]
+        )
+        end = earliest + record.duration_ns
+        self._copy_engine_ready[engine] = end
+        self._finish(stream, end)
+        if self.trace is not None:
+            self.trace.append(TraceEvent(
+                "copy", f"replay:{record.label}", stream.sid, earliest, end
+            ))
+        return end
+
+    # -- fault-domain resets ----------------------------------------------------
+
+    def flagged_streams(self) -> list[Stream]:
+        """Streams currently poisoned by a hang/stall fault."""
+        return sorted(
+            (s for s in self._streams if s.fault is not None),
+            key=lambda s: s.sid,
+        )
+
+    def reset_stream(self, stream: Stream, now_ns: float) -> None:
+        """Fault-domain stream reset: clear the poison and the backlog.
+
+        The hung/stalled work is abandoned (its inflated completion time
+        is discarded) and the stream becomes schedulable at ``now_ns``.
+        The caller replays the abandoned window via ``requeue``.
+        """
+        stream.fault = None
+        stream.ready_ns = now_ns
+        if stream.sid == 0:
+            self._default_barrier_ns = now_ns
+
+    def reset_copy_engines(self, now_ns: float) -> None:
+        """Clamp wedged copy engines back to ``now_ns``."""
+        for kind, ready in self._copy_engine_ready.items():
+            if ready > now_ns:
+                self._copy_engine_ready[kind] = now_ns
 
     def busy_delay(self, stream: Stream, duration_ns: float, at_ns: float) -> float:
         """Schedule an opaque device-side delay (fault servicing etc.)."""

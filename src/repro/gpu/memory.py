@@ -34,6 +34,21 @@ def _align_up(n: int, a: int = ALLOC_ALIGN) -> int:
     return (n + a - 1) & ~(a - 1)
 
 
+def _program_error(code_name: str, msg: str) -> CudaError:
+    """A classified program-severity :class:`CudaError`.
+
+    The code enum lives in :mod:`repro.cuda.errors`, which this module
+    must not import at load time (``repro.cuda.__init__`` pulls in
+    ``cuda.api`` which imports ``repro.gpu``); the raise paths are cold,
+    so the deferred import costs nothing.
+    """
+    from repro.cuda.errors import CudaErrorCode
+
+    return CudaError(
+        f"{code_name}: {msg}", code=CudaErrorCode[code_name], severity="program"
+    )
+
+
 def merge_spans(spans: list[tuple[int, int]]) -> list[tuple[int, int]]:
     """Normalize (start, end) intervals: sorted, disjoint, non-empty."""
     out: list[tuple[int, int]] = []
@@ -400,10 +415,13 @@ class ArenaAllocator:
     def alloc(self, nbytes: int) -> int:
         """Allocate; deterministic for a fixed alloc/free sequence."""
         if nbytes <= 0:
-            raise CudaError("cudaMalloc of non-positive size")
+            raise _program_error("INVALID_VALUE", "cudaMalloc of non-positive size")
         need = _align_up(nbytes)
         if self.active_bytes + need > self.capacity:
-            raise CudaError("out of device memory (cudaErrorMemoryAllocation)")
+            raise _program_error(
+                "MEMORY_ALLOCATION",
+                "out of device memory (cudaErrorMemoryAllocation)",
+            )
         for i, blk in enumerate(self._free):
             if blk.size >= need:
                 addr = blk.start
@@ -429,7 +447,9 @@ class ArenaAllocator:
         """Release an allocation; returns its size."""
         size = self.active.pop(addr, None)
         if size is None:
-            raise CudaError(f"cudaFree of unknown pointer {addr:#x}")
+            raise _program_error(
+                "INVALID_DEVICE_POINTER", f"cudaFree of unknown pointer {addr:#x}"
+            )
         self._insert_free(_FreeBlock(addr, size))
         return size
 
@@ -463,8 +483,9 @@ class ArenaAllocator:
                 self.mmap_calls += 1
             self.arena_bytes += ARENA_CHUNK
             self._insert_free(_FreeBlock(base, ARENA_CHUNK))
-        raise CudaError(
-            f"could not reserve {addr:#x}+{nbytes:#x}: address outside any arena"
+        raise _program_error(
+            "INVALID_VALUE",
+            f"could not reserve {addr:#x}+{nbytes:#x}: address outside any arena",
         )
 
     def _insert_free(self, blk: _FreeBlock) -> None:

@@ -33,6 +33,10 @@ class Stream:
     #: index of the GPU this stream was created on (cudaSetDevice state
     #: at cudaStreamCreate time); streams are bound to one device.
     device_index: int = 0
+    #: fault poisoning this stream (``"kernel-hang"``/``"copy-stall"``)
+    #: or ``None``; set by the device when an injected runtime fault
+    #: lands on this stream, cleared by a fault-domain stream reset.
+    fault: str | None = None
 
     def __hash__(self) -> int:
         return self.sid

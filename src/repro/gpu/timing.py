@@ -127,6 +127,44 @@ class HostCosts:
     #: checkpoint's write window (memcpy of a touched page before the
     #: writer has flushed it), bytes/s.
     cow_copy_bw: float = 8.0e9
+    #: Cost to reset one poisoned stream (drain, destroy, recreate the
+    #: hardware queue) during fault-domain recovery, ns.
+    stream_reset_ns: float = 5_000_000.0
 
 
 DEFAULT_HOST_COSTS = HostCosts()
+
+
+# -- fault-domain timing ------------------------------------------------------
+
+#: How long a hung kernel occupies its stream before the watchdog's
+#: kernel-latency bound declares it stuck, ns (mirrors the ~30 s driver
+#: watchdog on display GPUs, scaled to simulation virtual time).
+KERNEL_HANG_NS = 30.0 * NS_PER_S
+
+#: How long a stalled copy engine sits idle before the watchdog's copy
+#: bound fires, ns.
+COPY_STALL_NS = 10.0 * NS_PER_S
+
+
+@dataclass(frozen=True)
+class WatchdogLimits:
+    """Virtual-time latency bounds enforced by the session watchdog.
+
+    A kernel, copy, or synchronization whose *scheduled* completion sits
+    further in the future than the relevant bound (beyond what the cost
+    model alone would predict) is classified as hung/stalled and the
+    watchdog raises a sticky :class:`~repro.errors.CudaError` instead of
+    letting virtual time silently absorb the stall.
+    """
+
+    #: Max tolerated single-kernel duration before LAUNCH_TIMEOUT, ns.
+    kernel_timeout_ns: float = KERNEL_HANG_NS
+    #: Max tolerated copy-engine occupancy before STREAM_STALLED, ns.
+    copy_timeout_ns: float = COPY_STALL_NS
+    #: Virtual time the watchdog charges for *detecting* a hang: the
+    #: host spins on cudaStreamQuery until the bound expires, ns.
+    detection_wait_ns: float = 2_000_000.0
+
+
+DEFAULT_WATCHDOG_LIMITS = WatchdogLimits()

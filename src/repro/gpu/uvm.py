@@ -21,9 +21,21 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.errors import CudaError
 from repro.gpu.device import GpuDevice
 from repro.gpu.memory import PagedContents
 from repro.gpu.streams import Stream
+
+
+def _retryable_error(code_name: str, msg: str) -> CudaError:
+    # Deferred import: repro.gpu must not pull in repro.cuda at module
+    # load time (cuda/api.py imports this module).
+    from repro.cuda.errors import CudaErrorCode
+
+    return CudaError(
+        f"{code_name}: {msg}", code=CudaErrorCode[code_name],
+        severity="retryable",
+    )
 
 #: UVM migration granularity. Real UVM uses 4 KiB–2 MiB chunks; 64 KiB is
 #: the driver's common prefetch granule and keeps page tables small.
@@ -124,6 +136,21 @@ class UvmManager:
         wrong = int(np.count_nonzero(pages != int(to)))
         if wrong == 0:
             return 0.0
+        # Runtime faults fire before residency mutates, so a retried
+        # migration starts from the same page state.
+        injector = self.device.fault_injector
+        if injector is not None:
+            ctx = f"uvm@{buf.addr:#x}[{lo}:{hi}]"
+            if injector.trip("uvm-storm", ctx) is not None:
+                raise _retryable_error(
+                    "UVM_FAULT_STORM",
+                    f"fault storm migrating {wrong} page(s) ({ctx})",
+                )
+            if injector.trip("xfer-corrupt", ctx) is not None:
+                raise _retryable_error(
+                    "TRANSFER_CRC_MISMATCH",
+                    f"UVM migration CRC mismatch ({ctx})",
+                )
         spec = self.device.spec
         cost = wrong * spec.uvm_fault_ns + (
             wrong * UVM_PAGE / spec.uvm_migrate_bw * 1e9

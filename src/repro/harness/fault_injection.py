@@ -24,6 +24,28 @@ Stages (``FaultInjector.STAGES``):
 - ``restore``       — mid-restore, after upper-half memory is mapped
   but before the lower half is rebuilt.
 
+Runtime fault stages (PR 3) — tripped by the simulated GPU runtime
+itself, not the checkpoint pipeline. These sites call :meth:`trip`
+directly and translate the returned kind into a classified
+:class:`~repro.errors.CudaError` (or a rank death), so the fault-domain
+escalation ladder — not the injector — decides how to recover:
+
+- ``ecc``          — uncorrectable ECC page error at kernel admission
+  (``gpu/device.py``; fatal: device reset + restore);
+- ``kernel-hang``  — a launched kernel never retires; its duration is
+  inflated past the watchdog bound and the stream is poisoned
+  (``gpu/device.py``; sticky: stream reset + replay);
+- ``copy-stall``   — a copy engine wedges mid-transfer
+  (``gpu/device.py``; sticky);
+- ``xfer-corrupt`` — a PCIe/UVM transfer is corrupted in flight and
+  caught by a per-region CRC check (``cuda/api.py``, ``gpu/uvm.py``;
+  retryable: retransfer);
+- ``uvm-storm``    — a UVM fault storm thrashes the migration engine
+  (``gpu/uvm.py``; retryable);
+- ``heartbeat``    — a rank misses a coordinator heartbeat during a
+  coordinated checkpoint (``dmtcp/coordinator.py``; kind ``crash``
+  kills the rank, any other kind drops a single beat).
+
 Kinds:
 
 - ``crash``      — raise :class:`InjectedFault` at the stage (default);
@@ -37,9 +59,22 @@ Kinds:
 from __future__ import annotations
 
 import random
+import zlib
 from dataclasses import dataclass, field
 
 from repro.errors import InjectedFault, ReplayDivergenceError
+
+
+def derive_seed(seed: int, name: str) -> int:
+    """Derive an independent named RNG seed from a base seed.
+
+    Consumers that must not perturb each other's random streams (fault
+    placement vs. checkpoint scheduling vs. backoff jitter) each seed
+    their own :class:`random.Random` with ``derive_seed(base, "name")``
+    so arming one kind of randomness never shifts another — campaigns
+    stay bit-reproducible as fault plans change.
+    """
+    return (seed & 0xFFFFFFFF) ^ zlib.crc32(name.encode("utf-8"))
 
 
 @dataclass(frozen=True)
@@ -102,6 +137,13 @@ class FaultInjector:
         "commit",
         "replay",
         "restore",
+        # -- runtime fault domain (module docstring) --
+        "ecc",
+        "kernel-hang",
+        "copy-stall",
+        "xfer-corrupt",
+        "uvm-storm",
+        "heartbeat",
     )
 
     def __init__(self, specs: list[FaultSpec] | None = None, seed: int = 0) -> None:

@@ -389,3 +389,372 @@ class FaultSimulator:
             simulated_s=simulated,
             outcomes=outcomes,
         )
+
+
+# -- MTBF-driven runtime fault campaign ----------------------------------------
+#
+# Where the FaultSimulator above injects *node* failures around an
+# abstract work loop, the campaign below injects *GPU runtime* faults
+# into real application runs and measures how the escalation ladder
+# (``core/session.py``) recovers: which rung fired, how much virtual
+# work was lost, and whether the final output stayed bit-identical to a
+# fault-free run.
+
+#: Runtime fault stages swept by the campaign, mapped to the ladder rung
+#: the error taxonomy (``cuda/errors.py``) routes each class to first.
+RUNTIME_FAULT_CLASSES = {
+    "xfer-corrupt": "retry",
+    "uvm-storm": "retry",
+    "kernel-hang": "stream-reset",
+    "copy-stall": "stream-reset",
+    "ecc": "restore",
+}
+
+
+@dataclass
+class GuardedRunOutcome:
+    """One application run under the fault domain's escalation ladder."""
+
+    app: str
+    digest: int
+    runtime_s: float
+    cuda_calls: int
+    checkpoints: int
+    faults_fired: int
+    rung_counts: dict[str, int]
+    watchdog_trips: int
+    lost_work_s: float
+    backoff_s: float
+    #: injector visits per runtime stage (how many sites *could* fault)
+    stage_visits: dict[str, int] = field(default_factory=dict)
+    #: campaign-cell labels (filled by :func:`run_fault_campaign`)
+    fault_class: str | None = None
+    mtbf_s: float | None = None
+    probability: float = 0.0
+    #: typed-abort class name if the run did not complete, else None
+    aborted: str | None = None
+    #: digest == fault-free digest (None when the run aborted)
+    bit_correct: bool | None = None
+
+
+def run_guarded_app(
+    app_cls,
+    *,
+    scale: float = 0.05,
+    seed: int = 0,
+    gpu: str = "V100",
+    specs=None,
+    injector_seed: int = 0,
+    checkpoint_fracs=(0.25, 0.5, 0.75),
+    keep_generations: int = 4,
+) -> GuardedRunOutcome:
+    """Run one workload end-to-end under the recovery ladder.
+
+    Mirrors the harness runner's CRAC mode, but with
+    :meth:`~repro.core.session.CracSession.enable_fault_domain` guarding
+    every kernel/copy/sync and a checkpoint store feeding the restore
+    rung: an anchor generation is committed before the app starts, and
+    further cuts land at ``checkpoint_fracs`` of the run. A failed run
+    surfaces as a *typed* abort in the outcome — never an undetected
+    wrong answer.
+    """
+    from repro.apps.base import AppContext
+    from repro.core.session import CracSession
+    from repro.dmtcp.store import CheckpointStore
+    from repro.errors import CudaError, RecoveryAbortedError
+    from repro.harness.fault_injection import FaultInjector
+    from repro.harness.runner import TIME_SCALE
+
+    injector = FaultInjector(list(specs or []), seed=injector_seed)
+    store = CheckpointStore(keep_generations=keep_generations)
+    session = CracSession(gpu=gpu, seed=seed, fault_injector=injector)
+    domain = session.enable_fault_domain(store)
+    app = app_cls(scale=scale, seed=seed)
+    if hasattr(app, "MEASURE"):
+        # Run every iteration for real: fast-forwarded iterations issue
+        # no runtime calls, so no fault could ever land in them.
+        app.MEASURE = 10**9
+
+    committed = [0]
+    if domain.checkpoint() is not None:  # anchor: rung 3 needs a recovery line
+        committed[0] += 1
+    triggers = sorted(checkpoint_fracs)
+    fired = [0]
+
+    def checkpoint_cb(progress: float) -> None:
+        while fired[0] < len(triggers) and progress >= triggers[fired[0]]:
+            fired[0] += 1
+            if domain.checkpoint() is not None:
+                committed[0] += 1
+
+    ctx = AppContext(
+        backend=session.backend,
+        upper_mmap=lambda size: session.split.upper_mmap(size),
+        checkpoint_cb=checkpoint_cb,
+        time_scale=TIME_SCALE[gpu],
+    )
+    digest = -1
+    calls = 0
+    aborted: str | None = None
+    try:
+        result = app.run(ctx)
+        digest, calls = result.digest, result.cuda_calls
+    except (RecoveryAbortedError, CudaError) as exc:
+        aborted = type(exc).__name__
+        calls = session.backend.total_calls
+    rep = domain.report
+    return GuardedRunOutcome(
+        app=app_cls.name,
+        digest=digest,
+        runtime_s=session.process.clock_ns / 1e9,
+        cuda_calls=calls,
+        checkpoints=committed[0],
+        faults_fired=len(injector.fired),
+        rung_counts=rep.rung_counts(),
+        watchdog_trips=rep.watchdog_trips,
+        lost_work_s=rep.lost_work_ns / 1e9,
+        backoff_s=rep.backoff_ns / 1e9,
+        stage_visits={s: injector.visits[s] for s in RUNTIME_FAULT_CLASSES},
+        aborted=aborted,
+    )
+
+
+def run_rank_death_scenario(
+    *, n_ranks: int = 3, seed: int = 0, gpu: str = "V100"
+) -> dict:
+    """A rank dies between prepare and commit of a coordinated checkpoint.
+
+    Three-act script: (1) every rank commits a consistent cut via 2PC;
+    (2) more work runs, then a second 2PC is attempted during which one
+    rank's heartbeat goes silent — the coordinator aborts the cut (no
+    generation half-commits) and the surviving strict majority raises
+    :class:`~repro.errors.RankDeathError`; (3) the job recovers with
+    ``restart_all_latest`` and every rank is back on the *prior*
+    generation with its pre-fault state, post-cut work lost.
+    """
+    from repro.dmtcp.coordinator import HeartbeatMonitor
+    from repro.dmtcp.store import CheckpointStore
+    from repro.errors import RankDeathError
+    from repro.harness.fault_injection import (
+        FaultInjector,
+        FaultSpec,
+        derive_seed,
+    )
+    from repro.mpi.world import MpiWorld
+
+    # The first (healthy) 2PC polls every rank once: n_ranks heartbeat
+    # visits. Visit n_ranks + 2 is rank 1's round-1 beat of the second
+    # 2PC — that is where the crash lands.
+    injector = FaultInjector(
+        [FaultSpec("heartbeat", at_count=n_ranks + 2)],
+        seed=derive_seed(seed, "rank-death"),
+    )
+    world = MpiWorld(n_ranks, gpu=gpu, seed=seed, fault_injector=injector)
+    stores = [CheckpointStore(keep_generations=3) for _ in range(n_ranks)]
+    nbytes = 1 << 12
+    ptrs = []
+    for i, r in enumerate(world.ranks):
+        ptr = r.backend.malloc(nbytes)
+        r.backend.memset(ptr, 0x10 + i, nbytes)
+        ptrs.append(ptr)
+    gens_before = world.checkpoint_all_2pc(
+        stores, heartbeat=HeartbeatMonitor(n_ranks)
+    )
+    for i, r in enumerate(world.ranks):
+        r.backend.memset(ptrs[i], 0x60 + i, nbytes)  # post-cut work: lost
+
+    rank_death_raised = False
+    dead: list[int] = []
+    try:
+        world.checkpoint_all_2pc(stores, heartbeat=HeartbeatMonitor(n_ranks))
+    except RankDeathError as exc:
+        rank_death_raised = True
+        dead = exc.dead_ranks
+
+    recovered = None
+    prior_state_restored = False
+    if rank_death_raised:
+        reports = world.restart_all_latest(stores)
+        cut = {rep.generation for rep in reports}
+        recovered = cut.pop() if len(cut) == 1 else None
+        prior_state_restored = all(
+            world.ranks[i].session.runtime.buffers[ptrs[i]].contents
+            .read_bytes(0, nbytes) == bytes([0x10 + i]) * nbytes
+            for i in range(n_ranks)
+        )
+    return {
+        "n_ranks": n_ranks,
+        "rank_death_raised": rank_death_raised,
+        "dead_ranks": dead,
+        "generations_before": gens_before,
+        "recovered_generation": recovered,
+        "no_half_commit": all(
+            s.generations == [gens_before[i]] for i, s in enumerate(stores)
+        ),
+        "prior_state_restored": prior_state_restored,
+    }
+
+
+def run_fault_campaign(
+    app_classes,
+    *,
+    scale: float = 0.05,
+    seed: int = 0,
+    gpu: str = "V100",
+    fault_classes=None,
+    mtbf_s=None,
+    mtbf_factors=(0.5, 0.2),
+    checkpoint_fracs=(0.25, 0.5, 0.75),
+    rank_death_ranks: int = 3,
+) -> dict:
+    """Sweep fault class × rate over application runs; JSON-able report.
+
+    Per app: one fault-free baseline pins the reference digest, runtime,
+    and per-stage visit counts; then every (fault class, MTBF) cell runs
+    with a per-visit fault probability chosen so the *expected* fault
+    count is ``runtime / MTBF``. ``mtbf_s`` gives absolute rates;
+    without it each app uses ``mtbf_factors`` × its own baseline
+    runtime (so every app sees comparable fault pressure regardless of
+    its length). Classes whose sites an app never visits (e.g.
+    ``uvm-storm`` without managed memory) are reported as skipped, not
+    silently dropped. The report ends with the rank-death-during-2PC
+    scenario and cross-cell totals.
+    """
+    from dataclasses import asdict
+
+    from repro.harness.fault_injection import FaultSpec, derive_seed
+
+    classes = list(fault_classes or RUNTIME_FAULT_CLASSES)
+    report: dict = {
+        "config": {
+            "apps": [cls.name for cls in app_classes],
+            "scale": scale,
+            "seed": seed,
+            "gpu": gpu,
+            "fault_classes": classes,
+            "mtbf_s": list(mtbf_s) if mtbf_s else None,
+            "mtbf_factors": list(mtbf_factors),
+            "checkpoint_fracs": list(checkpoint_fracs),
+        },
+        "apps": {},
+    }
+    totals = {
+        "cells": 0,
+        "faults_fired": 0,
+        "bit_correct": 0,
+        "aborted": 0,
+        "rung_counts": {"retry": 0, "stream-reset": 0, "restore": 0},
+    }
+    for cls in app_classes:
+        base = run_guarded_app(
+            cls, scale=scale, seed=seed, gpu=gpu, specs=[],
+            injector_seed=derive_seed(seed, f"{cls.name}:baseline"),
+            checkpoint_fracs=checkpoint_fracs,
+        )
+        if base.aborted is not None:
+            raise RuntimeError(
+                f"fault-free baseline of {cls.name} aborted: {base.aborted}"
+            )
+        mtbfs = (
+            [float(m) for m in mtbf_s]
+            if mtbf_s
+            else [max(1e-6, base.runtime_s * f) for f in mtbf_factors]
+        )
+        cells: list[GuardedRunOutcome] = []
+        skipped: list[dict] = []
+        for fault_class in classes:
+            visits = base.stage_visits.get(fault_class, 0)
+            if visits == 0:
+                skipped.append({
+                    "fault_class": fault_class,
+                    "reason": "no sites visited (stage never reached)",
+                })
+                continue
+            for mtbf in mtbfs:
+                expected = base.runtime_s / mtbf
+                prob = min(0.5, expected / visits)
+                out = run_guarded_app(
+                    cls, scale=scale, seed=seed, gpu=gpu,
+                    specs=[FaultSpec(
+                        fault_class, probability=prob, max_fires=None
+                    )],
+                    injector_seed=derive_seed(
+                        seed, f"{cls.name}:{fault_class}:{mtbf:.6g}"
+                    ),
+                    checkpoint_fracs=checkpoint_fracs,
+                )
+                out.fault_class = fault_class
+                out.mtbf_s = mtbf
+                out.probability = prob
+                out.bit_correct = (
+                    None if out.aborted is not None
+                    else out.digest == base.digest
+                )
+                cells.append(out)
+                totals["cells"] += 1
+                totals["faults_fired"] += out.faults_fired
+                totals["bit_correct"] += 1 if out.bit_correct else 0
+                totals["aborted"] += 1 if out.aborted is not None else 0
+                for rung, n in out.rung_counts.items():
+                    totals["rung_counts"][rung] += n
+        report["apps"][cls.name] = {
+            "baseline": {
+                "digest": base.digest,
+                "runtime_s": base.runtime_s,
+                "cuda_calls": base.cuda_calls,
+                "checkpoints": base.checkpoints,
+                "stage_visits": base.stage_visits,
+            },
+            "cells": [asdict(c) for c in cells],
+            "skipped": skipped,
+        }
+    report["rank_death_2pc"] = run_rank_death_scenario(
+        n_ranks=rank_death_ranks, seed=seed, gpu=gpu
+    )
+    report["totals"] = totals
+    return report
+
+
+def format_fault_campaign(report: dict) -> str:
+    """Human-readable rendering of a :func:`run_fault_campaign` report."""
+    lines: list[str] = []
+    for name, data in report["apps"].items():
+        b = data["baseline"]
+        lines.append(
+            f"{name}: baseline {b['runtime_s']:.3f} s, "
+            f"digest {b['digest']:#010x}, {b['cuda_calls']:,} calls, "
+            f"{b['checkpoints']} ckpts"
+        )
+        for c in data["cells"]:
+            rungs = c["rung_counts"]
+            if c["aborted"]:
+                verdict = f"ABORTED ({c['aborted']})"
+            elif c["bit_correct"]:
+                verdict = "bit-correct"
+            else:
+                verdict = "DIGEST MISMATCH"
+            lines.append(
+                f"  {c['fault_class']:<13} mtbf {c['mtbf_s']:8.3f} s "
+                f"p={c['probability']:.3f}: {c['faults_fired']:>2} faults → "
+                f"retry {rungs['retry']}, reset {rungs['stream-reset']}, "
+                f"restore {rungs['restore']} "
+                f"(watchdog {c['watchdog_trips']}); "
+                f"lost {c['lost_work_s']:.3f} s; {verdict}"
+            )
+        for s in data["skipped"]:
+            lines.append(f"  {s['fault_class']:<13} skipped: {s['reason']}")
+    rd = report["rank_death_2pc"]
+    lines.append(
+        f"rank-death 2PC: rank(s) {rd['dead_ranks']} of {rd['n_ranks']} "
+        f"died mid-commit → aborted cut, recovered generation "
+        f"{rd['recovered_generation']}; no half-commit: "
+        f"{rd['no_half_commit']}; prior state restored: "
+        f"{rd['prior_state_restored']}"
+    )
+    t = report["totals"]
+    lines.append(
+        f"totals: {t['cells']} cells, {t['faults_fired']} faults, "
+        f"rungs {t['rung_counts']}, {t['bit_correct']} bit-correct, "
+        f"{t['aborted']} aborted"
+    )
+    return "\n".join(lines)

@@ -21,10 +21,15 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.core.session import CracSession, RestartReport
-from repro.dmtcp.coordinator import DmtcpCoordinator
+from repro.dmtcp.coordinator import DmtcpCoordinator, HeartbeatMonitor
 from repro.dmtcp.image import CheckpointImage
 from repro.dmtcp.store import CheckpointStore, StagedCheckpoint
-from repro.errors import CheckpointError, ReproError
+from repro.errors import (
+    CheckpointError,
+    CoordinatedAbortError,
+    RankDeathError,
+    ReproError,
+)
 from repro.gpu.timing import NS_PER_S
 
 #: Intra-node MPI costs (shared-memory transport).
@@ -174,7 +179,11 @@ class MpiWorld:
         return images
 
     def checkpoint_all_2pc(
-        self, stores: list[CheckpointStore], *, gzip: bool = False
+        self,
+        stores: list[CheckpointStore],
+        *,
+        gzip: bool = False,
+        heartbeat: HeartbeatMonitor | None = None,
     ) -> list[int]:
         """Coordinated checkpoint with all-or-nothing commit.
 
@@ -185,6 +194,15 @@ class MpiWorld:
         and :class:`CheckpointError` propagates. Phase 2: the
         coordinator commits all stages; no rank ever holds a generation
         its peers lack. Returns one committed generation id per rank.
+
+        With ``heartbeat``, the coordinator polls every rank's liveness
+        *between* prepare and commit. A rank that misses ``max_missed``
+        consecutive beats is declared dead: every staged image is
+        aborted (no half-committed generation), and the survivors take a
+        quorum decision — a strict majority raises
+        :class:`RankDeathError` (recover from the prior cut via
+        :meth:`restart_all_latest`), anything less raises
+        :class:`CoordinatedAbortError` (whole-job abort).
         """
         if len(stores) != self.size:
             raise ValueError("one store per rank required")
@@ -210,11 +228,57 @@ class MpiWorld:
              if r.session.fault_injector is not None),
             None,
         )
+        if heartbeat is not None:
+            dead = self._heartbeat_rounds(heartbeat, injector)
+            if dead:
+                for store, s in staged:
+                    store.abort(s)
+                for store in stores:
+                    store.discard_partials()
+                if not heartbeat.has_quorum():
+                    raise CoordinatedAbortError(
+                        f"rank(s) {dead} dead and only "
+                        f"{len(heartbeat.alive_ranks())}/{self.size} alive: "
+                        "no strict majority, aborting the job"
+                    )
+                raise RankDeathError(dead)
         generations = DmtcpCoordinator.two_phase_commit(
             staged, fault_injector=injector
         )
         self.barrier()
         return generations
+
+    def _heartbeat_rounds(self, monitor: HeartbeatMonitor, injector) -> list[int]:
+        """Run up to ``max_missed`` polling rounds; returns dead ranks.
+
+        The ``heartbeat`` fault stage drives misses per rank per round:
+        kind ``"crash"`` kills the rank's process (it misses this and
+        every later round, so it ends up declared dead); any other kind
+        drops only this round's beat. Surviving ranks pay the poll
+        interval each round; a fully healthy round ends the exchange
+        early.
+        """
+        for rnd in range(monitor.max_missed):
+            any_missing = False
+            for r in self.ranks:
+                arrived = r.session.process.alive
+                if arrived and injector is not None:
+                    kind = injector.trip(
+                        "heartbeat", f"rank {r.rank} round {rnd + 1}"
+                    )
+                    if kind == "crash":
+                        r.session.kill()
+                        arrived = False
+                    elif kind is not None:
+                        arrived = False
+                monitor.beat(r.rank, arrived=arrived)
+                any_missing = any_missing or not arrived
+            for r in self.ranks:
+                if r.session.process.alive:
+                    r.session.process.advance(monitor.interval_ns)
+            if not any_missing:
+                break
+        return monitor.dead_ranks()
 
     def kill_all(self) -> None:
         """Terminate every rank (whole-job failure)."""

@@ -1,0 +1,76 @@
+"""The cudaError_t taxonomy: classification drives the recovery ladder."""
+
+import pytest
+
+from repro.cuda.errors import (
+    SEVERITY,
+    CudaErrorCode,
+    ErrorSeverity,
+    classify,
+    cuda_check,
+    cuda_error,
+)
+from repro.errors import CudaError, ReproError
+
+
+class TestClassify:
+    def test_retryable_transport_faults(self):
+        assert classify(CudaErrorCode.TRANSFER_CRC_MISMATCH) is ErrorSeverity.RETRYABLE
+        assert classify(CudaErrorCode.UVM_FAULT_STORM) is ErrorSeverity.RETRYABLE
+
+    def test_sticky_stream_poison(self):
+        assert classify(CudaErrorCode.LAUNCH_TIMEOUT) is ErrorSeverity.STICKY
+        assert classify(CudaErrorCode.LAUNCH_FAILURE) is ErrorSeverity.STICKY
+        assert classify(CudaErrorCode.STREAM_STALLED) is ErrorSeverity.STICKY
+
+    def test_fatal_device_loss(self):
+        assert classify(CudaErrorCode.ECC_UNCORRECTABLE) is ErrorSeverity.FATAL
+        assert classify(CudaErrorCode.DEVICES_UNAVAILABLE) is ErrorSeverity.FATAL
+        assert classify(CudaErrorCode.HEARTBEAT_LOST) is ErrorSeverity.FATAL
+
+    def test_program_misuse_is_not_recoverable(self):
+        for code in (
+            CudaErrorCode.MEMORY_ALLOCATION,
+            CudaErrorCode.INVALID_VALUE,
+            CudaErrorCode.INVALID_DEVICE_POINTER,
+            CudaErrorCode.NOT_SUPPORTED,
+        ):
+            assert classify(code) is ErrorSeverity.PROGRAM
+
+    def test_every_producible_code_is_classified(self):
+        for code in CudaErrorCode:
+            if code is CudaErrorCode.SUCCESS:
+                continue
+            assert code in SEVERITY
+
+    def test_unknown_code_defaults_to_fatal(self):
+        assert classify(object()) is ErrorSeverity.FATAL
+
+
+class TestCudaError:
+    def test_cuda_error_carries_code_and_severity(self):
+        err = cuda_error(
+            CudaErrorCode.TRANSFER_CRC_MISMATCH, "bad wire", stream_sid=3
+        )
+        assert isinstance(err, CudaError)
+        assert isinstance(err, ReproError)
+        assert err.code is CudaErrorCode.TRANSFER_CRC_MISMATCH
+        assert err.severity == "retryable"
+        assert err.retryable and not err.sticky and not err.fatal
+        assert err.stream_sid == 3
+        assert "TRANSFER_CRC_MISMATCH" in str(err)
+
+    def test_severity_inferred_from_code(self):
+        err = CudaError("ecc", code=CudaErrorCode.ECC_UNCORRECTABLE)
+        assert err.fatal and err.severity == "fatal"
+
+    def test_severity_accepts_plain_string(self):
+        err = CudaError("hang", severity="sticky")
+        assert err.sticky and err.code is None
+
+    def test_cuda_check_passes_and_raises(self):
+        cuda_check(True, CudaErrorCode.INVALID_VALUE, "fine")
+        with pytest.raises(CudaError) as exc:
+            cuda_check(False, CudaErrorCode.INVALID_VALUE, "bad arg")
+        assert exc.value.code is CudaErrorCode.INVALID_VALUE
+        assert exc.value.severity == "program"

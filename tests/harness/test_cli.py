@@ -126,6 +126,45 @@ class TestCkptBench:
             run_cli("ckpt-bench", "--apps", "doom")
 
 
+class TestFaultCampaign:
+    def test_smoke_writes_report(self, tmp_path):
+        out_path = tmp_path / "BENCH_fault_campaign.json"
+        code, text = run_cli(
+            "fault-campaign", "--smoke", "--apps", "gaussian", "kmeans",
+            "--mtbf-factors", "0.2", "--out", str(out_path),
+        )
+        assert code == 0
+        assert "rank-death 2PC" in text
+        assert "bit-correct" in text
+
+        import json
+
+        report = json.loads(out_path.read_text())
+        totals = report["totals"]
+        # The smoke sweep (one fault class per rung) must show every
+        # ladder rung firing with bit-correct recovery.
+        for rung in ("retry", "stream-reset", "restore"):
+            assert totals["rung_counts"][rung] > 0
+        assert totals["bit_correct"] + totals["aborted"] == totals["cells"]
+        assert report["rank_death_2pc"]["no_half_commit"]
+        assert report["rank_death_2pc"]["prior_state_restored"]
+        assert set(report["apps"]) == {"Gaussian", "Kmeans"}
+
+    def test_dash_out_skips_file(self, tmp_path, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        code, _ = run_cli(
+            "fault-campaign", "--smoke", "--apps", "bfs",
+            "--classes", "xfer-corrupt", "--mtbf-factors", "0.5",
+            "--out", "-",
+        )
+        assert code == 0
+        assert not (tmp_path / "BENCH_fault_campaign.json").exists()
+
+    def test_unknown_class_rejected(self):
+        with pytest.raises(SystemExit):
+            run_cli("fault-campaign", "--classes", "gremlins")
+
+
 class TestVersion:
     def test_version_flag(self):
         with pytest.raises(SystemExit) as exc:

@@ -5,9 +5,14 @@ import math
 import pytest
 
 from repro.harness.fault_tolerance import (
+    RUNTIME_FAULT_CLASSES,
     FaultSimulator,
     daly_interval,
     expected_completion_time,
+    format_fault_campaign,
+    run_fault_campaign,
+    run_guarded_app,
+    run_rank_death_scenario,
     young_interval,
 )
 
@@ -188,3 +193,80 @@ class TestSessionBackedSimulator:
         assert cv.interval_s == pytest.approx(
             young_interval(cv.checkpoint_cost_s, 50.0)
         )
+
+
+class TestFaultCampaign:
+    @staticmethod
+    def _app(name):
+        from repro.apps.rodinia import RODINIA_SUITE
+
+        return next(c for c in RODINIA_SUITE if c.name.lower() == name)
+
+    def test_guarded_baseline_is_clean_and_deterministic(self):
+        kmeans = self._app("kmeans")
+        a = run_guarded_app(kmeans, scale=0.05, specs=[])
+        b = run_guarded_app(kmeans, scale=0.05, specs=[])
+        assert a.aborted is None and a.faults_fired == 0
+        assert a.digest == b.digest
+        assert a.runtime_s == pytest.approx(b.runtime_s)
+        assert a.checkpoints >= 1  # the anchor generation at least
+        assert a.stage_visits["ecc"] > 0  # sites were actually guarded
+        assert a.rung_counts == {"retry": 0, "stream-reset": 0, "restore": 0}
+
+    def test_campaign_exercises_all_three_rungs_bit_correctly(self):
+        report = run_fault_campaign(
+            [self._app("gaussian"), self._app("kmeans")],
+            scale=0.05,
+            fault_classes=["xfer-corrupt", "kernel-hang", "ecc"],
+            mtbf_factors=(0.2,),
+        )
+        totals = report["totals"]
+        for rung in ("retry", "stream-reset", "restore"):
+            assert totals["rung_counts"][rung] > 0, f"{rung} never fired"
+        assert totals["faults_fired"] > 0
+        # Every recovered cell ended bit-identical to its fault-free run.
+        assert totals["bit_correct"] + totals["aborted"] == totals["cells"]
+        for app in report["apps"].values():
+            for cell in app["cells"]:
+                if cell["aborted"] is None:
+                    assert cell["digest"] == app["baseline"]["digest"]
+        assert report["rank_death_2pc"]["rank_death_raised"]
+        text = format_fault_campaign(report)
+        assert "bit-correct" in text and "rank-death 2PC" in text
+
+    def test_classes_without_sites_are_reported_skipped(self):
+        # No Rodinia app touches managed memory, so the uvm-storm stage
+        # is never visited — the campaign must say so, not drop it.
+        report = run_fault_campaign(
+            [self._app("bfs")], scale=0.02, fault_classes=["uvm-storm"],
+            mtbf_factors=(0.5,),
+        )
+        app = report["apps"]["BFS"]
+        assert app["cells"] == []
+        assert app["skipped"][0]["fault_class"] == "uvm-storm"
+
+    def test_rank_death_scenario_recovers_prior_generation(self):
+        out = run_rank_death_scenario(n_ranks=3, seed=1)
+        assert out["rank_death_raised"]
+        assert out["dead_ranks"] == [1]
+        assert out["no_half_commit"]
+        assert out["prior_state_restored"]
+        assert out["recovered_generation"] is not None
+
+    def test_fault_class_rung_map_matches_taxonomy(self):
+        from repro.cuda.errors import CudaErrorCode, ErrorSeverity, classify
+
+        entry = {
+            "xfer-corrupt": CudaErrorCode.TRANSFER_CRC_MISMATCH,
+            "uvm-storm": CudaErrorCode.UVM_FAULT_STORM,
+            "kernel-hang": CudaErrorCode.LAUNCH_TIMEOUT,
+            "copy-stall": CudaErrorCode.STREAM_STALLED,
+            "ecc": CudaErrorCode.ECC_UNCORRECTABLE,
+        }
+        rung_for = {
+            ErrorSeverity.RETRYABLE: "retry",
+            ErrorSeverity.STICKY: "stream-reset",
+            ErrorSeverity.FATAL: "restore",
+        }
+        for fault_class, expected_rung in RUNTIME_FAULT_CLASSES.items():
+            assert rung_for[classify(entry[fault_class])] == expected_rung
