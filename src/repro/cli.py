@@ -17,6 +17,11 @@ Commands:
   MTBF over guarded application runs, report per-rung recovery counts,
   lost virtual work, and bit-correctness, plus the
   rank-death-during-2PC scenario; emits ``BENCH_fault_campaign.json``;
+- ``sanitize`` — compute-sanitizer-style hazard analysis: run one
+  workload under the dynamic checkers (racecheck/synccheck/memcheck/
+  initcheck), run the checkpoint-determinism lint, or run the full CI
+  gate (planted-hazard detection + clean-app sweep + lint + overhead
+  bound), emitting ``BENCH_sanitizer.json``;
 - ``info``      — package version plus the calibrated cost model.
 """
 
@@ -176,6 +181,35 @@ def build_parser() -> argparse.ArgumentParser:
                     help="CI smoke mode: cap the scale and sweep one "
                     "fault class per ladder rung")
     fc.add_argument("--seed", type=int, default=0)
+
+    sz = sub.add_parser(
+        "sanitize",
+        help="hazard analysis: dynamic checkers over one workload, the "
+        "determinism lint, or the full CI gate",
+    )
+    sz.add_argument("app", nargs="?", choices=sorted(APP_REGISTRY),
+                    help="workload to check (omit with --lint/--gate)")
+    sz.add_argument("--mode", default="crac",
+                    choices=["native", "crac", "crum", "proxy-cma",
+                             "crcuda"])
+    sz.add_argument("--scale", type=float, default=0.05)
+    sz.add_argument("--gpu", default="V100", choices=["V100", "K600"])
+    sz.add_argument("--checkpoint-at", type=float, default=None,
+                    metavar="FRACTION",
+                    help="take a CRAC checkpoint at this progress "
+                    "(exercises synccheck)")
+    sz.add_argument("--lint", action="store_true",
+                    help="run only the static determinism lint over "
+                    "src/repro")
+    sz.add_argument("--gate", action="store_true",
+                    help="run the full CI gate (planted detection + "
+                    "clean apps + lint + overhead)")
+    sz.add_argument("--out", default="BENCH_sanitizer.json",
+                    metavar="PATH", help="write the gate JSON report "
+                    "here ('-' to skip)")
+    sz.add_argument("--smoke", action="store_true",
+                    help="CI smoke mode: cap the clean-sweep scale")
+    sz.add_argument("--seed", type=int, default=0)
     return parser
 
 
@@ -389,6 +423,54 @@ def cmd_fault_campaign(args, out) -> int:
     return 0
 
 
+def cmd_sanitize(args, out) -> int:
+    """``repro sanitize``: hazard analysis / lint / CI gate."""
+    import json
+
+    if args.gate:
+        from repro.sanitizer.gate import format_gate, run_gate
+
+        scale = min(args.scale, 0.05) if args.smoke else args.scale
+        report = run_gate(scale=scale, gpu=args.gpu, seed=args.seed)
+        print(format_gate(report), file=out)
+        if args.out != "-":
+            with open(args.out, "w") as fh:
+                json.dump(report, fh, indent=2, sort_keys=True)
+                fh.write("\n")
+            print(f"\nwrote {args.out}", file=out)
+        return 0 if report["ok"] else 1
+
+    if args.lint:
+        from repro.sanitizer.lint import format_findings, lint_package
+
+        findings = lint_package()
+        print(format_findings(findings), file=out)
+        return 0 if not findings else 1
+
+    if args.app is None:
+        print("sanitize: give an APP, or use --lint / --gate", file=out)
+        return 2
+
+    from repro.harness import Machine, run_app
+    from repro.sanitizer.core import Sanitizer
+
+    san = Sanitizer()
+    result = run_app(
+        APP_REGISTRY[args.app](scale=args.scale, seed=args.seed),
+        Machine(gpu=args.gpu, seed=args.seed),
+        mode=args.mode,
+        checkpoint_at=args.checkpoint_at,
+        restart_after_checkpoint=False,
+        noise=False,
+        sanitizer=san,
+    )
+    print(f"app:     {result.app_name} (scale={args.scale}, "
+          f"mode={args.mode})", file=out)
+    print(f"runtime: {result.runtime_exact_s:.4f} s (virtual)", file=out)
+    print(san.report.summary(), file=out)
+    return 0 if san.report.clean else 1
+
+
 def cmd_reproduce(args, out) -> int:
     """``repro reproduce WHAT``: regenerate a table/figure."""
     from repro.harness import experiments as ex
@@ -449,6 +531,8 @@ def main(argv: list[str] | None = None, out=None) -> int:
         return cmd_ckpt_bench(args, out)
     if args.command == "fault-campaign":
         return cmd_fault_campaign(args, out)
+    if args.command == "sanitize":
+        return cmd_sanitize(args, out)
     if args.command == "reproduce":
         return cmd_reproduce(args, out)
     raise AssertionError(args.command)  # pragma: no cover

@@ -58,6 +58,13 @@ class CracPlugin(DmtcpPlugin):
         runtime = backend.runtime
         process = runtime.process
 
+        # Synccheck observes the cut *before* the drain below hides any
+        # still-in-flight work, and watches the image for early commits.
+        san = getattr(self.session, "sanitizer", None)
+        if san is not None:
+            san.on_checkpoint_cut(runtime)
+            san.watch_image(image)
+
         # 1. Drain the queue of pending CUDA kernels (on every GPU).
         for dev in runtime.devices:
             runtime.process.advance_to(dev.synchronize_all())
@@ -65,7 +72,7 @@ class CracPlugin(DmtcpPlugin):
         # The device is drained: every recorded managed write has ended,
         # so the CRUM-conflict log can be compacted (it otherwise grows
         # without bound across a long run).
-        for mbuf in runtime.uvm.buffers.values():
+        for mbuf in sorted(runtime.uvm.buffers.values(), key=lambda b: b.addr):
             runtime.uvm.compact_writes(mbuf, before_ns=process.clock_ns)
 
         # 2. Stage active allocations; drain device-side bytes over PCIe.
@@ -126,9 +133,10 @@ class CracPlugin(DmtcpPlugin):
                 + runtime._hostalloc_alloc.arena_bytes
                 + runtime._managed_alloc.arena_bytes
             )
-            accounted = max(accounted, sum(e["size"] for e in buffers.values()))
+            # Integer sums are order-independent.
+            accounted = max(accounted, sum(e["size"] for e in buffers.values()))  # lint: allow
         else:
-            accounted = sum(e["image_bytes"] for e in buffers.values())
+            accounted = sum(e["image_bytes"] for e in buffers.values())  # lint: allow
         image.add_blob("crac/buffers", buffers, accounted_bytes=accounted)
 
         # 3. Replay log + live handle metadata.
@@ -141,7 +149,7 @@ class CracPlugin(DmtcpPlugin):
             "crac/events",
             {
                 eid: (e.recorded, e.timestamp_ns)
-                for eid, e in backend.live_events.items()
+                for eid, e in sorted(backend.live_events.items())
             },
         )
         image.add_blob("crac/current-device", runtime.current_device)
@@ -159,7 +167,7 @@ class CracPlugin(DmtcpPlugin):
             "crac/fatbins",
             {
                 virtual: entry["fatbin"].name
-                for virtual, entry in backend.fatbin_registry.items()
+                for virtual, entry in sorted(backend.fatbin_registry.items())
             },
         )
 

@@ -167,6 +167,9 @@ class CracSession:
         self.pending_forks: list[ForkedCheckpoint] = []
         #: escalation ladder guarding runtime calls (enable_fault_domain)
         self.fault_domain: FaultDomain | None = None
+        #: hazard analyzer following the runtime across restarts
+        #: (enable_sanitizer); None = no instrumentation
+        self.sanitizer = None
         # Runtime fault stages (ecc, kernel-hang, ...) are tripped by the
         # devices themselves; without a fault domain the resulting
         # classified CudaError propagates raw to the application.
@@ -195,6 +198,17 @@ class CracSession:
             backoff_s=backoff_s, max_backoff_s=max_backoff_s, limits=limits,
         )
         return self.fault_domain
+
+    def enable_sanitizer(self, sanitizer=None):
+        """Attach a :class:`repro.sanitizer.Sanitizer` (created if not
+        given) to the live runtime; it re-attaches across restarts."""
+        if sanitizer is None:
+            from repro.sanitizer import Sanitizer
+
+            sanitizer = Sanitizer()
+        self.sanitizer = sanitizer
+        sanitizer.attach(self.split.runtime)
+        return sanitizer
 
     # -- conveniences ------------------------------------------------------------
 
@@ -445,6 +459,10 @@ class CracSession:
             dev.fault_injector = self.fault_injector
         if self.fault_domain is not None:
             self.fault_domain.attach()
+        if self.sanitizer is not None:
+            # Vector clocks and buffer histories survive the restart; the
+            # fresh runtime just becomes the new event source.
+            self.sanitizer.attach(fresh.runtime)
 
         report = RestartReport(
             restart_time_ns=restart_time,

@@ -152,6 +152,11 @@ class CudaRuntime:
         #: per-entry-point call counts (library-side bookkeeping)
         self.api_log: Counter[str] = Counter()
 
+        #: optional :class:`repro.sanitizer.Sanitizer` (attached via its
+        #: ``attach()``); when present, the entry points below feed it
+        #: vector-clock and access events. None = zero overhead.
+        self.sanitizer = None
+
     # ------------------------------------------------------------------ utils
 
     def _entry(self, name: str) -> None:
@@ -221,6 +226,9 @@ class CudaRuntime:
 
     def cudaFree(self, addr: int) -> None:
         """Free device or managed memory (real cudaFree handles both)."""
+        if self.sanitizer is not None and addr not in self.buffers:
+            # Double-free / wild free: record before _buffer raises.
+            self.sanitizer.on_invalid_free(None, addr)
         buf = self._buffer(addr)
         if isinstance(buf, ManagedBuffer):
             self.cudaFreeManaged(addr)
@@ -371,6 +379,13 @@ class CudaRuntime:
             host_buf, _ = self._resolve_host_ptr(host_end)
             if host_buf is None:  # numpy array or plain VAS memory
                 effective = int(nbytes / PAGEABLE_COPY_EFFICIENCY)
+        if self.sanitizer is not None:
+            # Before the enqueue and the _buffer lookups below, so
+            # memcheck records wild/freed pointers before the raise.
+            self.sanitizer.on_copy(
+                self, s, kind, dst, src, nbytes, dst_offset, src_offset,
+                async_,
+            )
         end = dev.enqueue_copy(s, effective, kind, at_ns=self.now)
         if kind in ("h2d", "d2h"):
             self._xfer_crc_trip(dev, s, kind, dst, src, nbytes,
@@ -495,8 +510,12 @@ class CudaRuntime:
     ) -> None:
         """Fill ``nbytes`` of a buffer with ``value``."""
         self._entry("cudaMemsetAsync" if async_ else "cudaMemset")
-        buf = self._buffer(addr)
         s = self._stream(stream)
+        if self.sanitizer is not None:
+            # Before _buffer, so memcheck records freed/wild pointers
+            # before the raise.
+            self.sanitizer.on_memset(self, s, addr, nbytes, async_)
+        buf = self._buffer(addr)
         dev = self._device_for(stream, addr)
         end = dev.enqueue_copy(s, nbytes, "d2d", at_ns=self.now)
         if nbytes >= buf.size:
@@ -567,8 +586,14 @@ class CudaRuntime:
                     self.buffers[use.addr], use.offset, use.nbytes, s,
                     start, end, now_ns=self.now,
                 )
+        san_op = None
+        if self.sanitizer is not None:
+            # device_view calls inside fn() attribute to this kernel op.
+            san_op = self.sanitizer.on_kernel_begin(self, s, name, uses)
         if fn is not None:
             fn(*args)
+        if san_op is not None:
+            self.sanitizer.on_kernel_end(san_op)
         return end
 
     # ---------------------------------------------------------------- streams
@@ -580,6 +605,8 @@ class CudaRuntime:
         s.ready_ns = self.now
         self.device.register_stream(s)
         self.streams[s.sid] = s
+        if self.sanitizer is not None:
+            self.sanitizer.on_stream_created(s)
         return s
 
     def cudaStreamDestroy(self, stream: Stream) -> None:
@@ -600,12 +627,16 @@ class CudaRuntime:
         self.process.advance(SYNC_POLL_NS)
         s = self._stream(stream)
         self.process.advance_to(self._device_for(stream).stream_ready(s))
+        if self.sanitizer is not None:
+            self.sanitizer.on_sync(self, s)
 
     def cudaDeviceSynchronize(self) -> None:
         """Drain the whole device — the checkpoint-time quiesce step."""
         self._entry("cudaDeviceSynchronize")
         self.process.advance(SYNC_POLL_NS)
         self.process.advance_to(self.device.synchronize_all())
+        if self.sanitizer is not None:
+            self.sanitizer.on_sync(self)
 
     def cudaSetDevice(self, index: int) -> None:
         """Select the current GPU (allocation/launch/sync target)."""
@@ -664,6 +695,8 @@ class CudaRuntime:
         self._device_for(stream).record_event(
             event, self._stream(stream), at_ns=self.now
         )
+        if self.sanitizer is not None:
+            self.sanitizer.on_event_record(event, self._stream(stream))
 
     def cudaEventSynchronize(self, event: Event) -> None:
         """Block the host until the event completes."""
@@ -671,6 +704,8 @@ class CudaRuntime:
         cuda_check(event.recorded, CudaErrorCode.INVALID_VALUE, "event not recorded")
         self.process.advance(SYNC_POLL_NS)
         self.process.advance_to(event.timestamp_ns)
+        if self.sanitizer is not None:
+            self.sanitizer.on_event_sync(event)
 
     def cudaEventElapsedTime(self, start: Event, end: Event) -> float:
         """Elapsed milliseconds between two recorded events."""
@@ -681,6 +716,8 @@ class CudaRuntime:
         """Order future stream work after the event."""
         self._entry("cudaStreamWaitEvent")
         self._device_for(stream).stream_wait_event(stream, event)
+        if self.sanitizer is not None:
+            self.sanitizer.on_stream_wait_event(stream, event)
 
     # ------------------------------------------------------------- fat binaries
 
@@ -786,6 +823,14 @@ class CudaRuntime:
 
     def device_view(self, addr: int, nbytes: int, dtype=np.uint8, offset: int = 0):
         """Writable numpy view of a device/pinned buffer's contents."""
+        if self.sanitizer is not None:
+            buf = self.buffers.get(addr)
+            if buf is not None:
+                self.sanitizer.on_device_view(self, buf, offset, nbytes)
+            else:
+                # Freed/wild pointer: record the hazard before _buffer
+                # raises below.
+                self.sanitizer.on_pointer_miss(self, addr)
         return self._buffer(addr).contents.view(offset, nbytes, dtype)
 
     def managed_view(self, addr: int, nbytes: int, dtype=np.uint8, offset: int = 0):
@@ -799,6 +844,8 @@ class CudaRuntime:
         )
         cost = self.uvm.host_access(buf, offset, nbytes, write=True)
         self.process.advance(cost)
+        if self.sanitizer is not None:
+            self.sanitizer.on_managed_view(self, buf, offset, nbytes)
         return buf.contents.view(offset, nbytes, dtype)
 
     def active_allocations(self, kinds: tuple[str, ...] = ("device", "host-pinned", "managed")) -> list:

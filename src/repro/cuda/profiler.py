@@ -18,6 +18,7 @@ from __future__ import annotations
 from collections import Counter
 from dataclasses import dataclass
 
+from repro.cuda.errors import CudaErrorCode, cuda_check
 from repro.cuda.interface import CudaDispatchBase
 from repro.gpu.timing import NS_PER_S
 
@@ -101,8 +102,11 @@ class Nvprof:
     def timeline_report(self) -> TimelineReport:
         """Aggregate the recorded timeline."""
         trace = self.backend.runtime.device.trace
-        if trace is None:
-            raise RuntimeError("timeline not enabled; call enable_timeline()")
+        cuda_check(
+            trace is not None,
+            CudaErrorCode.INVALID_VALUE,
+            "timeline not enabled; call enable_timeline()",
+        )
         if not trace:
             return TimelineReport(0.0, 0.0, 0.0, {}, 0)
         span = max(e.end_ns for e in trace) - min(e.start_ns for e in trace)

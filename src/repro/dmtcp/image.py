@@ -140,6 +140,11 @@ class CheckpointImage:
         """
         if self.committed:
             return
+        hook = getattr(self, "sync_hook", None)
+        if hook is not None:
+            # Sanitizer synccheck: flags a commit while device work the
+            # image claims to cover is still in flight.
+            hook(self)
         for region, pages, epoch in self.region_captures:
             region.clear_dirty(pages, up_to_epoch=epoch)
         for contents, spans, epoch in self.contents_captures:
@@ -167,6 +172,7 @@ class CheckpointImage:
         state["region_captures"] = []
         state["contents_captures"] = []
         state.pop("forked_writer", None)  # runtime handle, never on disk
+        state.pop("sync_hook", None)  # sanitizer callback, never on disk
         return state
 
     def chain(self) -> list["CheckpointImage"]:

@@ -190,7 +190,11 @@ class GpuDevice:
     ) -> float:
         """Schedule a DMA copy; returns its completion time."""
         if kind not in self._copy_engine_ready:
-            raise ValueError(f"unknown copy kind {kind!r}")
+            from repro.gpu.timing import _program_error
+
+            raise _program_error(
+                "INVALID_VALUE", f"unknown copy kind {kind!r}"
+            )
         stall = self._trip("copy-stall", f"memcpy-{kind}") is not None
         earliest = max(
             self._start_time(stream, at_ns), self._copy_engine_ready[kind]

@@ -216,7 +216,7 @@ class PagedContents:
     def apply_delta(self, snap: dict) -> None:
         """Overlay a :meth:`dirty_snapshot` onto the current contents."""
         if snap["size"] != self.size:
-            raise ValueError("delta snapshot size mismatch")
+            raise _program_error("INVALID_VALUE", "delta snapshot size mismatch")
         if snap.get("whole"):
             self.restore(snap)
             return
@@ -225,8 +225,9 @@ class PagedContents:
 
     def _check(self, offset: int, nbytes: int) -> None:
         if offset < 0 or nbytes < 0 or offset + nbytes > self.size:
-            raise IndexError(
-                f"access [{offset}, +{nbytes}) outside buffer of {self.size} bytes"
+            raise _program_error(
+                "INVALID_VALUE",
+                f"access [{offset}, +{nbytes}) outside buffer of {self.size} bytes",
             )
 
     def view(self, offset: int, nbytes: int, dtype=np.uint8) -> np.ndarray:
@@ -324,7 +325,7 @@ class PagedContents:
         (contents were replaced wholesale — callers that restore *to the
         committed cut's state*, like restart refill, clear it after)."""
         if snap["size"] != self.size:
-            raise ValueError("snapshot size mismatch")
+            raise _program_error("INVALID_VALUE", "snapshot size mismatch")
         self.fill_value = snap["fill"]
         self._spans = {s: a.copy() for s, a in snap["spans"].items()}
         self._mark_dirty(0, self.size)
@@ -407,6 +408,9 @@ class ArenaAllocator:
         self.active: dict[int, int] = {}  # addr -> size
         self.arena_bytes = 0
         self.mmap_calls = 0
+        #: optional repro.sanitizer hook target (memcheck lifecycle);
+        #: attached by Sanitizer.attach, consulted in alloc/free
+        self.sanitizer = None
 
     @property
     def active_bytes(self) -> int:
@@ -431,6 +435,8 @@ class ArenaAllocator:
                     blk.start += need
                     blk.size -= need
                 self.active[addr] = need
+                if self.sanitizer is not None:
+                    self.sanitizer.on_arena_alloc(self, addr, need)
                 return addr
         # No free block fits: grow by a new arena (possibly many mmaps).
         arena_size = max(_align_up(need, 1 << 20), ARENA_CHUNK)
@@ -447,10 +453,16 @@ class ArenaAllocator:
         """Release an allocation; returns its size."""
         size = self.active.pop(addr, None)
         if size is None:
+            if self.sanitizer is not None:
+                # Record the double/invalid free before the raise so the
+                # hazard survives even if the caller swallows the error.
+                self.sanitizer.on_invalid_free(self, addr)
             raise _program_error(
                 "INVALID_DEVICE_POINTER", f"cudaFree of unknown pointer {addr:#x}"
             )
         self._insert_free(_FreeBlock(addr, size))
+        if self.sanitizer is not None:
+            self.sanitizer.on_arena_free(self, addr, size)
         return size
 
     def reserve(self, addr: int, nbytes: int) -> None:
@@ -473,6 +485,8 @@ class ArenaAllocator:
                     if tail > 0:
                         self._insert_free(_FreeBlock(addr + need, tail))
                     self.active[addr] = need
+                    if self.sanitizer is not None:
+                        self.sanitizer.on_arena_alloc(self, addr, need)
                     return
             # Not covered yet: grow by one arena (same deterministic path
             # the original allocation took).

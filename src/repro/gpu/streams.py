@@ -60,7 +60,13 @@ class Event:
     def elapsed_ms_since(self, earlier: "Event") -> float:
         """cudaEventElapsedTime equivalent (milliseconds)."""
         if not (self.recorded and earlier.recorded):
-            raise ValueError("cudaEventElapsedTime on unrecorded event")
+            # Deferred import: repro.gpu must not pull in repro.cuda at
+            # module load time (cuda/api.py imports this module).
+            from repro.gpu.timing import _program_error
+
+            raise _program_error(
+                "INVALID_VALUE", "cudaEventElapsedTime on unrecorded event"
+            )
         return (self.timestamp_ns - earlier.timestamp_ns) / 1e6
 
     def __hash__(self) -> int:

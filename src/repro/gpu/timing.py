@@ -21,6 +21,24 @@ from dataclasses import dataclass
 
 NS_PER_S = 1_000_000_000
 
+#: Host-side cost of one sanitizer instrumentation hook (shadow-state
+#: update + vector-clock bookkeeping), ns. Charged per instrumented op
+#: when :class:`repro.sanitizer.Sanitizer` is attached; the CI gate
+#: bounds the resulting end-to-end overhead at ≤25%.
+SANITIZER_CHECK_NS = 500.0
+
+
+def _program_error(code_name: str, msg: str):
+    """Classified program-severity CudaError with a deferred import
+    (``repro.gpu`` must not pull in ``repro.cuda`` at module load)."""
+    from repro.cuda.errors import CudaErrorCode
+
+    from repro.errors import CudaError
+
+    return CudaError(
+        f"{code_name}: {msg}", code=CudaErrorCode[code_name], severity="program"
+    )
+
 
 @dataclass(frozen=True)
 class GpuSpec:
@@ -59,7 +77,7 @@ class GpuSpec:
         elif kind == "d2d":
             bw = self.mem_bw
         else:
-            raise ValueError(f"unknown copy kind {kind!r}")
+            raise _program_error("INVALID_VALUE", f"unknown copy kind {kind!r}")
         return 1_500.0 + nbytes / bw * NS_PER_S
 
 

@@ -272,14 +272,27 @@ class UvmManager:
         conflict. Pass ``compact_before_ns`` (typically the current
         clock, after a synchronize) to also drop drained records — and
         the just-reported stash — once they are reported.
+
+        Drain semantics are *exact*: a compacting query removes from the
+        stash only what this call reported — the stash prefix it read
+        plus the pairs its own compaction stashed that also appeared in
+        the live sweep. A pair stashed but *not* reported (e.g. one a
+        bounded ``compact_before_ns`` dropped without the sweep pairing
+        it) survives for the next query, and a non-compacting query
+        never observes — or leaves behind — a half-drained stash.
         """
+        reported_stash = len(buf.stashed_conflicts)
         out = list(buf.stashed_conflicts)
-        out.extend(self._sweep_conflicts(buf.device_writes))
+        live = self._sweep_conflicts(buf.device_writes)
+        out.extend(live)
         if compact_before_ns is not None:
+            live_ids = {(id(a), id(b)) for a, b in live}
             self.compact_writes(buf, before_ns=compact_before_ns)
-            # Everything the compaction stashed was part of the live
-            # sweep above — it has been reported, so drain the stash.
-            buf.stashed_conflicts.clear()
+            buf.stashed_conflicts = [
+                pair
+                for pair in buf.stashed_conflicts[reported_stash:]
+                if (id(pair[0]), id(pair[1])) not in live_ids
+            ]
         return out
 
     # -- checkpoint support -------------------------------------------------------

@@ -108,6 +108,7 @@ def run_app(
     costs: HostCosts = DEFAULT_HOST_COSTS,
     store: CheckpointStore | None = None,
     fault_injector: FaultInjector | None = None,
+    sanitizer=None,
 ) -> RunResult:
     """Run ``app`` on a fresh machine under ``mode``.
 
@@ -125,6 +126,10 @@ def run_app(
     two-phase protocol and performs the restart via the self-healing
     ``restart_latest`` path; ``fault_injector`` arms a seeded fault plan
     over the whole pipeline.
+
+    ``sanitizer`` attaches a :class:`repro.sanitizer.Sanitizer` to the
+    run's runtime (under crac it follows the session across restarts)
+    and finalizes its leak check after the app completes.
     """
     if mode not in MODES:
         raise ValueError(f"mode must be one of {MODES}")
@@ -142,6 +147,8 @@ def run_app(
             costs=costs, fault_injector=fault_injector,
         )
         backend: CudaDispatchBase = session.backend
+        if sanitizer is not None:
+            session.enable_sanitizer(sanitizer)
         upper_mmap = lambda size: session.split.upper_mmap(size)  # noqa: E731
         chain: list = []  # previous images (for incremental parents)
 
@@ -190,6 +197,8 @@ def run_app(
             "crcuda": CrcudaBackend,
         }[mode]
         backend = backend_cls(split.runtime, costs)
+        if sanitizer is not None:
+            sanitizer.attach(split.runtime)
         if mode != "native":
             # Checkpointable proxies also launch under DMTCP and must
             # fork/exec + initialize their proxy process.
@@ -205,6 +214,10 @@ def run_app(
         # Drain any still-in-flight forked image write: the job is not
         # durably checkpointed until the background write commits.
         session.finish_forked_checkpoints()
+    if sanitizer is not None:
+        # End of app = teardown point: run the leak check against the
+        # runtime the app finished on.
+        sanitizer.finish(backend.runtime)
     # Whole-process lifetime: includes CRAC/DMTCP startup (which the
     # paper identifies as the dominant overhead for short apps) and any
     # checkpoint/restart work.

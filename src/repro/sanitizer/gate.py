@@ -1,0 +1,171 @@
+"""The ``repro sanitize --gate`` CI gate.
+
+Four independent verdicts, all of which must hold:
+
+1. **Planted detection** — every positive scenario in
+   :mod:`repro.sanitizer.planted` is detected (rate 1.0) and every
+   negative control stays silent (0 false positives);
+2. **Clean-app sweep** — the Rodinia suite, run under CRAC with a
+   mid-run checkpoint cut and the sanitizer attached, produces zero
+   hazards (the detector's real-workload false-positive rate);
+3. **Determinism lint** — :func:`repro.sanitizer.lint.lint_package`
+   over ``src/repro/`` reports nothing;
+4. **Overhead bound** — instrumenting the ckpt-bench smoke
+   configuration costs at most ``OVERHEAD_LIMIT``× virtual time, and
+   the output digest is unchanged (instrumentation shifts timing only).
+
+``run_gate`` returns the ``BENCH_sanitizer.json`` payload.
+"""
+
+from __future__ import annotations
+
+from repro.sanitizer.lint import lint_package
+from repro.sanitizer.planted import SCENARIOS, run_scenario
+
+#: maximum allowed virtual-time slowdown from instrumentation
+OVERHEAD_LIMIT = 1.25
+
+
+def _planted_section() -> dict:
+    """Run every planted scenario; summarize detection."""
+    rows = [run_scenario(sc) for sc in SCENARIOS]
+    positives = [r for r in rows if not r["negative"]]
+    negatives = [r for r in rows if r["negative"]]
+    detected = sum(1 for r in positives if r["detected"])
+    false_pos = sum(r["hazards"] for r in negatives)
+    return {
+        "scenarios": rows,
+        "positives": len(positives),
+        "detected": detected,
+        "detection_rate": detected / len(positives) if positives else 1.0,
+        "negatives": len(negatives),
+        "false_positives": false_pos,
+        "ok": detected == len(positives) and false_pos == 0,
+    }
+
+
+def _clean_apps_section(scale: float, gpu: str, seed: int,
+                        apps=None) -> dict:
+    """Run the Rodinia suite under CRAC + one cut with the sanitizer on.
+
+    ``restart_after_checkpoint`` stays off: restart replay re-creates
+    allocations outside the app's own call sequence, which is a
+    different (heavier) instrumentation story than hazard detection on
+    the app itself.
+    """
+    from repro.apps.rodinia import RODINIA_SUITE
+    from repro.harness import Machine, run_app
+    from repro.sanitizer.core import Sanitizer
+
+    classes = apps if apps is not None else RODINIA_SUITE
+    rows = []
+    for cls in classes:
+        san = Sanitizer()
+        run_app(
+            cls(scale=scale, seed=seed),
+            Machine(gpu=gpu, seed=seed),
+            mode="crac",
+            checkpoint_at=0.5,
+            restart_after_checkpoint=False,
+            noise=False,
+            sanitizer=san,
+        )
+        rows.append({
+            "app": cls.name,
+            "hazards": len(san.hazards),
+            "by_checker": san.report.counts(),
+            "ops_instrumented": san.report.ops_instrumented,
+            "details": [h.describe() for h in san.hazards[:10]],
+        })
+    total = sum(r["hazards"] for r in rows)
+    return {"apps": rows, "total_hazards": total, "ok": total == 0}
+
+
+def _lint_section() -> dict:
+    """Lint ``src/repro`` (the package this module ships in)."""
+    findings = lint_package()
+    return {
+        "findings": [f.describe() for f in findings],
+        "count": len(findings),
+        "ok": not findings,
+    }
+
+
+def _overhead_section(gpu: str, seed: int) -> dict:
+    """Instrumented-vs-bare run of the ckpt-bench smoke config."""
+    from repro.apps.rodinia import Gaussian
+    from repro.harness import Machine, run_app
+    from repro.sanitizer.core import Sanitizer
+
+    cuts = [i / 5 for i in range(1, 5)]  # the smoke config's 4 cuts
+    kw = dict(
+        mode="crac", checkpoint_at=cuts, restart_after_checkpoint=False,
+        noise=False,
+    )
+    base = run_app(Gaussian(scale=0.25, seed=seed),
+                   Machine(gpu=gpu, seed=seed), **kw)
+    san = Sanitizer()
+    inst = run_app(Gaussian(scale=0.25, seed=seed),
+                   Machine(gpu=gpu, seed=seed), sanitizer=san, **kw)
+    ratio = (
+        inst.runtime_exact_s / base.runtime_exact_s
+        if base.runtime_exact_s > 0 else 1.0
+    )
+    return {
+        "app": "gaussian",
+        "scale": 0.25,
+        "cuts": len(cuts),
+        "base_s": base.runtime_exact_s,
+        "instrumented_s": inst.runtime_exact_s,
+        "ratio": ratio,
+        "limit": OVERHEAD_LIMIT,
+        "ops_instrumented": san.report.ops_instrumented,
+        "digest_match": base.digest == inst.digest,
+        "ok": ratio <= OVERHEAD_LIMIT and base.digest == inst.digest,
+    }
+
+
+def run_gate(*, scale: float = 0.05, gpu: str = "V100",
+             seed: int = 0) -> dict:
+    """Run all four gate sections; ``report["ok"]`` is the CI verdict."""
+    report = {
+        "planted": _planted_section(),
+        "clean_apps": _clean_apps_section(scale, gpu, seed),
+        "lint": _lint_section(),
+        "overhead": _overhead_section(gpu, seed),
+    }
+    report["ok"] = all(report[k]["ok"] for k in
+                       ("planted", "clean_apps", "lint", "overhead"))
+    return report
+
+
+def format_gate(report: dict) -> str:
+    """Human-readable gate summary (CLI output)."""
+    p, c = report["planted"], report["clean_apps"]
+    li, ov = report["lint"], report["overhead"]
+    lines = [
+        "sanitizer gate",
+        f"  planted:   {p['detected']}/{p['positives']} detected "
+        f"(rate {p['detection_rate']:.2f}), "
+        f"{p['false_positives']} false positive(s) on "
+        f"{p['negatives']} negative control(s) "
+        f"[{'ok' if p['ok'] else 'FAIL'}]",
+        f"  clean:     {c['total_hazards']} hazard(s) across "
+        f"{len(c['apps'])} Rodinia app(s) "
+        f"[{'ok' if c['ok'] else 'FAIL'}]",
+        f"  lint:      {li['count']} finding(s) "
+        f"[{'ok' if li['ok'] else 'FAIL'}]",
+        f"  overhead:  {ov['ratio']:.3f}x (limit {ov['limit']}x), "
+        f"digest {'match' if ov['digest_match'] else 'MISMATCH'} "
+        f"[{'ok' if ov['ok'] else 'FAIL'}]",
+        f"  verdict:   {'PASS' if report['ok'] else 'FAIL'}",
+    ]
+    for r in p["scenarios"]:
+        if not r["detected"]:
+            lines.append(f"    planted FAIL {r['name']}: "
+                         f"missing {r['missing']} found {r['found']}")
+    for r in c["apps"]:
+        if r["hazards"]:
+            lines.append(f"    clean FAIL {r['app']}: {r['details']}")
+    lines += ["    " + d for d in li["findings"]]
+    return "\n".join(lines)

@@ -1,0 +1,63 @@
+"""Vector clocks over stream ids — the happens-before backbone.
+
+Each CUDA stream (plus the host thread) carries a vector clock mapping
+stream id → logical event count. The classic laws apply:
+
+- an operation on stream *s* ticks component *s* of *s*'s clock;
+- ``cudaEventRecord`` snapshots the recording stream's clock into the
+  event; ``cudaStreamWaitEvent`` joins the event clock into the waiting
+  stream — the only cross-stream ordering edge CUDA offers short of a
+  full sync;
+- a host-blocking sync joins the drained scope's clock into the host
+  clock, and every enqueue joins the host clock into the target stream
+  (work enqueued after the sync is ordered after the drained work);
+- the legacy default stream (sid 0) joins *every* stream before its op
+  and publishes its clock to every stream after — the barrier semantics
+  the device engine enforces in virtual time.
+
+Two accesses are *concurrent* — a candidate race — iff neither clock
+happens-before the other (componentwise ≤ with at least the ticking
+component strictly greater on each side).
+"""
+
+from __future__ import annotations
+
+#: Key used for the host thread's component in a clock.
+HOST = "host"
+
+
+class VectorClock:
+    """A mapping ``component id -> count`` with join/compare helpers."""
+
+    __slots__ = ("clocks",)
+
+    def __init__(self, clocks: dict | None = None) -> None:
+        self.clocks: dict = dict(clocks) if clocks else {}
+
+    def copy(self) -> "VectorClock":
+        """An independent snapshot of this clock."""
+        return VectorClock(self.clocks)
+
+    def tick(self, component) -> None:
+        """Advance this clock's own component by one."""
+        self.clocks[component] = self.clocks.get(component, 0) + 1
+
+    def join(self, other: "VectorClock") -> None:
+        """Componentwise max (absorb everything ``other`` has seen)."""
+        for k, v in other.clocks.items():
+            if v > self.clocks.get(k, 0):
+                self.clocks[k] = v
+
+    def leq(self, other: "VectorClock") -> bool:
+        """True iff self ≤ other componentwise (happens-before-or-equal)."""
+        return all(v <= other.clocks.get(k, 0) for k, v in self.clocks.items())
+
+    def concurrent_with(self, other: "VectorClock") -> bool:
+        """Neither ordered before the other — a candidate race."""
+        return not self.leq(other) and not other.leq(self)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        inner = ", ".join(f"{k}:{v}" for k, v in sorted(
+            self.clocks.items(), key=lambda kv: str(kv[0])
+        ))
+        return f"VC({inner})"

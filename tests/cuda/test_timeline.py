@@ -3,6 +3,7 @@
 import numpy as np
 import pytest
 
+from repro.errors import CudaError
 from repro.cuda.profiler import Nvprof
 
 
@@ -59,7 +60,7 @@ class TestTraceRecording:
 
     def test_report_without_enable_raises(self, backend):
         prof = Nvprof(backend)
-        with pytest.raises(RuntimeError):
+        with pytest.raises(CudaError):
             prof.timeline_report()
 
     def test_empty_trace_report(self, backend, prof):

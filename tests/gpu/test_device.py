@@ -2,6 +2,7 @@
 
 import pytest
 
+from repro.errors import CudaError
 from repro.gpu import GPU_SPECS, Event, GpuDevice, Stream
 
 
@@ -108,7 +109,7 @@ class TestCopyEngines:
 
     def test_unknown_copy_kind_rejected(self, dev):
         (s,) = make_streams(dev, 1)
-        with pytest.raises(ValueError):
+        with pytest.raises(CudaError):
             dev.enqueue_copy(s, 10, "x2y", at_ns=0)
 
     def test_copy_bytes_accounted(self, dev):
@@ -147,7 +148,7 @@ class TestEvents:
 
     def test_elapsed_on_unrecorded_event_raises(self):
         e1, e2 = Event(), Event()
-        with pytest.raises(ValueError):
+        with pytest.raises(CudaError):
             e2.elapsed_ms_since(e1)
 
 

@@ -52,7 +52,7 @@ class TestPagedContents:
 
     def test_out_of_bounds_rejected(self):
         c = PagedContents(100)
-        with pytest.raises(IndexError):
+        with pytest.raises(CudaError):
             c.view(90, 20)
 
     def test_snapshot_restore_roundtrip(self):

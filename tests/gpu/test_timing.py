@@ -2,6 +2,7 @@
 
 import pytest
 
+from repro.errors import CudaError
 from repro.gpu.timing import DEFAULT_HOST_COSTS, GPU_SPECS, GpuSpec, NS_PER_S
 
 
@@ -58,7 +59,7 @@ class TestCopyCost:
         assert spec.copy_cost_ns(1 << 30, "d2d") < spec.copy_cost_ns(1 << 30, "h2d")
 
     def test_unknown_kind_rejected(self):
-        with pytest.raises(ValueError):
+        with pytest.raises(CudaError):
             GPU_SPECS["V100"].copy_cost_ns(10, "h2h")
 
 

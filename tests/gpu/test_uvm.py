@@ -141,6 +141,36 @@ class TestWriteTracking:
         # Reported and drained: a later query starts from a clean slate.
         assert uvm.concurrent_same_page_writes(buf) == []
 
+    def test_noncompacting_query_never_observes_half_drained_stash(self, uvm):
+        """Regression: a compacting query must drain *exactly* what it
+        reported. A conflict stashed by its own bounded compaction but
+        not present in the live sweep it reported must survive for the
+        next (non-compacting) query — and a non-compacting query itself
+        must leave the stash untouched."""
+        buf = make_buf(uvm)
+        s1, s2 = Stream(), Stream()
+        # Pair A lives entirely before t=200; pair B straddles it.
+        uvm.record_device_write(buf, 0, UVM_PAGE, s1, 0, 100)
+        uvm.record_device_write(buf, 0, UVM_PAGE, s2, 50, 150)
+        uvm.record_device_write(buf, 0, UVM_PAGE, s1, 180, 400)
+        uvm.record_device_write(buf, 0, UVM_PAGE, s2, 190, 420)
+        # Non-compacting query: reports both pairs, drains nothing.
+        assert len(uvm.concurrent_same_page_writes(buf)) == 2
+        assert buf.stashed_conflicts == []
+        assert len(uvm.concurrent_same_page_writes(buf)) == 2
+        # Compacting query at t=200: reports both live pairs, drops the
+        # first pair's records, and must not leave those pairs stashed.
+        pairs = uvm.concurrent_same_page_writes(buf, compact_before_ns=200.0)
+        assert len(pairs) == 2
+        # The straddling records survive in the live log; their pair was
+        # reported (and drained), so it must not be double-reported...
+        assert len(uvm.concurrent_same_page_writes(buf)) == 1
+        # ...but the still-live pair is reported again until drained.
+        pairs = uvm.concurrent_same_page_writes(buf, compact_before_ns=500.0)
+        assert len(pairs) == 1
+        assert uvm.concurrent_same_page_writes(buf) == []
+        assert buf.stashed_conflicts == []
+
 
 class TestAccounting:
     def test_total_managed_bytes(self, uvm):

@@ -1,0 +1,199 @@
+"""Unit tests for the synccheck, memcheck, and initcheck checkers."""
+
+import numpy as np
+import pytest
+
+from repro.errors import CudaError
+from repro.sanitizer.planted import LONG_KERNEL_NS, _machine
+
+
+@pytest.fixture
+def machine():
+    return _machine()
+
+
+def kinds(san):
+    return {(h.checker, h.kind) for h in san.hazards}
+
+
+class TestSynccheck:
+    def test_cut_with_inflight_kernel_flagged(self, machine):
+        rt, san = machine
+        s = rt.cudaStreamCreate()
+        rt.cudaLaunchKernel("k", stream=s, duration_ns=LONG_KERNEL_NS)
+        san.on_checkpoint_cut(rt)
+        assert ("synccheck", "unsynced-cut") in kinds(san)
+        (h,) = [x for x in san.hazards if x.checker == "synccheck"]
+        assert h.stream_sids == (s.sid,)
+        assert "cudaDeviceSynchronize" in h.message
+
+    def test_cut_after_drain_clean(self, machine):
+        rt, san = machine
+        s = rt.cudaStreamCreate()
+        rt.cudaLaunchKernel("k", stream=s, duration_ns=LONG_KERNEL_NS)
+        rt.cudaDeviceSynchronize()
+        san.on_checkpoint_cut(rt)
+        assert not san.hazards
+
+    def test_commit_with_inflight_work_flagged(self, machine):
+        from repro.dmtcp.image import CheckpointImage
+
+        rt, san = machine
+        s = rt.cudaStreamCreate()
+        image = CheckpointImage(pid=1, created_at_ns=rt.process.clock_ns)
+        san.watch_image(image)
+        rt.cudaLaunchKernel("k", stream=s, duration_ns=LONG_KERNEL_NS)
+        image.mark_committed()
+        assert ("synccheck", "early-commit") in kinds(san)
+
+    def test_forked_image_commit_exempt(self, machine):
+        """A forked image's commit legitimately lands mid-run (COW
+        protects the snapshot) — synccheck must not flag it."""
+        from repro.dmtcp.image import CheckpointImage
+
+        rt, san = machine
+        s = rt.cudaStreamCreate()
+        image = CheckpointImage(pid=1, created_at_ns=rt.process.clock_ns)
+        image.forked_writer = object()
+        san.watch_image(image)
+        rt.cudaLaunchKernel("k", stream=s, duration_ns=LONG_KERNEL_NS)
+        image.mark_committed()
+        assert not san.hazards
+
+    def test_sync_hook_not_pickled(self, machine):
+        """The watch hook must not leak into the image's own pickle
+        payload (it holds the whole sanitizer object graph)."""
+        from repro.dmtcp.image import CheckpointImage
+
+        rt, san = machine
+        image = CheckpointImage(pid=1, created_at_ns=0.0)
+        san.watch_image(image)
+        assert "sync_hook" not in image.__getstate__()
+
+
+class TestMemcheck:
+    def test_use_after_free(self, machine):
+        rt, san = machine
+        p = rt.cudaMalloc(1024)
+        rt.cudaFree(p)
+        with pytest.raises(CudaError):
+            rt.cudaMemset(p, 0, 64)
+        assert ("memcheck", "use-after-free") in kinds(san)
+
+    def test_wild_pointer(self, machine):
+        rt, san = machine
+        with pytest.raises(CudaError):
+            rt.device_view(0xDEAD_0000, 16)
+        assert ("memcheck", "invalid-pointer") in kinds(san)
+
+    def test_out_of_bounds_memset(self, machine):
+        rt, san = machine
+        p = rt.cudaMalloc(1024)
+        rt.cudaMemset(p, 0, 1024 + 512)
+        assert ("memcheck", "out-of-bounds") in kinds(san)
+        (h,) = [x for x in san.hazards if x.checker == "memcheck"]
+        assert h.byte_range == (0, 1536)
+
+    def test_double_free(self, machine):
+        rt, san = machine
+        p = rt.cudaMalloc(1024)
+        rt.cudaFree(p)
+        with pytest.raises(CudaError):
+            rt.cudaFree(p)
+        assert ("memcheck", "double-free") in kinds(san)
+
+    def test_invalid_free(self, machine):
+        rt, san = machine
+        with pytest.raises(CudaError):
+            rt.cudaFree(0xDEAD_0000)
+        assert ("memcheck", "double-free") not in kinds(san)
+        assert any(h.kind in ("invalid-free", "invalid-pointer")
+                   for h in san.hazards)
+
+    def test_leak_reported_only_at_finish(self, machine):
+        rt, san = machine
+        rt.cudaMalloc(2048)
+        assert not san.hazards
+        san.finish(rt)
+        assert ("memcheck", "leak") in kinds(san)
+
+    def test_freed_allocations_not_leaks(self, machine):
+        rt, san = machine
+        p = rt.cudaMalloc(2048)
+        rt.cudaFree(p)
+        san.finish(rt)
+        assert not san.hazards
+
+    def test_preexisting_allocations_not_leaks(self):
+        """Buffers alive before attach are not this run's leaks."""
+        from repro.sanitizer.core import Sanitizer
+
+        rt, san = _machine()
+        san.detach()
+        rt.cudaMalloc(4096)
+        san2 = Sanitizer()
+        san2.attach(rt)
+        san2.finish(rt)
+        assert not san2.hazards
+
+
+class TestInitcheck:
+    def test_d2h_from_unwritten_buffer(self, machine):
+        rt, san = machine
+        p = rt.cudaMalloc(1024)
+        out = np.empty(1024, dtype=np.uint8)
+        rt.cudaMemcpy(out, p, 1024, kind="d2h")
+        assert ("initcheck", "uninitialized-read") in kinds(san)
+
+    def test_written_buffer_clean(self, machine):
+        rt, san = machine
+        p = rt.cudaMalloc(1024)
+        rt.cudaMemset(p, 0, 1024)
+        out = np.empty(1024, dtype=np.uint8)
+        rt.cudaMemcpy(out, p, 1024, kind="d2h")
+        assert not san.hazards
+
+    def test_partial_write_leaves_hole(self, machine):
+        rt, san = machine
+        p = rt.cudaMalloc(1024)
+        rt.cudaMemcpy(p, np.zeros(256, dtype=np.uint8), 256, kind="h2d")
+        rt.cudaMemcpy(p, np.zeros(256, dtype=np.uint8), 256, kind="h2d",
+                      dst_offset=768)
+        out = np.empty(1024, dtype=np.uint8)
+        rt.cudaMemcpy(out, p, 1024, kind="d2h")
+        hits = [h for h in san.hazards if h.checker == "initcheck"]
+        assert len(hits) == 1
+        assert hits[0].byte_range == (256, 768)
+
+    def test_d2d_copy_propagates_initialization(self, machine):
+        """d2d from a written source initializes the destination; a
+        later d2h read of the destination is clean."""
+        rt, san = machine
+        src = rt.cudaMalloc(512)
+        dst = rt.cudaMalloc(512)
+        rt.cudaMemset(src, 0, 512)
+        rt.cudaMemcpy(dst, src, 512, kind="d2d")
+        out = np.empty(512, dtype=np.uint8)
+        rt.cudaMemcpy(out, dst, 512, kind="d2h")
+        assert not san.hazards
+
+    def test_d2d_from_unwritten_source_flagged(self, machine):
+        rt, san = machine
+        src = rt.cudaMalloc(512)
+        dst = rt.cudaMalloc(512)
+        rt.cudaMemcpy(dst, src, 512, kind="d2d")
+        assert ("initcheck", "uninitialized-read") in kinds(san)
+
+
+class TestCheckerSelection:
+    def test_disabled_checker_is_silent(self):
+        from repro.sanitizer.core import Sanitizer
+
+        rt, san = _machine()
+        san.detach()
+        quiet = Sanitizer(checkers=("racecheck",))
+        quiet.attach(rt)
+        p = rt.cudaMalloc(1024)
+        out = np.empty(1024, dtype=np.uint8)
+        rt.cudaMemcpy(out, p, 1024, kind="d2h")  # uninitialized read
+        assert not quiet.hazards

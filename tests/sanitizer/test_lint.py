@@ -1,0 +1,159 @@
+"""Determinism-lint rules: positives, negatives, suppression, scoping."""
+
+import textwrap
+
+from repro.sanitizer.lint import format_findings, lint_file, lint_package
+
+
+def lint_src(tmp_path, source, rel="repro/cuda/api.py"):
+    """Lint ``source`` as if it lived at repo-relative path ``rel``."""
+    f = tmp_path / rel
+    f.parent.mkdir(parents=True, exist_ok=True)
+    f.write_text(textwrap.dedent(source))
+    return lint_file(f, rel_to=tmp_path)
+
+
+def rules(findings):
+    return [f.rule for f in findings]
+
+
+class TestNondeterminism:
+    def test_global_random_flagged(self, tmp_path):
+        out = lint_src(tmp_path, """\
+            import random
+            x = random.random()
+            """)
+        assert rules(out) == ["nondeterminism"]
+        assert out[0].line == 2
+
+    def test_wall_clock_flagged(self, tmp_path):
+        out = lint_src(tmp_path, """\
+            import time
+            t = time.perf_counter()
+            """)
+        assert rules(out) == ["nondeterminism"]
+
+    def test_datetime_now_flagged(self, tmp_path):
+        out = lint_src(tmp_path, """\
+            import datetime
+            t = datetime.datetime.now()
+            """)
+        assert rules(out) == ["nondeterminism"]
+
+    def test_legacy_np_random_flagged(self, tmp_path):
+        out = lint_src(tmp_path, """\
+            import numpy as np
+            x = np.random.rand(4)
+            """)
+        assert rules(out) == ["nondeterminism"]
+
+    def test_seeded_streams_allowed(self, tmp_path):
+        out = lint_src(tmp_path, """\
+            import random
+            import numpy as np
+            rng = random.Random(7)
+            x = rng.random()
+            g = np.random.default_rng(7)
+            y = g.standard_normal(4)
+            """)
+        assert out == []
+
+    def test_suppression_marker(self, tmp_path):
+        out = lint_src(tmp_path, """\
+            import time
+            t = time.time()  # lint: allow
+            """)
+        assert out == []
+
+
+class TestRawRaise:
+    def test_raw_raise_in_cuda_path_flagged(self, tmp_path):
+        out = lint_src(tmp_path, """\
+            def f(x):
+                if x < 0:
+                    raise ValueError("negative")
+            """)
+        assert rules(out) == ["raw-raise"]
+
+    def test_raw_raise_outside_cuda_path_ignored(self, tmp_path):
+        out = lint_src(tmp_path, """\
+            def f(x):
+                if x < 0:
+                    raise ValueError("negative")
+            """, rel="repro/harness/runner.py")
+        assert out == []
+
+    def test_taxonomy_raise_allowed(self, tmp_path):
+        out = lint_src(tmp_path, """\
+            from repro.cuda.errors import CudaErrorCode, cuda_error
+
+            def f(x):
+                if x < 0:
+                    raise cuda_error(CudaErrorCode.INVALID_VALUE, "neg")
+            """)
+        assert out == []
+
+    def test_bare_reraise_allowed(self, tmp_path):
+        out = lint_src(tmp_path, """\
+            def f(x):
+                try:
+                    return x()
+                except Exception:
+                    raise
+            """)
+        assert out == []
+
+
+class TestDictIteration:
+    def test_items_iter_in_capture_fn_flagged(self, tmp_path):
+        out = lint_src(tmp_path, """\
+            def capture_buffers(bufs):
+                out = []
+                for k, v in bufs.items():
+                    out.append((k, v))
+                return out
+            """, rel="repro/dmtcp/image.py")
+        assert rules(out) == ["dict-iteration"]
+
+    def test_sorted_items_allowed(self, tmp_path):
+        out = lint_src(tmp_path, """\
+            def capture_buffers(bufs):
+                return [kv for kv in sorted(bufs.items())]
+            """, rel="repro/dmtcp/image.py")
+        assert out == []
+
+    def test_non_capture_fn_ignored(self, tmp_path):
+        out = lint_src(tmp_path, """\
+            def lookup(bufs):
+                for k, v in bufs.items():
+                    pass
+            """, rel="repro/dmtcp/image.py")
+        assert out == []
+
+    def test_non_capture_module_ignored(self, tmp_path):
+        out = lint_src(tmp_path, """\
+            def capture_all(bufs):
+                for k in bufs.keys():
+                    pass
+            """, rel="repro/harness/runner.py")
+        assert out == []
+
+
+class TestHarness:
+    def test_syntax_error_reported_not_raised(self, tmp_path):
+        out = lint_src(tmp_path, "def f(:\n")
+        assert rules(out) == ["syntax"]
+
+    def test_format_findings(self, tmp_path):
+        out = lint_src(tmp_path, """\
+            import time
+            t = time.time()
+            """)
+        text = format_findings(out)
+        assert "repro/cuda/api.py:2" in text
+        assert "[nondeterminism]" in text
+        assert format_findings([]) == "lint: clean"
+
+    def test_shipping_package_is_clean(self):
+        """The gate's own scope: src/repro must lint clean."""
+        assert lint_package() == []

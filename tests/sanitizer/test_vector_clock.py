@@ -1,0 +1,55 @@
+"""Vector-clock algebra: join/tick/compare invariants."""
+
+from repro.sanitizer.vector_clock import VectorClock
+
+
+class TestOrdering:
+    def test_empty_clocks_are_equal_not_concurrent(self):
+        a, b = VectorClock(), VectorClock()
+        assert a.leq(b) and b.leq(a)
+        assert not a.concurrent_with(b)
+
+    def test_tick_makes_strictly_later(self):
+        a = VectorClock()
+        b = a.copy()
+        b.tick(1)
+        assert a.leq(b)
+        assert not b.leq(a)
+
+    def test_independent_ticks_are_concurrent(self):
+        a, b = VectorClock(), VectorClock()
+        a.tick(1)
+        b.tick(2)
+        assert a.concurrent_with(b)
+
+    def test_join_orders_after_both(self):
+        a, b = VectorClock(), VectorClock()
+        a.tick(1)
+        b.tick(2)
+        c = a.copy()
+        c.join(b)
+        assert a.leq(c) and b.leq(c)
+        assert not c.leq(a) and not c.leq(b)
+
+    def test_join_is_componentwise_max(self):
+        a = VectorClock({1: 3, 2: 1})
+        b = VectorClock({1: 1, 3: 4})
+        a.join(b)
+        assert a.clocks == {1: 3, 2: 1, 3: 4}
+
+    def test_copy_is_independent(self):
+        a = VectorClock({1: 1})
+        b = a.copy()
+        b.tick(1)
+        assert a.clocks[1] == 1
+        assert b.clocks[1] == 2
+
+    def test_happens_before_via_message(self):
+        """The classic three-event chain: a → (join) → b orders them."""
+        sender = VectorClock()
+        sender.tick("s")
+        receiver = VectorClock()
+        receiver.join(sender)
+        receiver.tick("r")
+        assert sender.leq(receiver)
+        assert not receiver.leq(sender)
