@@ -22,6 +22,10 @@ Commands:
   initcheck), run the checkpoint-determinism lint, or run the full CI
   gate (planted-hazard detection + clean-app sweep + lint + overhead
   bound), emitting ``BENCH_sanitizer.json``;
+- ``trace`` — run one workload with the unified tracer + profiler
+  attached, write a Chrome/Perfetto ``trace_event`` JSON (load it at
+  https://ui.perfetto.dev), and emit ``BENCH_trace.json`` with the
+  overhead ratio, digest equality, and busy-ns/eq. 2 cross-checks;
 - ``info``      — package version plus the calibrated cost model.
 """
 
@@ -210,6 +214,31 @@ def build_parser() -> argparse.ArgumentParser:
     sz.add_argument("--smoke", action="store_true",
                     help="CI smoke mode: cap the clean-sweep scale")
     sz.add_argument("--seed", type=int, default=0)
+
+    tr = sub.add_parser(
+        "trace",
+        help="run one workload under the unified tracer and export a "
+        "Chrome/Perfetto trace + BENCH_trace.json",
+    )
+    tr.add_argument("app", choices=sorted(APP_REGISTRY))
+    tr.add_argument("--mode", default="crac",
+                    choices=["native", "crac", "crum", "proxy-cma",
+                             "crcuda"])
+    tr.add_argument("--scale", type=float, default=0.05)
+    tr.add_argument("--gpu", default="V100", choices=["V100", "K600"])
+    tr.add_argument("--checkpoint-at", type=float, default=None,
+                    metavar="FRACTION",
+                    help="take a CRAC checkpoint + kill + restart at this "
+                    "progress (exercises the restart splice)")
+    tr.add_argument("--trace-out", default=None, metavar="PATH",
+                    help="Chrome trace output path (default "
+                    "trace_<app>.json, '-' to skip)")
+    tr.add_argument("--out", default="BENCH_trace.json",
+                    metavar="PATH", help="write the JSON report here "
+                    "('-' to skip)")
+    tr.add_argument("--smoke", action="store_true",
+                    help="CI smoke mode: cap the scale")
+    tr.add_argument("--seed", type=int, default=0)
     return parser
 
 
@@ -471,6 +500,38 @@ def cmd_sanitize(args, out) -> int:
     return 0 if san.report.clean else 1
 
 
+def cmd_trace(args, out) -> int:
+    """``repro trace APP``: traced run + Chrome trace + JSON report."""
+    import json
+
+    from repro.harness.trace_bench import format_trace_bench, run_trace_bench
+    from repro.trace import write_chrome_trace
+
+    scale = min(args.scale, 0.05) if args.smoke else args.scale
+    report, tracer, _profiler = run_trace_bench(
+        APP_REGISTRY[args.app],
+        scale=scale,
+        gpu=args.gpu,
+        seed=args.seed,
+        mode=args.mode,
+        checkpoint_at=args.checkpoint_at,
+    )
+    print(format_trace_bench(report), file=out)
+    trace_out = args.trace_out
+    if trace_out is None:
+        trace_out = f"trace_{args.app}.json"
+    if trace_out != "-":
+        write_chrome_trace(tracer, trace_out, label=report["app"])
+        print(f"\nwrote {trace_out} (load at https://ui.perfetto.dev)",
+              file=out)
+    if args.out != "-":
+        with open(args.out, "w") as fh:
+            json.dump(report, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"wrote {args.out}", file=out)
+    return 0 if report["ok"] else 1
+
+
 def cmd_reproduce(args, out) -> int:
     """``repro reproduce WHAT``: regenerate a table/figure."""
     from repro.harness import experiments as ex
@@ -533,6 +594,8 @@ def main(argv: list[str] | None = None, out=None) -> int:
         return cmd_fault_campaign(args, out)
     if args.command == "sanitize":
         return cmd_sanitize(args, out)
+    if args.command == "trace":
+        return cmd_trace(args, out)
     if args.command == "reproduce":
         return cmd_reproduce(args, out)
     raise AssertionError(args.command)  # pragma: no cover

@@ -65,7 +65,10 @@ class CracPlugin(DmtcpPlugin):
             san.on_checkpoint_cut(runtime)
             san.watch_image(image)
 
+        tracer = getattr(self.session, "tracer", None)
+
         # 1. Drain the queue of pending CUDA kernels (on every GPU).
+        t_drain = process.clock_ns
         for dev in runtime.devices:
             runtime.process.advance_to(dev.synchronize_all())
         runtime.cudaDeviceSynchronize()
@@ -74,6 +77,8 @@ class CracPlugin(DmtcpPlugin):
         # without bound across a long run).
         for mbuf in sorted(runtime.uvm.buffers.values(), key=lambda b: b.addr):
             runtime.uvm.compact_writes(mbuf, before_ns=process.clock_ns)
+        if tracer is not None:
+            tracer.ckpt_span("drain", t_drain, process.clock_ns)
 
         # 2. Stage active allocations; drain device-side bytes over PCIe.
         #    For an incremental image only the *dirtied* spans are staged
@@ -82,6 +87,7 @@ class CracPlugin(DmtcpPlugin):
         #    entry records what it costs in the image (``image_bytes``)
         #    and over PCIe at drain/refill time (``pcie_bytes``).
         delta = image.incremental
+        t_stage = process.clock_ns
         buffers: dict[int, dict] = {}
         drain_bytes = 0
         for buf in runtime.active_allocations():
@@ -125,6 +131,11 @@ class CracPlugin(DmtcpPlugin):
         process.advance(
             drain_bytes / runtime.device.spec.pcie_bw * NS_PER_S
         )
+        if tracer is not None:
+            tracer.ckpt_span(
+                "stage", t_stage, process.clock_ns,
+                buffers=len(buffers), pcie_bytes=drain_bytes,
+            )
         if self.full_arena:
             # Naive mode (§3.2.3): the whole arenas go into the image.
             accounted = (

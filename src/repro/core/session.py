@@ -170,6 +170,11 @@ class CracSession:
         #: hazard analyzer following the runtime across restarts
         #: (enable_sanitizer); None = no instrumentation
         self.sanitizer = None
+        #: span/metrics tracer following the runtime across restarts
+        #: (enable_trace); None = no instrumentation
+        self.tracer = None
+        #: nvprof stand-in re-attached across restarts (enable_profiler)
+        self.profiler = None
         # Runtime fault stages (ecc, kernel-hang, ...) are tripped by the
         # devices themselves; without a fault domain the resulting
         # classified CudaError propagates raw to the application.
@@ -209,6 +214,31 @@ class CracSession:
         self.sanitizer = sanitizer
         sanitizer.attach(self.split.runtime)
         return sanitizer
+
+    def enable_trace(self, tracer=None):
+        """Attach a :class:`repro.trace.Tracer` (created if not given) to
+        the dispatch backend; it re-attaches across restarts with a new
+        splice segment, keeping the logical timeline monotone."""
+        if tracer is None:
+            from repro.trace import Tracer
+
+            tracer = Tracer()
+        self.tracer = tracer
+        tracer.attach(self.backend)
+        self.checkpointer.tracer = tracer
+        return tracer
+
+    def enable_profiler(self, profiler=None):
+        """Attach an :class:`~repro.cuda.profiler.Nvprof` (created if not
+        given); restarts fold its window forward and splice its device
+        timeline instead of losing them."""
+        if profiler is None:
+            from repro.cuda.profiler import Nvprof
+
+            profiler = Nvprof()
+        self.profiler = profiler
+        profiler.attach(self.backend)
+        return profiler
 
     # -- conveniences ------------------------------------------------------------
 
@@ -307,6 +337,7 @@ class CracSession:
                     "(§3.2.4)"
                 )
         old_clock = self.process.clock_ns
+        old_devices = list(self.split.runtime.devices)
         fresh = SplitProcess(
             gpu=self.gpu,
             app_image=self.app_image,
@@ -463,6 +494,18 @@ class CracSession:
             # Vector clocks and buffer histories survive the restart; the
             # fresh runtime just becomes the new event source.
             self.sanitizer.attach(fresh.runtime)
+        if self.tracer is not None:
+            # Recorded spans survive; the fresh runtime becomes the new
+            # event source and subsequent spans land in a new segment.
+            self.tracer.begin_segment("restart", self.process.clock_ns)
+            self.tracer.attach(self.backend)
+            self.checkpointer.tracer = self.tracer
+            self.tracer.recovery_span(
+                "restart", old_clock, self.process.clock_ns,
+                replayed_calls=replayed, refilled_bytes=refill_bytes,
+            )
+        if self.profiler is not None:
+            self.profiler.on_restart(self.backend, old_devices)
 
         report = RestartReport(
             restart_time_ns=restart_time,
@@ -760,6 +803,7 @@ class FaultDomain:
     # -- rung 1: retry with backoff -------------------------------------------
 
     def _retry(self, attempt: int, exc: CudaError) -> None:
+        t0 = self.session.process.clock_ns
         backoff = min(
             self.backoff_base_ns * 2.0 ** (attempt - 1), self.max_backoff_ns
         )
@@ -770,11 +814,21 @@ class FaultDomain:
         self.report.attempts.append(
             RecoveryAttempt("retry", attempt, backoff, repr(exc))
         )
+        self._trace_rung("retry", t0, attempt, exc)
 
     # -- rung 2: stream reset + replay ----------------------------------------
 
+    def _trace_rung(self, rung: str, t0: float, attempt: int, exc: CudaError) -> None:
+        tracer = self.session.tracer
+        if tracer is not None:
+            tracer.recovery_span(
+                rung, t0, self.session.process.clock_ns,
+                attempt=attempt, error=repr(exc),
+            )
+
     def _stream_reset(self, attempt: int, exc: CudaError) -> None:
         session = self.session
+        t0 = session.process.clock_ns
         runtime = session.runtime
         for dev in runtime.devices:
             flagged = dev.flagged_streams()
@@ -802,6 +856,7 @@ class FaultDomain:
         self.report.attempts.append(
             RecoveryAttempt("stream-reset", attempt, 0.0, repr(exc))
         )
+        self._trace_rung("stream-reset", t0, attempt, exc)
 
     # -- rung 3: device reset + restore ---------------------------------------
 
@@ -846,6 +901,7 @@ class FaultDomain:
         self.report.attempts.append(
             RecoveryAttempt("restore", attempt, 0.0, repr(exc), succeeded=True)
         )
+        self._trace_rung("restore", t_fault, attempt, exc)
 
     # -- op-log retirement -----------------------------------------------------
 

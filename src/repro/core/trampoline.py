@@ -93,6 +93,11 @@ class CracBackend(CudaDispatchBase):
         if self.coordinator is not None:
             self.coordinator.notify_call()
 
+    def _trampoline_ns(self, dispatch_ns: float) -> float:
+        # Everything beyond the bare library call is trampoline cost:
+        # the two fs switches, table indirection, coordinator notify.
+        return max(0.0, dispatch_ns - self.costs.native_dispatch_ns)
+
     def _log(self, op: str, nbytes: int, addr: int, device: int = 0) -> None:
         self.log.record(op, nbytes, addr, device)  # type: ignore[arg-type]
         if not self._prepaid_depth:

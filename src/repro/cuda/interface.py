@@ -52,6 +52,8 @@ class CudaDispatchBase:
         self.costs = host_costs
         self.call_counter: Counter[str] = Counter()
         self._prepaid_depth = 0
+        #: repro.trace.Tracer receiving API call spans; None = untraced
+        self.tracer = None
         #: the host thread currently issuing CUDA calls (None = main).
         #: Multi-threaded CUDA apps — "each thread employs a separate
         #: CUDA stream" (paper §6) — set this via use_thread(); CRAC's
@@ -103,9 +105,25 @@ class CudaDispatchBase:
         if self._prepaid_depth:
             return  # cost and count were accounted in aggregate already
         self.call_counter[name] += 1
+        tracer = self.tracer
+        if tracer is None:
+            self._charge_call(
+                name, payload_bytes=payload_bytes, ship_in=ship_in, ship_out=ship_out
+            )
+            return
+        t0 = self.process.clock_ns
         self._charge_call(
             name, payload_bytes=payload_bytes, ship_in=ship_in, ship_out=ship_out
         )
+        t1 = self.process.clock_ns
+        tracer.on_api_call(
+            name, t0, t1, trampoline_ns=self._trampoline_ns(t1 - t0), mode=self.mode
+        )
+
+    def _trampoline_ns(self, dispatch_ns: float) -> float:
+        """Dispatch cost beyond a bare library call, for trace attribution
+        (overridden by CRAC's trampoline backend)."""
+        return 0.0
 
     @contextmanager
     def use_thread(self, thread):

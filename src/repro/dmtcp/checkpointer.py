@@ -62,6 +62,8 @@ class DmtcpCheckpointer:
         self.plugins = list(plugins or [])
         self.costs = costs
         self.fault_injector = fault_injector
+        #: repro.trace.Tracer receiving pipeline stage spans; None = untraced
+        self.tracer = None
 
     # -- checkpoint ------------------------------------------------------------
 
@@ -101,6 +103,8 @@ class DmtcpCheckpointer:
         proc = self.process
         t_start = proc.clock_ns
         proc.advance(self.costs.ckpt_quiesce_ns)
+        if self.tracer is not None:
+            self.tracer.ckpt_span("quiesce", t_start, proc.clock_ns)
 
         image = CheckpointImage(
             pid=proc.pid,
@@ -126,6 +130,7 @@ class DmtcpCheckpointer:
                 hi = (hi + PAGE_SIZE - 1) // PAGE_SIZE * PAGE_SIZE
                 skips.append((lo, hi - lo))
 
+        t_regions = proc.clock_ns
         for region in proc.vas.regions():
             if self.fault_injector is not None:
                 self.fault_injector.check("region-save", region.tag)
@@ -156,6 +161,12 @@ class DmtcpCheckpointer:
                 region, frozenset(region.dirty), region.write_seq
             )
 
+        if self.tracer is not None:
+            self.tracer.ckpt_span(
+                "save-regions", t_regions, proc.clock_ns,
+                regions=len(image.regions),
+            )
+
         written = image.size_bytes
         write_ns = written / self.costs.ckpt_write_bw * NS_PER_S
         if gzip:
@@ -170,15 +181,25 @@ class DmtcpCheckpointer:
                 write_end_ns=proc.clock_ns + write_ns,
                 costs=self.costs,
                 fault_injector=self.fault_injector,
+                tracer=self.tracer,
             )
         else:
+            t_write = proc.clock_ns
             proc.advance(write_ns)
+            if self.tracer is not None:
+                self.tracer.ckpt_span(
+                    "write", t_write, proc.clock_ns, bytes=written, gzip=gzip
+                )
 
         for plugin in self.plugins:
             plugin.on_resume(image)
         image.checkpoint_time_ns = proc.clock_ns - t_start
         if not forked and not defer_commit:
             image.mark_committed()
+            if self.tracer is not None:
+                self.tracer.instant(
+                    "ckpt", "commit", proc.clock_ns, pid=image.pid
+                )
         return image
 
     # -- restore -----------------------------------------------------------------

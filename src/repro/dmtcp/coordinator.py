@@ -109,6 +109,12 @@ class DmtcpCoordinator:
             image.forked_writer.store = store
         elif store is not None:
             store.put(image)
+            tracer = self.checkpointer.tracer
+            if tracer is not None:
+                tracer.instant(
+                    "ckpt", "commit",
+                    self.checkpointer.process.clock_ns, pid=image.pid,
+                )
         self.images.append(image)
         if self.on_checkpoint is not None:
             self.on_checkpoint(image)

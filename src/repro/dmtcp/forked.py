@@ -53,6 +53,8 @@ class ForkedCheckpoint:
     residual_wait_ns: float = 0.0
     generation: int | None = None
     aborted: bool = False
+    #: repro.trace.Tracer receiving COW/forked-write spans; None = untraced
+    tracer: object | None = None
     _finished: bool = field(default=False, repr=False)
 
     @property
@@ -87,6 +89,10 @@ class ForkedCheckpoint:
             self.cow_bytes = int(self.image.new_dirty_bytes() * overlap)
             self.cow_time_ns = self.cow_bytes / self.costs.cow_copy_bw * NS_PER_S
             process.advance(self.cow_time_ns)
+            if self.tracer is not None and self.cow_time_ns:
+                self.tracer.ckpt_span(
+                    "cow", now, process.clock_ns, bytes=self.cow_bytes
+                )
             if block and process.clock_ns < self.write_end_ns:
                 self.residual_wait_ns = self.write_end_ns - process.clock_ns
                 process.advance_to(self.write_end_ns)
@@ -107,3 +113,12 @@ class ForkedCheckpoint:
             self._finished = True
             raise
         self._finished = True
+        if self.tracer is not None:
+            # The write ran on the forked child's background timeline.
+            self.tracer.ckpt_span(
+                "forked-write", self.fork_ns, self.write_end_ns,
+                bytes=self.image.size_bytes,
+            )
+            self.tracer.instant(
+                "ckpt", "commit", self.write_end_ns, pid=self.image.pid
+            )

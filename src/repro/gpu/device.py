@@ -68,6 +68,8 @@ class GpuDevice:
         self.copied_bytes = {"h2d": 0, "d2h": 0, "d2d": 0}
         #: nvprof-style timeline; None unless tracing is enabled
         self.trace: list[TraceEvent] | None = None
+        #: repro.trace.Tracer receiving per-op spans; None = untraced
+        self.tracer = None
         # -- runtime fault domain (module docstring) --
         #: FaultInjector consulted at enqueue time; None = no faults
         self.fault_injector = None
@@ -171,6 +173,8 @@ class GpuDevice:
             )
         if self.trace is not None:
             self.trace.append(TraceEvent("kernel", label, stream.sid, start, end))
+        if self.tracer is not None:
+            self.tracer.on_device_op("kernel", label, stream.sid, start, end)
         return end
 
     def _admit_kernel(self, earliest: float) -> float:
@@ -218,6 +222,11 @@ class GpuDevice:
             self.trace.append(
                 TraceEvent("copy", f"memcpy-{kind}", stream.sid, earliest, end)
             )
+        if self.tracer is not None:
+            self.tracer.on_device_op(
+                "copy", f"memcpy-{kind}", stream.sid, earliest, end,
+                engine=kind, nbytes=nbytes,
+            )
         return end
 
     def requeue(self, stream: Stream, record) -> float:
@@ -240,6 +249,10 @@ class GpuDevice:
                 self.trace.append(TraceEvent(
                     "kernel", f"replay:{record.label}", stream.sid, start, end
                 ))
+            if self.tracer is not None:
+                self.tracer.on_device_op(
+                    "kernel", f"replay:{record.label}", stream.sid, start, end
+                )
             return end
         engine = record.copy_kind or "d2d"
         earliest = max(
@@ -252,6 +265,11 @@ class GpuDevice:
             self.trace.append(TraceEvent(
                 "copy", f"replay:{record.label}", stream.sid, earliest, end
             ))
+        if self.tracer is not None:
+            self.tracer.on_device_op(
+                "copy", f"replay:{record.label}", stream.sid, earliest, end,
+                engine=engine,
+            )
         return end
 
     # -- fault-domain resets ----------------------------------------------------
@@ -274,6 +292,22 @@ class GpuDevice:
         stream.ready_ns = now_ns
         if stream.sid == 0:
             self._default_barrier_ns = now_ns
+        if self.trace is not None:
+            # Abandoned work never completed: clamp the in-flight event
+            # to the reset instant and drop queued-but-unstarted ones,
+            # mirroring what Tracer.clamp_stream does for span storage.
+            clamped: list[TraceEvent] = []
+            for ev in self.trace:
+                if ev.stream_sid != stream.sid or ev.end_ns <= now_ns:
+                    clamped.append(ev)
+                elif ev.start_ns < now_ns:
+                    clamped.append(TraceEvent(
+                        ev.kind, f"aborted:{ev.label}", ev.stream_sid,
+                        ev.start_ns, now_ns,
+                    ))
+            self.trace = clamped
+        if self.tracer is not None:
+            self.tracer.clamp_stream(stream.sid, now_ns)
 
     def reset_copy_engines(self, now_ns: float) -> None:
         """Clamp wedged copy engines back to ``now_ns``."""

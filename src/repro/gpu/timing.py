@@ -27,6 +27,13 @@ NS_PER_S = 1_000_000_000
 #: bounds the resulting end-to-end overhead at ≤25%.
 SANITIZER_CHECK_NS = 500.0
 
+#: Host-side cost of one trace instrumentation hook (span append +
+#: metrics update), ns. Charged per traced *API* call when a
+#: :class:`repro.trace.Tracer` is attached; device/UVM/pipeline hooks
+#: piggyback on work the model already charges and add nothing. The CI
+#: trace job bounds the resulting end-to-end overhead at ≤1.25x.
+TRACE_HOOK_NS = 120.0
+
 
 def _program_error(code_name: str, msg: str):
     """Classified program-severity CudaError with a deferred import

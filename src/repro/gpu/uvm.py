@@ -158,6 +158,15 @@ class UvmManager:
         pages[:] = int(to)
         self.fault_count += wrong
         self.migrated_bytes += wrong * UVM_PAGE
+        tracer = self.device.tracer
+        if tracer is not None:
+            tracer.on_uvm_migration(
+                buf.addr,
+                pages=wrong,
+                nbytes=wrong * UVM_PAGE,
+                cost_ns=cost,
+                to="device" if to == PageLocation.DEVICE else "host",
+            )
         return cost
 
     def host_access(

@@ -109,6 +109,8 @@ def run_app(
     store: CheckpointStore | None = None,
     fault_injector: FaultInjector | None = None,
     sanitizer=None,
+    tracer=None,
+    profiler=None,
 ) -> RunResult:
     """Run ``app`` on a fresh machine under ``mode``.
 
@@ -130,6 +132,11 @@ def run_app(
     ``sanitizer`` attaches a :class:`repro.sanitizer.Sanitizer` to the
     run's runtime (under crac it follows the session across restarts)
     and finalizes its leak check after the app completes.
+
+    ``tracer`` attaches a :class:`repro.trace.Tracer` to the run's
+    dispatch backend (under crac it re-attaches across restarts);
+    ``profiler`` attaches an :class:`~repro.cuda.profiler.Nvprof` with
+    the timeline enabled and a window opened before the app starts.
     """
     if mode not in MODES:
         raise ValueError(f"mode must be one of {MODES}")
@@ -149,6 +156,12 @@ def run_app(
         backend: CudaDispatchBase = session.backend
         if sanitizer is not None:
             session.enable_sanitizer(sanitizer)
+        if tracer is not None:
+            session.enable_trace(tracer)
+        if profiler is not None:
+            session.enable_profiler(profiler)
+            profiler.enable_timeline()
+            profiler.start()
         upper_mmap = lambda size: session.split.upper_mmap(size)  # noqa: E731
         chain: list = []  # previous images (for incremental parents)
 
@@ -199,6 +212,12 @@ def run_app(
         backend = backend_cls(split.runtime, costs)
         if sanitizer is not None:
             sanitizer.attach(split.runtime)
+        if tracer is not None:
+            tracer.attach(backend)
+        if profiler is not None:
+            profiler.attach(backend)
+            profiler.enable_timeline()
+            profiler.start()
         if mode != "native":
             # Checkpointable proxies also launch under DMTCP and must
             # fork/exec + initialize their proxy process.

@@ -1,0 +1,155 @@
+"""Trace benchmark: overhead, digest equality, and cross-checks.
+
+Runs one workload twice — untraced baseline, then with a
+:class:`repro.trace.Tracer` and an :class:`~repro.cuda.profiler.Nvprof`
+attached — and verifies the properties the CI ``trace`` job gates on:
+
+- **digest equality**: instrumentation must not perturb results;
+- **overhead bound**: traced virtual runtime ≤ ``MAX_OVERHEAD_RATIO`` ×
+  untraced (the tracer charges ``TRACE_HOOK_NS`` per API call, so its
+  cost is a *measured* quantity, and this bounds it);
+- **busy-ns cross-check**: the tracer's per-stream kernel/copy spans
+  must sum to exactly the device busy time ``Nvprof.timeline_report()``
+  reports — two independent observers of the same device schedule;
+- **eq. 2 cross-check**: the paper's Total-CUDA-calls formula (§4.3),
+  recomputed over the traced API call spans, must equal the span count
+  exactly (every traced launch comes with its push/pop pair).
+"""
+
+from __future__ import annotations
+
+from repro.cuda.profiler import Nvprof
+from repro.harness.runner import Machine, run_app
+from repro.trace import Tracer
+
+#: CI gate: traced runtime must stay within this factor of untraced.
+MAX_OVERHEAD_RATIO = 1.25
+
+#: relative tolerance of the busy-ns cross-check (pure float sums over
+#: the same events in a different order)
+_REL_TOL = 1e-6
+
+
+def _close(a: float, b: float) -> bool:
+    return abs(a - b) <= _REL_TOL * max(abs(a), abs(b), 1.0)
+
+
+def run_trace_bench(
+    app_cls,
+    *,
+    scale: float = 0.05,
+    gpu: str = "V100",
+    seed: int = 0,
+    mode: str = "crac",
+    checkpoint_at: float | None = None,
+) -> tuple[dict, Tracer, Nvprof]:
+    """Benchmark tracing overhead on one app; returns (report, tracer,
+    profiler) so the caller can export the trace."""
+    machine = Machine(gpu=gpu, seed=seed)
+    kwargs = dict(
+        mode=mode, checkpoint_at=checkpoint_at, noise=False,
+    )
+    base = run_app(app_cls(scale=scale, seed=seed), machine, **kwargs)
+    tracer = Tracer()
+    profiler = Nvprof()
+    traced = run_app(
+        app_cls(scale=scale, seed=seed), machine,
+        tracer=tracer, profiler=profiler, **kwargs,
+    )
+
+    overhead_ratio = (
+        traced.runtime_exact_s / base.runtime_exact_s
+        if base.runtime_exact_s > 0
+        else 1.0
+    )
+    digest_match = traced.digest == base.digest
+
+    busy = tracer.device_busy_ns()
+    timeline = profiler.timeline_report()
+    busy_match = _close(busy["kernel"], timeline.kernel_busy_ns) and _close(
+        busy["copy"], timeline.copy_busy_ns
+    )
+
+    # eq. 2 over the traced call spans: fast-forwarded iterations add to
+    # the backend's counter without dispatching, so only the span-derived
+    # counter satisfies the formula exactly.
+    span_calls = tracer.api_call_counter()
+    eq2_total = profiler.total_calls_formula(span_calls)
+    eq2_ok = eq2_total == sum(span_calls.values())
+
+    profile = profiler.report()
+    report = {
+        "app": base.app_name,
+        "mode": mode,
+        "gpu": gpu,
+        "scale": scale,
+        "seed": seed,
+        "checkpoint_at": checkpoint_at,
+        "untraced_s": base.runtime_exact_s,
+        "traced_s": traced.runtime_exact_s,
+        "overhead_ratio": overhead_ratio,
+        "max_overhead_ratio": MAX_OVERHEAD_RATIO,
+        "digest_match": digest_match,
+        "digest": f"{traced.digest:#010x}",
+        "trace_overhead_ns": tracer.overhead_ns,
+        "spans": len(tracer.spans),
+        "instants": len(tracer.instants),
+        "segments": tracer.segment + 1,
+        "device_busy": {
+            "kernel_ns": busy["kernel"],
+            "copy_ns": busy["copy"],
+        },
+        "timeline": {
+            "span_ns": timeline.span_ns,
+            "kernel_busy_ns": timeline.kernel_busy_ns,
+            "copy_busy_ns": timeline.copy_busy_ns,
+            "events": timeline.events,
+            "segments": timeline.segments,
+        },
+        "busy_match": busy_match,
+        "eq2_total": eq2_total,
+        "eq2_span_calls": int(sum(span_calls.values())),
+        "eq2_ok": eq2_ok,
+        "profile": {
+            "total_calls": profile.total_calls,
+            "cps": profile.cps,
+            "kernel_launches": profile.kernel_launches,
+            "restarts": profile.restarts,
+        },
+        "ok": bool(
+            digest_match
+            and overhead_ratio <= MAX_OVERHEAD_RATIO
+            and busy_match
+            and eq2_ok
+        ),
+    }
+    return report, tracer, profiler
+
+
+def format_trace_bench(report: dict) -> str:
+    """Human-readable summary of one trace-bench report."""
+    lines = [
+        f"trace bench: {report['app']} (mode={report['mode']}, "
+        f"gpu={report['gpu']}, scale={report['scale']})",
+        f"  untraced runtime: {report['untraced_s']:.4f} s (virtual)",
+        f"  traced runtime:   {report['traced_s']:.4f} s "
+        f"({report['overhead_ratio']:.4f}x, "
+        f"bound {report['max_overhead_ratio']}x)",
+        f"  trace overhead:   {report['trace_overhead_ns'] / 1e6:.3f} ms "
+        f"charged over {report['spans']} spans, "
+        f"{report['instants']} instants, {report['segments']} segment(s)",
+        f"  digest:           {report['digest']} "
+        f"({'match' if report['digest_match'] else 'MISMATCH'})",
+        f"  device busy:      kernel "
+        f"{report['device_busy']['kernel_ns'] / 1e6:.3f} ms, copy "
+        f"{report['device_busy']['copy_ns'] / 1e6:.3f} ms "
+        f"({'match' if report['busy_match'] else 'MISMATCH'} vs timeline)",
+        f"  eq. 2:            {report['eq2_total']:,} formula vs "
+        f"{report['eq2_span_calls']:,} traced spans "
+        f"({'ok' if report['eq2_ok'] else 'MISMATCH'})",
+        f"  profiler window:  {report['profile']['total_calls']:,} calls, "
+        f"{report['profile']['cps']:,.0f}/s, "
+        f"{report['profile']['restarts']} restart fold(s)",
+        f"  => {'OK' if report['ok'] else 'FAIL'}",
+    ]
+    return "\n".join(lines)

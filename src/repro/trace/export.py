@@ -1,0 +1,142 @@
+"""Chrome/Perfetto ``trace_event`` JSON export.
+
+Produces the JSON Object Format of the Trace Event spec: a
+``traceEvents`` array of complete (``"X"``) duration events, instant
+(``"i"``) events, and flow (``"s"``/``"f"``) pairs, plus metadata
+(``"M"``) events naming every process/thread row. Load the file in
+``chrome://tracing`` or https://ui.perfetto.dev.
+
+Track layout:
+
+- pid 1 ("host"): one thread row per host-side track — ``api``,
+  ``ckpt``, ``recovery``, ``uvm`` (fixed tid order, so two exports of
+  the same run are byte-identical);
+- pid 2 ("device"): one thread row per stream (``stream-<sid>``, sorted
+  numerically) followed by one per copy engine (``copy-<engine>``).
+
+Timestamps are microseconds (the spec's unit) with fractional
+nanosecond precision; span ``args`` carry the splice segment so a
+restarted run's pre/post-cut halves stay distinguishable.
+"""
+
+from __future__ import annotations
+
+import json
+
+HOST_PID = 1
+DEVICE_PID = 2
+
+#: fixed tid precedence of the host-side tracks (stability guarantee)
+_HOST_TRACK_ORDER = ("api", "ckpt", "recovery", "uvm")
+
+
+def _track_sort_key(track: str) -> tuple:
+    if track.startswith("stream-"):
+        try:
+            sid = int(track.split("-", 1)[1])
+        except ValueError:
+            sid = 1 << 30
+        return (DEVICE_PID, 0, sid, track)
+    if track.startswith("copy-"):
+        return (DEVICE_PID, 1, 0, track)
+    try:
+        pref = _HOST_TRACK_ORDER.index(track)
+    except ValueError:
+        pref = len(_HOST_TRACK_ORDER)
+    return (HOST_PID, pref, 0, track)
+
+
+def assign_tracks(tracer) -> dict[str, tuple[int, int]]:
+    """Deterministic ``track -> (pid, tid)`` assignment."""
+    names = {s.track for s in tracer.spans}
+    names.update(i.track for i in tracer.instants)
+    mapping: dict[str, tuple[int, int]] = {}
+    tids = {HOST_PID: 0, DEVICE_PID: 0}
+    for track in sorted(names, key=_track_sort_key):
+        pid = _track_sort_key(track)[0]
+        tids[pid] += 1
+        mapping[track] = (pid, tids[pid])
+    return mapping
+
+
+def _paired_flow_ids(tracer) -> set[int]:
+    """Flow ids with both an ``"s"`` and an ``"f"`` half.
+
+    An unpaired half (launch errored before the device saw it, or the
+    device span was clamped away by a stream reset) is not emitted —
+    the spec requires every flow id to form a complete arrow.
+    """
+    seen: dict[int, set[str]] = {}
+    for s in tracer.spans:
+        if s.flow_id is not None and s.flow_phase is not None:
+            seen.setdefault(s.flow_id, set()).add(s.flow_phase)
+    return {fid for fid, phases in seen.items() if phases == {"s", "f"}}
+
+
+def to_chrome_trace(tracer, *, label: str | None = None) -> dict:
+    """Render the tracer's state as a ``trace_event`` JSON object."""
+    tracks = assign_tracks(tracer)
+    meta: list[dict] = []
+    for pid, pname in ((HOST_PID, "host"), (DEVICE_PID, "device")):
+        if any(p == pid for p, _ in tracks.values()):
+            meta.append({
+                "name": "process_name", "ph": "M", "pid": pid, "tid": 0,
+                "args": {"name": pname},
+            })
+    for track, (pid, tid) in sorted(tracks.items(), key=lambda kv: kv[1]):
+        meta.append({
+            "name": "thread_name", "ph": "M", "pid": pid, "tid": tid,
+            "args": {"name": track},
+        })
+
+    paired = _paired_flow_ids(tracer)
+    events: list[dict] = []
+    for s in tracer.spans:
+        pid, tid = tracks[s.track]
+        args = dict(s.args)
+        args["segment"] = s.segment
+        events.append({
+            "name": s.name, "cat": s.cat, "ph": "X",
+            "ts": s.start_ns / 1000.0, "dur": s.duration_ns / 1000.0,
+            "pid": pid, "tid": tid, "args": args,
+        })
+        if s.flow_id in paired:
+            flow = {
+                "name": "launch", "cat": "flow", "ph": s.flow_phase,
+                "id": s.flow_id, "ts": s.start_ns / 1000.0,
+                "pid": pid, "tid": tid,
+            }
+            if s.flow_phase == "f":
+                flow["bp"] = "e"  # bind to the enclosing slice
+            events.append(flow)
+    for i in tracer.instants:
+        pid, tid = tracks[i.track]
+        args = dict(i.args)
+        args["segment"] = i.segment
+        events.append({
+            "name": i.name, "cat": i.track, "ph": "i", "s": "t",
+            "ts": i.ts_ns / 1000.0, "pid": pid, "tid": tid, "args": args,
+        })
+    events.sort(key=lambda e: (e["ts"], e["pid"], e["tid"], e["ph"]))
+
+    other = {
+        "metrics": tracer.metrics.snapshot(),
+        "segments": tracer.segment + 1,
+        "trace_overhead_ns": tracer.overhead_ns,
+    }
+    if label is not None:
+        other["label"] = label
+    return {
+        "traceEvents": meta + events,
+        "displayTimeUnit": "ms",
+        "otherData": other,
+    }
+
+
+def write_chrome_trace(tracer, path: str, *, label: str | None = None) -> dict:
+    """Write the Chrome trace JSON to ``path``; returns the object."""
+    obj = to_chrome_trace(tracer, label=label)
+    with open(path, "w") as fh:
+        json.dump(obj, fh, indent=1, sort_keys=True)
+        fh.write("\n")
+    return obj

@@ -1,0 +1,131 @@
+"""Metrics registry: counters, gauges, and histograms.
+
+The registry is the aggregate half of :mod:`repro.trace` — where spans
+record *when* something happened, metrics record *how much* of it
+happened. Everything is deterministic (no wall clocks, no sampling):
+two identical runs produce byte-identical snapshots, so metrics
+snapshots can be diffed across commits like any other benchmark output.
+
+Histograms bucket by powers of two, which is enough resolution to tell
+"microsecond kernels" from "millisecond kernels" without making the
+snapshot depend on bucket-boundary tuning.
+"""
+
+from __future__ import annotations
+
+import math
+
+
+class CounterMetric:
+    """Monotonically increasing value (counts, bytes, nanoseconds)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value: float = 0
+
+    def inc(self, amount: float = 1) -> None:
+        """Add ``amount`` (default 1) to the counter."""
+        self.value += amount
+
+
+class GaugeMetric:
+    """Last-written value (sizes, ratios, current depths)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value: float = 0
+
+    def set(self, value: float) -> None:
+        """Overwrite the gauge with ``value``."""
+        self.value = value
+
+
+class HistogramMetric:
+    """Power-of-two bucketed distribution with exact count/total/min/max."""
+
+    __slots__ = ("name", "count", "total", "min", "max", "buckets")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.count = 0
+        self.total = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+        #: bucket exponent -> count; a value lands in the smallest
+        #: bucket 2**e that is >= value (e=0 for values <= 1).
+        self.buckets: dict[int, int] = {}
+
+    def record(self, value: float) -> None:
+        """Fold one observation into the distribution."""
+        self.count += 1
+        self.total += value
+        self.min = min(self.min, value)
+        self.max = max(self.max, value)
+        exp = max(0, math.ceil(math.log2(value))) if value > 1.0 else 0
+        self.buckets[exp] = self.buckets.get(exp, 0) + 1
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def snapshot(self) -> dict:
+        """JSON-safe summary: count/total/min/max/mean + bucket counts."""
+        return {
+            "count": self.count,
+            "total": self.total,
+            "min": self.min if self.count else 0.0,
+            "max": self.max if self.count else 0.0,
+            "mean": self.mean,
+            "buckets": {
+                str(2**exp): n for exp, n in sorted(self.buckets.items())
+            },
+        }
+
+
+class MetricsRegistry:
+    """Named get-or-create registry of the three metric kinds."""
+
+    def __init__(self) -> None:
+        self._counters: dict[str, CounterMetric] = {}
+        self._gauges: dict[str, GaugeMetric] = {}
+        self._histograms: dict[str, HistogramMetric] = {}
+
+    def counter(self, name: str) -> CounterMetric:
+        """Get (or create) the counter called ``name``."""
+        m = self._counters.get(name)
+        if m is None:
+            m = self._counters[name] = CounterMetric(name)
+        return m
+
+    def gauge(self, name: str) -> GaugeMetric:
+        """Get (or create) the gauge called ``name``."""
+        m = self._gauges.get(name)
+        if m is None:
+            m = self._gauges[name] = GaugeMetric(name)
+        return m
+
+    def histogram(self, name: str) -> HistogramMetric:
+        """Get (or create) the histogram called ``name``."""
+        m = self._histograms.get(name)
+        if m is None:
+            m = self._histograms[name] = HistogramMetric(name)
+        return m
+
+    def snapshot(self) -> dict:
+        """JSON-safe, key-sorted snapshot of every registered metric."""
+        return {
+            "counters": {
+                k: self._counters[k].value for k in sorted(self._counters)
+            },
+            "gauges": {
+                k: self._gauges[k].value for k in sorted(self._gauges)
+            },
+            "histograms": {
+                k: self._histograms[k].snapshot()
+                for k in sorted(self._histograms)
+            },
+        }

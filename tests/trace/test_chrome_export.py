@@ -1,0 +1,120 @@
+"""Golden-file checks of the Chrome/Perfetto trace_event export.
+
+Runs ``SimpleStreams`` under the trace bench and validates the exported
+JSON the way Perfetto's importer would: required keys per phase type,
+globally sorted timestamps, stable pid/tid assignment across exports,
+and flow ids that appear exactly as start/finish pairs. Also cross-checks
+the paper's eq. 2 against the traced API call spans.
+"""
+
+import json
+
+import pytest
+
+from repro.apps.simple_streams import SimpleStreams
+from repro.harness.trace_bench import run_trace_bench
+from repro.trace.export import (
+    DEVICE_PID,
+    HOST_PID,
+    assign_tracks,
+    to_chrome_trace,
+)
+
+
+@pytest.fixture(scope="module")
+def bench():
+    """One traced SimpleStreams run shared by every test here."""
+    report, tracer, profiler = run_trace_bench(SimpleStreams, scale=0.05)
+    return report, tracer, profiler
+
+
+def test_bench_gates_pass(bench):
+    report, _, _ = bench
+    assert report["digest_match"]
+    assert report["busy_match"]
+    assert report["overhead_ratio"] <= report["max_overhead_ratio"]
+    assert report["ok"]
+
+
+def test_export_is_valid_trace_event_json(bench):
+    _, tracer, _ = bench
+    obj = to_chrome_trace(tracer, label="simple_streams")
+    # Round-trips through JSON untouched.
+    obj = json.loads(json.dumps(obj))
+    events = obj["traceEvents"]
+    assert events, "trace must not be empty"
+    for ev in events:
+        assert ev["ph"] in ("M", "X", "s", "f", "i")
+        assert isinstance(ev["pid"], int) and isinstance(ev["tid"], int)
+        if ev["ph"] == "M":
+            assert ev["name"] in ("process_name", "thread_name")
+            assert "name" in ev["args"]
+        else:
+            assert ev["ts"] >= 0
+        if ev["ph"] == "X":
+            assert ev["dur"] >= 0
+            assert "cat" in ev
+        if ev["ph"] == "f":
+            assert ev["bp"] == "e"
+        if ev["ph"] == "i":
+            assert ev["s"] == "t"
+    assert obj["otherData"]["label"] == "simple_streams"
+    assert obj["otherData"]["metrics"]["counters"]
+
+
+def test_events_sorted_by_timestamp(bench):
+    _, tracer, _ = bench
+    events = to_chrome_trace(tracer)["traceEvents"]
+    timed = [e for e in events if e["ph"] != "M"]
+    keys = [(e["ts"], e["pid"], e["tid"], e["ph"]) for e in timed]
+    assert keys == sorted(keys)
+
+
+def test_pid_tid_assignment_stable(bench):
+    _, tracer, _ = bench
+    first = assign_tracks(tracer)
+    second = assign_tracks(tracer)
+    assert first == second
+    for track, (pid, _tid) in first.items():
+        if track.startswith(("stream-", "copy-")):
+            assert pid == DEVICE_PID
+        else:
+            assert pid == HOST_PID
+    pairs = list(first.values())
+    assert len(pairs) == len(set(pairs)), "(pid, tid) must be unique per track"
+    # Exporting twice yields byte-identical JSON.
+    a = json.dumps(to_chrome_trace(tracer), sort_keys=True)
+    b = json.dumps(to_chrome_trace(tracer), sort_keys=True)
+    assert a == b
+
+
+def test_flow_ids_paired(bench):
+    _, tracer, _ = bench
+    events = to_chrome_trace(tracer)["traceEvents"]
+    starts = [e["id"] for e in events if e["ph"] == "s"]
+    finishes = [e["id"] for e in events if e["ph"] == "f"]
+    assert starts, "SimpleStreams launches kernels, flows expected"
+    assert sorted(starts) == sorted(finishes)
+    assert len(starts) == len(set(starts)), "flow ids must be unique"
+
+
+def test_eq2_matches_traced_spans_exactly(bench):
+    report, tracer, profiler = bench
+    span_calls = tracer.api_call_counter()
+    assert profiler.total_calls_formula(span_calls) == sum(span_calls.values())
+    assert report["eq2_ok"]
+    launches = span_calls["cudaLaunchKernel"]
+    assert launches == span_calls["cudaPushCallConfiguration"]
+    assert launches == span_calls["cudaPopCallConfiguration"]
+
+
+def test_per_stream_spans_sum_to_timeline_busy(bench):
+    _, tracer, profiler = bench
+    busy = tracer.device_busy_ns()
+    timeline = profiler.timeline_report()
+    assert busy["kernel"] == pytest.approx(timeline.kernel_busy_ns)
+    assert busy["copy"] == pytest.approx(timeline.copy_busy_ns)
+    streams = {
+        s.track for s in tracer.spans if s.cat == "kernel"
+    }
+    assert len(streams) >= 2, "SimpleStreams uses multiple streams"
