@@ -17,6 +17,10 @@ Commands:
   MTBF over guarded application runs, report per-rung recovery counts,
   lost virtual work, and bit-correctness, plus the
   rank-death-during-2PC scenario; emits ``BENCH_fault_campaign.json``;
+- ``migrate`` — cluster migration bench: live (pre-copy) vs naive
+  (stop-ship-restore) blackout across heterogeneous nodes, elastic
+  N → M restore, scripted link faults, and rung-4 node failover;
+  emits ``BENCH_migration.json``;
 - ``sanitize`` — compute-sanitizer-style hazard analysis: run one
   workload under the dynamic checkers (racecheck/synccheck/memcheck/
   initcheck), run the checkpoint-determinism lint, or run the full CI
@@ -185,6 +189,34 @@ def build_parser() -> argparse.ArgumentParser:
                     help="CI smoke mode: cap the scale and sweep one "
                     "fault class per ladder rung")
     fc.add_argument("--seed", type=int, default=0)
+
+    mg = sub.add_parser(
+        "migrate",
+        help="cluster migration bench: live vs naive blackout, elastic "
+        "N-to-M restore, link faults, rung-4 node failover",
+    )
+    mg.add_argument("--apps", nargs="+", default=["gaussian", "kmeans"],
+                    choices=sorted(APP_REGISTRY),
+                    help="workloads to migrate mid-run")
+    mg.add_argument("--scale", type=float, default=0.05,
+                    help="problem-size scale in (0, 1]")
+    mg.add_argument("--gpu-src", default="V100", choices=["V100", "K600"],
+                    help="GPU model the jobs start on")
+    mg.add_argument("--gpu-dst", default="K600", choices=["V100", "K600"],
+                    help="GPU model the jobs migrate onto (a different "
+                    "model exercises heterogeneous restore)")
+    mg.add_argument("--ranks", type=int, default=3,
+                    help="ranks in the elastic-restore source world")
+    mg.add_argument("--elastic-to", nargs="+", type=int, default=[2, 5],
+                    metavar="M",
+                    help="rank counts to elastically restore onto")
+    mg.add_argument("--out", default="BENCH_migration.json",
+                    metavar="PATH", help="write the JSON report here "
+                    "('-' to skip)")
+    mg.add_argument("--smoke", action="store_true",
+                    help="CI smoke mode: cap the scale and shrink the "
+                    "elastic region")
+    mg.add_argument("--seed", type=int, default=0)
 
     sz = sub.add_parser(
         "sanitize",
@@ -452,6 +484,35 @@ def cmd_fault_campaign(args, out) -> int:
     return 0
 
 
+def cmd_migrate(args, out) -> int:
+    """``repro migrate``: cluster migration bench + JSON report."""
+    import json
+
+    from repro.harness.migrate_bench import (
+        format_migration_bench,
+        run_migration_bench,
+    )
+
+    scale = min(args.scale, 0.05) if args.smoke else args.scale
+    report = run_migration_bench(
+        [APP_REGISTRY[name] for name in args.apps],
+        scale=scale,
+        seed=args.seed,
+        gpu_src=args.gpu_src,
+        gpu_dst=args.gpu_dst,
+        ranks=args.ranks,
+        elastic_to=tuple(args.elastic_to),
+        smoke=args.smoke,
+    )
+    print(format_migration_bench(report), file=out)
+    if args.out != "-":
+        with open(args.out, "w") as fh:
+            json.dump(report, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"\nwrote {args.out}", file=out)
+    return 0
+
+
 def cmd_sanitize(args, out) -> int:
     """``repro sanitize``: hazard analysis / lint / CI gate."""
     import json
@@ -592,6 +653,8 @@ def main(argv: list[str] | None = None, out=None) -> int:
         return cmd_ckpt_bench(args, out)
     if args.command == "fault-campaign":
         return cmd_fault_campaign(args, out)
+    if args.command == "migrate":
+        return cmd_migrate(args, out)
     if args.command == "sanitize":
         return cmd_sanitize(args, out)
     if args.command == "trace":

@@ -1,0 +1,50 @@
+"""Simulated multi-node cluster fault domain (PR 6).
+
+A cluster is a set of :class:`~repro.cluster.node.ClusterNode`\\ s — each
+hosting virtual GPUs, its own crash-consistent
+:class:`~repro.dmtcp.store.CheckpointStore`, and live CRAC sessions —
+connected by a bandwidth/latency-modeled
+:class:`~repro.cluster.interconnect.Interconnect` with seeded link-fault
+injection. On top of the existing single-node checkpoint pipeline it
+provides:
+
+- **live migration** (:mod:`~repro.cluster.migration`): drain a node
+  under ongoing traffic — quiesce via the checkpoint pipeline,
+  incrementally pre-copy dirty spans while the app keeps running, take
+  a final delta cut, ship it, and resume on the target with a measured
+  blackout well below naive stop-ship-restore;
+- **heterogeneous restore**: an image captured on a V100-class node
+  restored onto a K600-class node via the replay-based restore path
+  (``allow_heterogeneous``), digest-equal;
+- **elastic restore** (:mod:`~repro.cluster.elastic`): an N-rank
+  :class:`~repro.mpi.world.MpiWorld` job restored onto M ranks by
+  repartitioning its scattered regions and replaying per-rank logs;
+- **node failover** (:mod:`~repro.cluster.fabric`): the fault-domain
+  ladder's fourth rung — heartbeat loss declares a node dead and the
+  session restores the latest *shipped* generation on a survivor.
+"""
+
+from repro.cluster.elastic import elastic_restore, repartition
+from repro.cluster.fabric import Cluster
+from repro.cluster.interconnect import Interconnect, LinkSpec, TransferRecord
+from repro.cluster.migration import (
+    LiveMigration,
+    MigrationReport,
+    naive_migrate,
+    ship_chain,
+)
+from repro.cluster.node import ClusterNode
+
+__all__ = [
+    "Cluster",
+    "ClusterNode",
+    "Interconnect",
+    "LinkSpec",
+    "LiveMigration",
+    "MigrationReport",
+    "TransferRecord",
+    "elastic_restore",
+    "naive_migrate",
+    "repartition",
+    "ship_chain",
+]

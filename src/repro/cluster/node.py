@@ -1,0 +1,111 @@
+"""One simulated cluster node: GPU slots, a local store, live sessions.
+
+A node is a failure domain: its :class:`~repro.dmtcp.store.\
+CheckpointStore` models node-local disk (generations on it die with the
+node unless shipped elsewhere first), its ``gpu`` spec names the device
+model every session launched here runs on, and ``slots`` bounds how many
+sessions the node hosts at once.
+
+Node death comes in one flavor here — the *dying node* model: ``fail()``
+stops the node heartbeating (the fabric's monitor will declare it dead)
+while its memory stays momentarily readable, which is what lets the
+fault-domain ladder snapshot pre-fault buffer contents for deterministic
+redo before the failover restore (exactly the window a real
+migration-on-failure exploits).
+"""
+
+from __future__ import annotations
+
+import zlib
+
+from repro.core.session import CracSession
+from repro.dmtcp.store import CheckpointStore
+from repro.errors import ClusterError, NodeDeathError
+
+
+class ClusterNode:
+    """A named node hosting virtual GPUs, a checkpoint store, sessions."""
+
+    def __init__(
+        self,
+        name: str,
+        *,
+        gpu: str = "V100",
+        slots: int = 2,
+        seed: int = 0,
+        keep_generations: int = 3,
+    ) -> None:
+        if slots < 1:
+            raise ClusterError(f"node {name!r} needs at least one GPU slot")
+        self.name = name
+        self.gpu = gpu
+        self.slots = slots
+        self.seed = seed
+        #: node-local disk: dies with the node unless shipped elsewhere
+        self.store = CheckpointStore(keep_generations=keep_generations)
+        #: live sessions by job name
+        self.sessions: dict[str, CracSession] = {}
+        self.alive = True
+
+    def _require_capacity(self, job: str) -> None:
+        if not self.alive:
+            raise NodeDeathError(self.name)
+        if job in self.sessions:
+            raise ClusterError(f"job {job!r} already runs on node {self.name!r}")
+        if len(self.sessions) >= self.slots:
+            raise ClusterError(
+                f"node {self.name!r} is full ({self.slots} slots): "
+                f"{sorted(self.sessions)}"
+            )
+
+    def launch(self, job: str, **session_kwargs) -> CracSession:
+        """Create a fresh CRAC session for ``job`` on this node's GPU.
+
+        The session seed derives from the node seed and the job name
+        (same named-stream derivation as the rest of the repo) so two
+        jobs on one node never share an RNG stream.
+        """
+        self._require_capacity(job)
+        session_kwargs.setdefault(
+            "seed", (self.seed & 0xFFFFFFFF) ^ zlib.crc32(job.encode())
+        )
+        session = CracSession(gpu=self.gpu, **session_kwargs)
+        self.sessions[job] = session
+        return session
+
+    def adopt(self, job: str, session: CracSession) -> None:
+        """Register an externally created session (e.g. one that just
+        migrated in). The session's ``gpu`` must already be this node's —
+        the migration/failover path re-points it before the restore."""
+        self._require_capacity(job)
+        if session.gpu != self.gpu:
+            raise ClusterError(
+                f"session runs {session.gpu}, node {self.name!r} hosts "
+                f"{self.gpu} — restore it onto this node's spec first"
+            )
+        self.sessions[job] = session
+
+    def release(self, job: str) -> CracSession:
+        """Remove ``job`` from this node (the migration-out path)."""
+        session = self.sessions.pop(job, None)
+        if session is None:
+            raise ClusterError(f"no job {job!r} on node {self.name!r}")
+        return session
+
+    def fail(self) -> None:
+        """The node stops heartbeating (dying-node model, module doc).
+
+        Sessions are not killed here: their memory stays readable for
+        the ladder's pre-fault snapshot, and the failover handler owns
+        the actual kill-and-restore. The node never comes back.
+        """
+        self.alive = False
+
+    def describe(self) -> str:
+        """One-line human-readable summary."""
+        state = "up" if self.alive else "DEAD"
+        return (
+            f"<ClusterNode {self.name} [{state}] {self.gpu} "
+            f"{len(self.sessions)}/{self.slots} slots, "
+            f"{len(self.store.generations)} generations>"
+        )

@@ -38,7 +38,11 @@ dispatch backend issues. The ladder's rungs, cheapest first:
    newest usable checkpoint generation (:meth:`CracSession.\
 restart_latest`), charge the re-executed work back to the clock, and
    re-apply the pre-fault buffer contents (deterministic redo);
-4. **typed abort** — :class:`~repro.errors.RecoveryAbortedError`
+4. **node failover** (PR 6, when a cluster fabric installs a
+   ``failover_handler``) — the node itself is dying: restore the
+   latest generation *shipped* to a surviving node
+   (``repro.cluster``), with the same deterministic-redo accounting;
+5. **typed abort** — :class:`~repro.errors.RecoveryAbortedError`
    carrying the full :class:`RecoveryReport` attempt trail.
 
 Every rung is bounded per failure episode, so ladder recovery always
@@ -54,7 +58,7 @@ from typing import TYPE_CHECKING
 
 from repro.core.halves import SplitProcess
 from repro.core.plugin import CracPlugin
-from repro.core.replay_log import StreamOpLog
+from repro.core.replay_log import ReplayLog, StreamOpLog
 from repro.core.trampoline import CracBackend
 from repro.cuda.errors import CudaErrorCode, cuda_error
 from repro.dmtcp.checkpointer import DmtcpCheckpointer
@@ -188,6 +192,7 @@ class CracSession:
         retries: int = 3,
         max_stream_resets: int = 2,
         max_restores: int = 2,
+        max_failovers: int = 1,
         backoff_s: float = 0.05,
         max_backoff_s: float = 2.0,
         limits: WatchdogLimits = DEFAULT_WATCHDOG_LIMITS,
@@ -195,11 +200,15 @@ class CracSession:
         """Attach the escalation ladder (module docstring) to this session.
 
         ``store`` feeds the restore rung; without one the ladder tops out
-        at stream resets. Returns the attached :class:`FaultDomain`.
+        at stream resets — unless a cluster installs a
+        ``failover_handler`` on the returned domain, which adds the
+        fourth (node-failover) rung. Returns the attached
+        :class:`FaultDomain`.
         """
         self.fault_domain = FaultDomain(
             self, store, retries=retries,
             max_stream_resets=max_stream_resets, max_restores=max_restores,
+            max_failovers=max_failovers,
             backoff_s=backoff_s, max_backoff_s=max_backoff_s, limits=limits,
         )
         return self.fault_domain
@@ -317,18 +326,37 @@ class CracSession:
 
     # -- restart ----------------------------------------------------------------------
 
-    def restart(self, image: CheckpointImage) -> RestartReport:
-        """Restart from ``image`` in a brand-new process (see module doc)."""
+    def restart(
+        self,
+        image: CheckpointImage,
+        *,
+        allow_heterogeneous: bool = False,
+    ) -> RestartReport:
+        """Restart from ``image`` in a brand-new process (see module doc).
+
+        ``allow_heterogeneous`` opts into restoring an image captured on
+        a *different GPU model* (the migration/failover path): because
+        restore is replay-based — the malloc log is re-executed and
+        buffer contents are refilled over PCIe, rather than any device
+        context being resurrected — the target only needs enough device
+        memory for the active allocations. GPU count must still match
+        (stream handles are bound to device indices), and the target's
+        capacity is checked before anything is torn down.
+        """
         platform = image.blobs.get("crac/platform")
         if platform is not None and not self.backend.virtualize_addresses:
             want = platform.payload
             from repro.gpu.timing import GPU_SPECS
 
             have_spec = GPU_SPECS[self.gpu]
-            if (
+            mismatch = (
                 want["gpu"] != have_spec.name
                 or want["n_gpus"] != self.n_gpus
-            ):
+            )
+            heterogeneous_ok = (
+                allow_heterogeneous and want["n_gpus"] == self.n_gpus
+            )
+            if mismatch and not heterogeneous_ok:
                 raise RestartError(
                     "restart platform mismatch: image was taken on "
                     f"{want['n_gpus']}× {want['gpu']}, restarting on "
@@ -336,6 +364,23 @@ class CracSession:
                     "determinism requires the same CUDA/GPU platform "
                     "(§3.2.4)"
                 )
+            if mismatch:
+                # Heterogeneous restore: replay recreates every active
+                # allocation on the target, so its device memory must
+                # hold them all — checked up front, before the old
+                # process state is discarded.
+                log = image.blob("crac/replay-log")
+                need = sum(
+                    e.nbytes
+                    for e in log.active_allocations().values()
+                    if e.op != "host_alloc"
+                )
+                if need > have_spec.memory_bytes:
+                    raise RestartError(
+                        f"heterogeneous restore does not fit: image holds "
+                        f"{need} bytes of device/managed allocations, "
+                        f"{have_spec.name} has {have_spec.memory_bytes}"
+                    )
         old_clock = self.process.clock_ns
         old_devices = list(self.split.runtime.devices)
         fresh = SplitProcess(
@@ -467,8 +512,18 @@ class CracSession:
         if translation:
             self.backend.patch_translation(translation)
 
-        # 8. Recreate streams/events: adopt the app-held handles.
+        # 8. Recreate streams/events: adopt the app-held handles. The
+        #    handles may carry state from the *dead* process's timeline —
+        #    a poison flag from a post-checkpoint fault, a ready_ns
+        #    inflated by a hung kernel. The checkpoint quiesced every
+        #    stream before capture, so none of it describes restored
+        #    work: rebaseline each handle to the fresh clock or the first
+        #    post-restore sync fires a spurious watchdog trip (the
+        #    migration-onto-a-new-node bug).
         for stream in self.backend.live_streams.values():
+            fresh.runtime.devices[stream.device_index].rebaseline_stream(
+                stream, proc.clock_ns
+            )
             fresh.runtime.adopt_stream(stream)
             proc.advance(self.costs.replay_call_ns)
         for event in self.backend.live_events.values():
@@ -527,6 +582,7 @@ class CracSession:
         retries: int = 2,
         backoff_s: float = 0.25,
         max_backoff_s: float = 8.0,
+        allow_heterogeneous: bool = False,
     ) -> RestartReport:
         """Restore from the newest usable generation in ``store``.
 
@@ -537,7 +593,8 @@ class CracSession:
         is deterministic, so the loop immediately falls back one
         generation instead of burning retries on rotten bytes. Every
         attempt — failed and successful — is recorded in the returned
-        report's ``attempts`` trail.
+        report's ``attempts`` trail. ``allow_heterogeneous`` passes
+        through to :meth:`restart` (cross-GPU-model migration restore).
         """
         store.discard_partials()
         attempts: list[RestartAttempt] = []
@@ -554,7 +611,9 @@ class CracSession:
                     penalty_ns += backoff_ns
                 try:
                     image = store.load(gen)
-                    report = self.restart(image)
+                    report = self.restart(
+                        image, allow_heterogeneous=allow_heterogeneous
+                    )
                 except CorruptCheckpointError as exc:
                     attempts.append(
                         RestartAttempt(gen, try_idx, backoff_ns, repr(exc))
@@ -590,7 +649,7 @@ class CracSession:
 class RecoveryAttempt:
     """One rung taken by the escalation ladder (mirrors RestartAttempt)."""
 
-    rung: str  # "retry" | "stream-reset" | "restore" | "abort"
+    rung: str  # "retry" | "stream-reset" | "restore" | "failover" | "abort"
     attempt: int  # 1-based index of this rung within its failure episode
     backoff_ns: float  # virtual-time backoff paid before this attempt
     error: str  # repr of the error that drove the attempt
@@ -606,6 +665,8 @@ class RecoveryReport:
     retries: int = 0
     stream_resets: int = 0
     restores: int = 0
+    #: rung-4 node failovers (cross-node restore of a shipped generation)
+    failovers: int = 0
     watchdog_trips: int = 0
     #: virtual work re-executed after restores (fault point − restored cut)
     lost_work_ns: float = 0.0
@@ -619,6 +680,7 @@ class RecoveryReport:
             "retry": self.retries,
             "stream-reset": self.stream_resets,
             "restore": self.restores,
+            "failover": self.failovers,
         }
 
 
@@ -694,6 +756,7 @@ class FaultDomain:
         retries: int = 3,
         max_stream_resets: int = 2,
         max_restores: int = 2,
+        max_failovers: int = 1,
         backoff_s: float = 0.05,
         max_backoff_s: float = 2.0,
         limits: WatchdogLimits = DEFAULT_WATCHDOG_LIMITS,
@@ -703,6 +766,14 @@ class FaultDomain:
         self.retries = retries
         self.max_stream_resets = max_stream_resets
         self.max_restores = max_restores
+        self.max_failovers = max_failovers
+        #: rung 4 (node failover), installed by a cluster fabric: called
+        #: with the driving error, performs the cross-node restore (kill,
+        #: restore the latest *shipped* generation on a surviving node,
+        #: re-point ``store``), and returns a dict with at least
+        #: ``cut_ns`` (virtual time of the restored cut) for lost-work
+        #: accounting. ``None`` = no cluster, the ladder has three rungs.
+        self.failover_handler = None
         self.backoff_base_ns = backoff_s * NS_PER_S
         self.max_backoff_ns = max_backoff_s * NS_PER_S
         self.watchdog = Watchdog(session, limits)
@@ -753,7 +824,7 @@ class FaultDomain:
         """Run one guarded runtime call; recover per the ladder."""
         if self._in_recovery:
             return thunk()
-        n_retry = n_reset = n_restore = 0
+        n_retry = n_reset = n_restore = n_failover = 0
         while True:
             try:
                 if kind == "sync":
@@ -786,13 +857,25 @@ class FaultDomain:
                     n_restore += 1
                     self._restore(n_restore, exc)
                     continue
+                if (
+                    self.failover_handler is not None
+                    and n_failover < self.max_failovers
+                ):
+                    # Rung 4: local recovery is off the table (no store,
+                    # no usable generation, or the restore budget of a
+                    # dying node is spent) but a surviving node holds a
+                    # shipped generation — fail the session over.
+                    n_failover += 1
+                    self._failover(n_failover, exc)
+                    continue
                 self.report.aborted = True
                 self.report.attempts.append(RecoveryAttempt(
                     "abort", 1, 0.0, repr(exc)
                 ))
                 raise RecoveryAbortedError(
                     f"escalation ladder exhausted ({n_retry} retries, "
-                    f"{n_reset} stream resets, {n_restore} restores): {exc}",
+                    f"{n_reset} stream resets, {n_restore} restores, "
+                    f"{n_failover} failovers): {exc}",
                     report=self.report, cause=exc,
                 ) from exc
             else:
@@ -860,6 +943,62 @@ class FaultDomain:
 
     # -- rung 3: device reset + restore ---------------------------------------
 
+    def _snapshot_buffers(self) -> list[tuple[int, bytes, object]]:
+        """Pre-fault contents of every active allocation (redo source)."""
+        saved: list[tuple[int, bytes, object]] = []
+        if not self.session.process.alive:
+            return saved  # node already gone: nothing left to snapshot
+        for buf in self.session.runtime.active_allocations():
+            residency = (
+                buf.residency.copy() if isinstance(buf, ManagedBuffer)
+                else None
+            )
+            saved.append(
+                (buf.addr, buf.contents.read_bytes(0, buf.size), residency)
+            )
+        return saved
+
+    def _reapply_buffers(self, saved: list[tuple[int, bytes, object]]) -> None:
+        """Write the pre-fault snapshot back over the restored buffers."""
+        for addr, data, residency in saved:
+            buf = self.session.runtime.buffers.get(addr)
+            if buf is None:
+                continue  # freed by a replayed post-cut free
+            buf.contents.write_bytes(0, data)
+            if residency is not None and isinstance(buf, ManagedBuffer):
+                buf.residency[:] = residency
+
+    def _replay_log_suffix(self, generation, pre_entries) -> int:
+        """Re-execute allocation calls made after the restored cut.
+
+        Restart rebuilds the buffer table from the image's replay log,
+        which stops at the checkpoint cut. The app's redo resumes from
+        the *fault* point still holding pointers it allocated between
+        the cut and the fault — deterministic re-execution would have
+        re-issued those calls, so the redo must too, or they are unknown
+        pointers on the fresh lower half. A locally committed image
+        aliases the live trampoline log (same object, so its replay
+        already covered the full history and the suffix is empty); a
+        *shipped* generation was pickled at export and its log is frozen
+        at the cut — e.g. an anchor shipped before the app's setup.
+        """
+        if generation is None or self.store is None:
+            return 0
+        cut_log = self.store.get(generation).image.blob("crac/replay-log")
+        suffix = pre_entries[len(cut_log.entries):]
+        if not suffix:
+            return 0
+        backend = self.session.backend
+        log = ReplayLog(entries=list(suffix))
+        if backend.virtualize_addresses:
+            translation = log.replay(self.session.runtime, strict=False)
+            backend.patch_translation(translation)
+        else:
+            log.replay(self.session.runtime)
+        # The trampoline log survives the restart and already holds the
+        # suffix; the lost-work advance already charges its wall time.
+        return len(suffix)
+
     def _restore(self, attempt: int, exc: CudaError) -> None:
         """Kill, restore the newest usable generation, redo lost work.
 
@@ -870,15 +1009,8 @@ class FaultDomain:
         """
         session = self.session
         t_fault = session.process.clock_ns
-        saved: list[tuple[int, bytes, object]] = []
-        for buf in session.runtime.active_allocations():
-            residency = (
-                buf.residency.copy() if isinstance(buf, ManagedBuffer)
-                else None
-            )
-            saved.append(
-                (buf.addr, buf.contents.read_bytes(0, buf.size), residency)
-            )
+        saved = self._snapshot_buffers()
+        pre_entries = list(session.backend.log.entries)
         self._in_recovery = True
         try:
             session.kill()
@@ -886,13 +1018,8 @@ class FaultDomain:
             committed = self.committed_at.get(report.generation, t_fault)
             lost = max(0.0, t_fault - committed)
             session.process.advance(lost)  # deterministic re-execution
-            for addr, data, residency in saved:
-                buf = session.runtime.buffers.get(addr)
-                if buf is None:
-                    continue  # allocated after the fault point — cannot be
-                buf.contents.write_bytes(0, data)
-                if residency is not None and isinstance(buf, ManagedBuffer):
-                    buf.residency[:] = residency
+            self._replay_log_suffix(report.generation, pre_entries)
+            self._reapply_buffers(saved)
         finally:
             self._in_recovery = False
             self.attach()
@@ -902,6 +1029,42 @@ class FaultDomain:
             RecoveryAttempt("restore", attempt, 0.0, repr(exc), succeeded=True)
         )
         self._trace_rung("restore", t_fault, attempt, exc)
+
+    # -- rung 4: node failover -------------------------------------------------
+
+    def _failover(self, attempt: int, exc: CudaError) -> None:
+        """Fail the session over to a surviving node (handler-driven).
+
+        The installed handler owns the cluster mechanics — choosing the
+        target node, restoring the latest *shipped* generation there
+        (``restart_latest`` on the destination store), and re-pointing
+        this domain's ``store`` at the new home. This rung mirrors
+        :meth:`_restore`'s deterministic-redo accounting: pre-fault
+        buffer contents (when the dying node is still reachable) are
+        re-applied after the cross-node restore, and the work between
+        the restored cut and the fault point is charged to the clock.
+        """
+        session = self.session
+        t_fault = session.process.clock_ns
+        saved = self._snapshot_buffers()
+        pre_entries = list(session.backend.log.entries)
+        self._in_recovery = True
+        try:
+            outcome = self.failover_handler(exc) or {}
+            cut_ns = float(outcome.get("cut_ns", t_fault))
+            lost = max(0.0, t_fault - cut_ns)
+            session.process.advance(lost)  # deterministic re-execution
+            self._replay_log_suffix(outcome.get("generation"), pre_entries)
+            self._reapply_buffers(saved)
+        finally:
+            self._in_recovery = False
+            self.attach()
+        self.report.failovers += 1
+        self.report.lost_work_ns += lost
+        self.report.attempts.append(
+            RecoveryAttempt("failover", attempt, 0.0, repr(exc), succeeded=True)
+        )
+        self._trace_rung("failover", t_fault, attempt, exc)
 
     # -- op-log retirement -----------------------------------------------------
 

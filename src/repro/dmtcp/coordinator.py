@@ -220,6 +220,23 @@ class HeartbeatMonitor:
             if h.missed >= self.max_missed:
                 h.dead = True
 
+    def rebaseline(self, *, revive: bool = False) -> None:
+        """Forget pre-migration misses after a restore onto a new node.
+
+        A rank that was mid-migration (or mid-restore) legitimately
+        missed beats on the *old* node's timeline; carrying those counts
+        across means the first post-migration poll round can tip a
+        healthy rank over ``max_missed`` and declare it dead spuriously.
+        Clears the miss counter of every live rank; with ``revive`` a
+        dead verdict is also withdrawn (the rank demonstrably came back —
+        e.g. it was failed over and restored elsewhere).
+        """
+        for h in self.health:
+            if revive:
+                h.dead = False
+            if not h.dead:
+                h.missed = 0
+
     def dead_ranks(self) -> list[int]:
         """Ranks declared dead so far."""
         return [h.rank for h in self.health if h.dead]

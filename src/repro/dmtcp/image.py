@@ -175,6 +175,43 @@ class CheckpointImage:
         state.pop("sync_hook", None)  # sanitizer callback, never on disk
         return state
 
+    def export_payload(self) -> bytes:
+        """Portable pickled form of *this image alone* (parent stripped).
+
+        Chains ship one generation per payload so a migration can move
+        them incrementally; the receiving store re-links parents from
+        its own imported copies (``CheckpointStore.import_chain``).
+        Runtime-only state (dirty captures, forked writer, sanitizer
+        hook) never serializes, so the payload carries nothing tied to
+        the source host or its filesystem.
+        """
+        parent = self.parent
+        self.parent = None
+        try:
+            return pickle.dumps(self, protocol=pickle.HIGHEST_PROTOCOL)
+        finally:
+            self.parent = parent
+
+    @classmethod
+    def from_payload(
+        cls, payload: bytes, *, parent: "CheckpointImage | None" = None
+    ) -> "CheckpointImage":
+        """Rebuild an image from :meth:`export_payload` bytes, re-linking
+        ``parent`` for incremental images. Callers are expected to have
+        CRC-verified the payload first (the store's import path does)."""
+        from repro.errors import CheckpointError
+
+        try:
+            image = pickle.loads(payload)
+        except Exception as exc:
+            raise CheckpointError(
+                f"checkpoint payload does not deserialize: {exc!r}"
+            ) from exc
+        if not isinstance(image, cls):
+            raise CheckpointError("payload is not a checkpoint image")
+        image.parent = parent
+        return image
+
     def chain(self) -> list["CheckpointImage"]:
         """The restore chain, base (full) image first."""
         out: list[CheckpointImage] = []

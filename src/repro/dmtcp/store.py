@@ -18,11 +18,20 @@ lifecycle:
   :class:`CorruptCheckpointError` deterministically.
 - **Generational retention.** ``keep_generations=N`` bounds the store;
   GC walks every retained image's incremental parent chain and never
-  evicts a generation that a retained chain still parents.
+  evicts a generation that a retained chain still parents. Generations
+  being shipped off-node are :meth:`pin`-ned so keep-N cannot race an
+  in-flight migration.
+- **Portability.** :meth:`export_generation` turns a committed
+  generation into a host-independent wire record (parent-stripped
+  pickle + payload CRC + the per-region CRCs recorded at stage time);
+  :meth:`import_generation` re-verifies everything on arrival and
+  registers the image as a local generation that passes :meth:`verify`
+  and restores unchanged.
 """
 
 from __future__ import annotations
 
+import zlib
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Iterator
 
@@ -82,6 +91,8 @@ class CheckpointStore:
         self.fault_injector = fault_injector
         self._generations: dict[int, StoredGeneration] = {}
         self._staged: dict[int, StagedCheckpoint] = {}
+        #: generation → pin count (migration in-flight protection)
+        self._pins: dict[int, int] = {}
         self._next_generation = 1
         self._next_staging_id = 1
         self.evicted = 0
@@ -239,15 +250,150 @@ class CheckpointStore:
         self.verify(generation)
         return self.get(generation).image
 
+    # -- migration pins --------------------------------------------------------
+
+    def pin(self, generation: int) -> None:
+        """Protect ``generation`` (and its whole chain) from GC.
+
+        A migration pins every generation it is shipping so keep-N
+        retention on the source node cannot evict the image mid-flight;
+        the pin is released with :meth:`unpin` once the destination
+        acknowledges its commit. Pins nest (pin twice → unpin twice).
+        """
+        self.get(generation)  # must be a committed generation here
+        self._pins[generation] = self._pins.get(generation, 0) + 1
+
+    def unpin(self, generation: int) -> None:
+        """Release one pin on ``generation`` (idempotent past zero).
+
+        The generation becomes GC-eligible again at the next
+        :meth:`gc` (which every commit runs); nothing is evicted here.
+        """
+        n = self._pins.get(generation, 0)
+        if n <= 1:
+            self._pins.pop(generation, None)
+        else:
+            self._pins[generation] = n - 1
+
+    def pinned(self) -> list[int]:
+        """Currently pinned generation ids, oldest first."""
+        return sorted(self._pins)
+
+    # -- portability: export / import ------------------------------------------
+
+    def export_generation(self, generation: int) -> dict:
+        """Portable wire record of one committed generation.
+
+        The record carries no host- or path-specific state: the image is
+        pickled with its ``parent`` link stripped (chains ship one
+        generation per record, re-linked at import by
+        ``parent_generation``), runtime-only capture state never
+        serializes (``CheckpointImage.__getstate__``), and integrity
+        travels with the bytes — a CRC over the whole payload plus the
+        per-region CRCs recorded when the generation was staged. The
+        generation is verified before export so rot on the source node
+        is caught here, not attributed to the wire.
+        """
+        self.verify(generation)
+        entry = self.get(generation)
+        payload = entry.image.export_payload()
+        by_image = {id(e.image): g for g, e in self._generations.items()}
+        parent = entry.image.parent
+        parent_gen = by_image.get(id(parent)) if parent is not None else None
+        return {
+            "generation": entry.generation,
+            "parent_generation": parent_gen,
+            "incremental": entry.image.incremental,
+            "payload": payload,
+            "payload_crc": zlib.crc32(payload),
+            "checksums": {
+                int(i): int(c) for i, c in sorted(entry.checksums.items())
+            },
+            "size_bytes": entry.size_bytes,
+        }
+
+    def export_chain(self, generation: int) -> list[dict]:
+        """Export ``generation`` plus every chain ancestor held by this
+        store, base (full) image first — the ship order of a migration."""
+        entry = self.get(generation)
+        by_image = {id(e.image): g for g, e in self._generations.items()}
+        records = []
+        for img in entry.image.chain():
+            owner = by_image.get(id(img))
+            if owner is not None:
+                records.append(self.export_generation(owner))
+        return records
+
+    def import_generation(
+        self, record: dict, *, parent: CheckpointImage | None = None
+    ) -> int:
+        """Register an exported generation in *this* store (arrival side).
+
+        Re-verifies integrity end to end before anything is admitted:
+        the payload CRC catches bytes flipped on the wire, and after
+        unpickling every region is re-checksummed against the CRCs the
+        *source* store recorded at stage time — so a corrupt transfer
+        raises :class:`CorruptCheckpointError` instead of becoming a
+        restorable-looking generation. ``parent`` re-links an
+        incremental image to its already-imported ancestor. Returns the
+        new local generation id.
+        """
+        payload = record["payload"]
+        if zlib.crc32(payload) != record["payload_crc"]:
+            raise CorruptCheckpointError(
+                f"imported generation {record['generation']}: payload CRC "
+                "mismatch (bytes corrupted in transit)"
+            )
+        image = CheckpointImage.from_payload(payload, parent=parent)
+        checksums = {int(i): int(c) for i, c in record["checksums"].items()}
+        for idx, region in enumerate(image.regions):
+            want = checksums.get(idx)
+            if want is None or region.checksum() != want:
+                raise CorruptCheckpointError(
+                    f"imported generation {record['generation']}: region "
+                    f"{idx} @{region.start:#x} failed arrival re-verification"
+                )
+        if image.incremental and parent is None:
+            raise CheckpointStoreError(
+                f"generation {record['generation']} is incremental — import "
+                "its parent first and pass it as parent="
+            )
+        gen = self._next_generation
+        self._next_generation += 1
+        self._generations[gen] = StoredGeneration(
+            generation=gen,
+            image=image,
+            checksums=checksums,
+            committed_at_ns=image.created_at_ns,
+        )
+        self.gc()
+        return gen
+
+    def import_chain(self, records: list[dict]) -> list[int]:
+        """Import an exported chain (base first); re-links parents by the
+        records' ``parent_generation`` ids. Returns the new local ids."""
+        by_src_gen: dict[int, CheckpointImage] = {}
+        imported: list[int] = []
+        for record in records:
+            parent_src = record.get("parent_generation")
+            parent = by_src_gen.get(parent_src) if parent_src is not None else None
+            gen = self.import_generation(record, parent=parent)
+            by_src_gen[record["generation"]] = self._generations[gen].image
+            imported.append(gen)
+        return imported
+
     # -- retention -------------------------------------------------------------
 
     def _protected(self) -> set[int]:
         """Generations that must survive GC: the newest ``keep_generations``
-        plus every ancestor a retained incremental chain still parents."""
+        plus every pinned (in-flight) generation, plus every ancestor a
+        retained incremental chain still parents."""
         newest = sorted(self._generations, reverse=True)[: self.keep_generations]
         by_image = {id(e.image): g for g, e in self._generations.items()}
-        keep = set(newest)
-        for gen in newest:
+        roots = set(newest)
+        roots.update(g for g in self._pins if g in self._generations)
+        keep = set(roots)
+        for gen in sorted(roots):
             for img in self._generations[gen].image.chain():
                 owner = by_image.get(id(img))
                 if owner is not None:

@@ -174,6 +174,34 @@ class CoordinatedAbortError(CheckpointError):
     """
 
 
+class ClusterError(ReproError):
+    """Invalid operation on the simulated multi-node cluster fabric."""
+
+
+class NodeDeathError(ClusterError):
+    """A cluster node stopped heartbeating and was declared dead.
+
+    Sessions hosted on the node lose their process and device state;
+    recovery means restoring the latest *shipped* checkpoint generation
+    on a surviving node (the fault-domain ladder's failover rung).
+    """
+
+    def __init__(self, node: str, msg: str = "") -> None:
+        self.node = node
+        super().__init__(
+            msg or f"node {node!r} missed heartbeats and was declared dead"
+        )
+
+
+class MigrationError(ClusterError):
+    """A live migration could not complete.
+
+    Raised when shipping a checkpoint generation across the interconnect
+    exhausts its retry budget (persistent link faults), or when the
+    drain/pre-copy/cutover state machine is driven out of order.
+    """
+
+
 class UnsupportedFeatureError(ReproError):
     """A baseline system was asked to do something it cannot do.
 

@@ -309,6 +309,22 @@ class GpuDevice:
         if self.tracer is not None:
             self.tracer.clamp_stream(stream.sid, now_ns)
 
+    def rebaseline_stream(self, stream: Stream, now_ns: float) -> None:
+        """Restart/migration rebaseline of an adopted stream handle.
+
+        An application-held handle crossing a restore carries the *dead*
+        process's timeline state: a poison flag from a fault that hit
+        after the checkpoint cut, or a ``ready_ns`` inflated by a hung
+        kernel. The checkpoint drained every stream before capture, so
+        none of that state describes restored work — drop the poison and
+        clamp the baseline down to the restored clock (``adopt`` paths
+        only ever raise it), or the first post-restore sync trips the
+        watchdog on a fault that no longer exists.
+        """
+        stream.fault = None
+        if stream.ready_ns > now_ns:
+            stream.ready_ns = now_ns
+
     def reset_copy_engines(self, now_ns: float) -> None:
         """Clamp wedged copy engines back to ``now_ns``."""
         for kind, ready in self._copy_engine_ready.items():

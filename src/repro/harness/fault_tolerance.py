@@ -595,6 +595,134 @@ def run_rank_death_scenario(
     }
 
 
+def run_node_failover_scenario(
+    app_cls,
+    *,
+    scale: float = 0.05,
+    seed: int = 0,
+    gpu_src: str = "V100",
+    gpu_dst: str = "V100",
+    checkpoint_fracs=(0.25, 0.5, 0.75),
+) -> dict:
+    """Rung 4 end-to-end: a node dies mid-run, the job fails over.
+
+    The app runs guarded on node ``src`` with the restore rung disabled
+    (``max_restores=0`` — a dying node's local store is no recovery
+    line) and every committed generation replicated to node ``dst``.
+    Midway, a fatal ECC error fires; the scenario treats it as the
+    node's death throes: the node stops heartbeating, the cluster
+    monitor declares it dead after ``max_missed`` rounds, and the
+    ladder — with retry/reset inapplicable (fatal) and restore out of
+    budget — takes the failover rung: the session restores the latest
+    *shipped* generation on ``dst`` (heterogeneous-tolerant), the
+    monitor rebaselines, and the run finishes there bit-identical to a
+    fault-free baseline (deterministic redo).
+    """
+    from repro.apps.base import AppContext
+    from repro.cluster import Cluster, ClusterNode, Interconnect
+    from repro.core.session import CracSession
+    from repro.harness.fault_injection import (
+        FaultInjector,
+        FaultSpec,
+        derive_seed,
+    )
+    from repro.harness.runner import TIME_SCALE
+
+    base = run_guarded_app(
+        app_cls, scale=scale, seed=seed, gpu=gpu_src, specs=[],
+        injector_seed=derive_seed(seed, f"{app_cls.name}:failover-baseline"),
+        checkpoint_fracs=checkpoint_fracs,
+    )
+    if base.aborted is not None:
+        raise RuntimeError(
+            f"fault-free baseline of {app_cls.name} aborted: {base.aborted}"
+        )
+    ecc_visits = base.stage_visits.get("ecc", 0)
+    if ecc_visits == 0:
+        return {
+            "app": app_cls.name, "gpu_src": gpu_src, "gpu_dst": gpu_dst,
+            "skipped": "app visits no ecc sites",
+        }
+
+    src = ClusterNode("src", gpu=gpu_src, seed=seed)
+    dst = ClusterNode("dst", gpu=gpu_dst, seed=seed)
+    cluster = Cluster(
+        [src, dst],
+        interconnect=Interconnect(seed=derive_seed(seed, "failover-fabric")),
+        seed=seed,
+    )
+    injector = FaultInjector(
+        [FaultSpec("ecc", at_count=max(1, ecc_visits // 2))],
+        seed=derive_seed(seed, f"{app_cls.name}:failover"),
+    )
+    session = CracSession(gpu=gpu_src, seed=seed, fault_injector=injector)
+    src.adopt(app_cls.name, session)
+    domain = session.enable_fault_domain(src.store, max_restores=0)
+    app = app_cls(scale=scale, seed=seed)
+    if hasattr(app, "MEASURE"):
+        app.MEASURE = 10**9
+
+    replicated = [0]
+
+    def commit_and_ship() -> None:
+        if domain.checkpoint() is None or not src.alive:
+            return
+        cluster.replicate(
+            "src", "dst", now_ns=session.process.clock_ns
+        )
+        replicated[0] += 1
+
+    commit_and_ship()  # anchor generation, shipped before any fault
+    triggers = sorted(checkpoint_fracs)
+    fired = [0]
+
+    def checkpoint_cb(progress: float) -> None:
+        while fired[0] < len(triggers) and progress >= triggers[fired[0]]:
+            fired[0] += 1
+            if src.alive and "src" not in cluster.dead_nodes():
+                commit_and_ship()
+            else:
+                domain.checkpoint()  # new home: commit to dst's store
+
+    declared_dead: list[str] = []
+    inner = cluster.make_failover_handler(session, app_cls.name, "src", "dst")
+
+    def handler(exc: Exception) -> dict:
+        # The fatal error is the node dying: it stops heartbeating and
+        # the monitor's missed-beat rounds declare it dead before the
+        # survivors take over.
+        cluster.kill_node("src")
+        declared_dead.extend(cluster.heartbeat_rounds())
+        return inner(exc)
+
+    domain.failover_handler = handler
+    ctx = AppContext(
+        backend=session.backend,
+        upper_mmap=lambda size: session.split.upper_mmap(size),
+        checkpoint_cb=checkpoint_cb,
+        time_scale=TIME_SCALE[gpu_src],
+    )
+    result = app.run(ctx)
+    rep = domain.report
+    return {
+        "app": app_cls.name,
+        "gpu_src": gpu_src,
+        "gpu_dst": gpu_dst,
+        "digest_baseline": base.digest,
+        "digest_failover": result.digest,
+        "bit_correct": result.digest == base.digest,
+        "declared_dead": declared_dead,
+        "failovers": rep.failovers,
+        "rung_counts": rep.rung_counts(),
+        "lost_work_s": rep.lost_work_ns / 1e9,
+        "replicated": replicated[0],
+        "finished_on": "dst" if app_cls.name in dst.sessions else "src",
+        "monitor_rebaselined": all(
+            h.missed == 0 for h in cluster.monitor.health if not h.dead
+        ),
+    }
+
+
 def run_fault_campaign(
     app_classes,
     *,
@@ -643,7 +771,9 @@ def run_fault_campaign(
         "faults_fired": 0,
         "bit_correct": 0,
         "aborted": 0,
-        "rung_counts": {"retry": 0, "stream-reset": 0, "restore": 0},
+        "rung_counts": {
+            "retry": 0, "stream-reset": 0, "restore": 0, "failover": 0,
+        },
     }
     for cls in app_classes:
         base = run_guarded_app(
@@ -711,6 +841,23 @@ def run_fault_campaign(
     report["rank_death_2pc"] = run_rank_death_scenario(
         n_ranks=rank_death_ranks, seed=seed, gpu=gpu
     )
+    # Rung-4 cells: same-GPU failover plus a heterogeneous one (the
+    # survivor hosts a different GPU model than the dead node).
+    report["node_failover"] = [
+        run_node_failover_scenario(
+            app_classes[0], scale=scale, seed=seed,
+            gpu_src=gpu, gpu_dst=dst,
+            checkpoint_fracs=checkpoint_fracs,
+        )
+        for dst in (gpu, "K600" if gpu != "K600" else "V100")
+    ]
+    for cell in report["node_failover"]:
+        if "skipped" in cell:
+            continue
+        totals["cells"] += 1
+        totals["bit_correct"] += 1 if cell["bit_correct"] else 0
+        for rung, n in cell["rung_counts"].items():
+            totals["rung_counts"][rung] += n
     report["totals"] = totals
     return report
 
@@ -737,7 +884,8 @@ def format_fault_campaign(report: dict) -> str:
                 f"  {c['fault_class']:<13} mtbf {c['mtbf_s']:8.3f} s "
                 f"p={c['probability']:.3f}: {c['faults_fired']:>2} faults → "
                 f"retry {rungs['retry']}, reset {rungs['stream-reset']}, "
-                f"restore {rungs['restore']} "
+                f"restore {rungs['restore']}, "
+                f"failover {rungs.get('failover', 0)} "
                 f"(watchdog {c['watchdog_trips']}); "
                 f"lost {c['lost_work_s']:.3f} s; {verdict}"
             )
@@ -751,6 +899,19 @@ def format_fault_campaign(report: dict) -> str:
         f"{rd['no_half_commit']}; prior state restored: "
         f"{rd['prior_state_restored']}"
     )
+    for nf in report.get("node_failover", ()):
+        if "skipped" in nf:
+            lines.append(
+                f"node-failover {nf['app']}: skipped ({nf['skipped']})"
+            )
+            continue
+        verdict = "bit-correct" if nf["bit_correct"] else "DIGEST MISMATCH"
+        lines.append(
+            f"node-failover {nf['app']} {nf['gpu_src']}→{nf['gpu_dst']}: "
+            f"node(s) {nf['declared_dead']} declared dead, "
+            f"{nf['failovers']} failover(s), lost {nf['lost_work_s']:.3f} s, "
+            f"finished on {nf['finished_on']}; {verdict}"
+        )
     t = report["totals"]
     lines.append(
         f"totals: {t['cells']} cells, {t['faults_fired']} faults, "

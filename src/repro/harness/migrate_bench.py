@@ -1,0 +1,393 @@
+"""The ``repro migrate`` benchmark: the cluster fault domain end to end.
+
+One run exercises every capability the cluster package claims, in
+virtual time, and emits a machine-readable report (BENCH_migration.json
+in CI):
+
+- **live vs naive migration** per app: the same workload migrates
+  ``gpu_src → gpu_dst`` once with :class:`~repro.cluster.migration.\
+LiveMigration` (pre-copy converges the target in the background; only
+  the final delta cut is inside the blackout) and once with
+  :func:`~repro.cluster.migration.naive_migrate` (stop-ship-restore).
+  Both must land the fault-free digest, and the live blackout must be
+  measurably below naive.
+- **heterogeneous restore** falls out of the same cells: the
+  destination node hosts a different GPU model, so every resume is an
+  image captured on one device spec replayed onto another.
+- **elastic restore**: an N-rank world's scattered regions are
+  checkpointed, replayed through scratch sessions, and repartitioned
+  onto M-rank worlds for each M in ``elastic_to`` — digest-checked
+  byte-for-byte.
+- **link faults**: a migration over an interconnect scripted to corrupt
+  then drop the first two transfers must still converge (arrival CRCs +
+  bounded retry), with the resends on the record.
+- **rung-4 failover**: the fault-campaign's node-failover scenario (a
+  node dies mid-run, the ladder restores the latest shipped generation
+  on a survivor) runs homogeneous and heterogeneous.
+"""
+
+from __future__ import annotations
+
+import zlib
+
+import numpy as np
+
+
+def _run_app(app_cls, session, *, scale, seed, checkpoint_cb=None):
+    """Run one workload on an existing session; returns its AppResult.
+
+    Mirrors the guarded-run wiring (fault_tolerance.run_guarded_app):
+    every iteration runs for real so migration triggers land at true
+    progress fractions, and ``upper_mmap`` re-binds through the session
+    so it follows a mid-run restore onto a new split process.
+    """
+    from repro.apps.base import AppContext
+    from repro.harness.runner import TIME_SCALE
+
+    app = app_cls(scale=scale, seed=seed)
+    if hasattr(app, "MEASURE"):
+        app.MEASURE = 10**9
+    ctx = AppContext(
+        backend=session.backend,
+        upper_mmap=lambda size: session.split.upper_mmap(size),
+        checkpoint_cb=checkpoint_cb,
+        time_scale=TIME_SCALE[session.gpu],
+    )
+    return app.run(ctx)
+
+
+def _baseline_cell(app_cls, *, scale, seed, gpu) -> dict:
+    """Fault-free single-node run: the digest every migration must hit."""
+    from repro.core.session import CracSession
+
+    session = CracSession(gpu=gpu, seed=seed)
+    try:
+        result = _run_app(app_cls, session, scale=scale, seed=seed)
+        return {
+            "digest": result.digest,
+            "runtime_s": session.process.clock_ns / 1e9,
+            "cuda_calls": result.cuda_calls,
+        }
+    finally:
+        session.kill()
+
+
+def _live_cell(
+    app_cls, *, scale, seed, gpu_src, gpu_dst, checkpoint_fracs, baseline
+) -> dict:
+    """Migrate the app mid-run with the pre-copy state machine.
+
+    The app's progress callback drives the phases: ``begin()`` at the
+    first fraction, a ``precopy_round()`` per middle fraction, and
+    ``cutover()`` at the last. If a tiny run finishes before the last
+    trigger the remaining phases complete after the app (the blackout
+    is still measured the same way).
+    """
+    from repro.cluster import ClusterNode, Interconnect, LiveMigration
+    from repro.core.session import CracSession
+    from repro.harness.fault_injection import derive_seed
+
+    name = app_cls.name
+    src = ClusterNode(f"{name}-src", gpu=gpu_src, seed=derive_seed(seed, f"{name}:src"))
+    dst = ClusterNode(f"{name}-dst", gpu=gpu_dst, seed=derive_seed(seed, f"{name}:dst"))
+    ic = Interconnect(seed=derive_seed(seed, f"{name}:live"))
+    session = CracSession(gpu=gpu_src, seed=seed)
+    src.adopt(name, session)
+    mig = LiveMigration(session, src, dst, interconnect=ic, job=name)
+    fracs = sorted(checkpoint_fracs)
+    steps = [mig.begin]
+    steps += [mig.precopy_round] * max(0, len(fracs) - 2)
+    steps += [mig.cutover]
+    fired = [0]
+    reports = []
+
+    def drive_next() -> None:
+        out = steps[fired[0]]()
+        fired[0] += 1
+        if fired[0] == len(steps):
+            reports.append(out)
+
+    def cb(progress: float) -> None:
+        while fired[0] < len(fracs) and progress >= fracs[fired[0]]:
+            drive_next()
+
+    try:
+        result = _run_app(app_cls, session, scale=scale, seed=seed, checkpoint_cb=cb)
+        while fired[0] < len(steps):
+            drive_next()
+        rep = reports[0]
+        return {
+            "digest": result.digest,
+            "bit_correct": result.digest == baseline["digest"],
+            "blackout_s": rep.blackout_ns / 1e9,
+            "precopy_rounds": rep.precopy_rounds,
+            "full_mb": rep.full_bytes / (1 << 20),
+            "delta_mb": rep.delta_bytes / (1 << 20),
+            "retries": rep.retries,
+            "runtime_s": session.process.clock_ns / 1e9,
+            "finished_on": f"{dst.name}:{session.gpu}",
+        }
+    finally:
+        session.kill()
+
+
+def _naive_cell(
+    app_cls, *, scale, seed, gpu_src, gpu_dst, cut_frac, baseline
+) -> dict:
+    """Migrate the same app at the live run's cutover fraction, naively."""
+    from repro.cluster import ClusterNode, Interconnect, naive_migrate
+    from repro.core.session import CracSession
+    from repro.harness.fault_injection import derive_seed
+
+    name = app_cls.name
+    src = ClusterNode(f"{name}-nsrc", gpu=gpu_src, seed=derive_seed(seed, f"{name}:nsrc"))
+    dst = ClusterNode(f"{name}-ndst", gpu=gpu_dst, seed=derive_seed(seed, f"{name}:ndst"))
+    ic = Interconnect(seed=derive_seed(seed, f"{name}:naive"))
+    session = CracSession(gpu=gpu_src, seed=seed)
+    src.adopt(name, session)
+    reports = []
+
+    def cb(progress: float) -> None:
+        if not reports and progress >= cut_frac:
+            reports.append(
+                naive_migrate(session, src, dst, interconnect=ic, job=name)
+            )
+
+    try:
+        result = _run_app(app_cls, session, scale=scale, seed=seed, checkpoint_cb=cb)
+        if not reports:
+            reports.append(
+                naive_migrate(session, src, dst, interconnect=ic, job=name)
+            )
+        rep = reports[0]
+        return {
+            "digest": result.digest,
+            "bit_correct": result.digest == baseline["digest"],
+            "blackout_s": rep.blackout_ns / 1e9,
+            "full_mb": rep.full_bytes / (1 << 20),
+            "retries": rep.retries,
+            "runtime_s": session.process.clock_ns / 1e9,
+            "finished_on": f"{dst.name}:{session.gpu}",
+        }
+    finally:
+        session.kill()
+
+
+def _elastic_cells(
+    *, ranks, elastic_to, region_bytes, seed, gpu
+) -> dict:
+    """Checkpoint an N-rank world's regions; restore onto each M."""
+    from repro.cluster import elastic_restore
+    from repro.harness.fault_injection import derive_seed
+    from repro.mpi.world import MpiWorld
+
+    rng = np.random.default_rng(derive_seed(seed, "elastic-region"))
+    weights = rng.integers(0, 256, region_bytes, dtype=np.uint8).tobytes()
+    bias = rng.integers(0, 256, max(1, region_bytes // 64), dtype=np.uint8).tobytes()
+    world = MpiWorld(ranks, gpu=gpu, seed=seed)
+    try:
+        world.scatter_region("weights", weights)
+        world.scatter_region("bias", bias)
+        images = world.checkpoint_all()
+        manifest = world.partition_manifest()
+    finally:
+        world.kill_all()
+    cells = []
+    for m in elastic_to:
+        new_world, rep = elastic_restore(
+            images, manifest, m, gpu=gpu, seed=seed
+        )
+        new_world.kill_all()
+        cells.append({"m": m, **rep})
+    return {
+        "ranks": ranks,
+        "region_bytes": {"weights": len(weights), "bias": len(bias)},
+        "cells": cells,
+        "ok": all(c["ok"] for c in cells),
+    }
+
+
+def _link_fault_cell(*, seed, gpu) -> dict:
+    """Ship through a link scripted to corrupt then drop; must converge.
+
+    Transfer 0 arrives with a flipped payload byte (the destination's
+    CRC rejects it), transfer 1 never arrives; the retry loop's third
+    attempt lands. The restored buffer is then read back and compared
+    byte-for-byte.
+    """
+    from repro.cluster import ClusterNode, Interconnect, naive_migrate
+    from repro.core.session import CracSession
+    from repro.harness.fault_injection import derive_seed
+
+    src = ClusterNode("lf-src", gpu=gpu, seed=derive_seed(seed, "lf:src"))
+    dst = ClusterNode("lf-dst", gpu=gpu, seed=derive_seed(seed, "lf:dst"))
+    ic = Interconnect(
+        seed=derive_seed(seed, "lf:wire"),
+        fault_plan={0: "corrupt", 1: "drop"},
+    )
+    rng = np.random.default_rng(derive_seed(seed, "lf:data"))
+    data = rng.integers(0, 256, 64 << 10, dtype=np.uint8)
+    session = CracSession(gpu=gpu, seed=seed)
+    src.adopt("lf", session)
+    try:
+        addr = session.backend.malloc(data.nbytes)
+        session.backend.memcpy(addr, data, data.nbytes, "h2d")
+        rep = naive_migrate(session, src, dst, interconnect=ic, job="lf")
+        out = np.zeros(data.nbytes, dtype=np.uint8)
+        session.backend.memcpy(out, addr, data.nbytes, "d2h")
+        outcomes = [t.outcome for t in ic.transfers]
+        return {
+            "retries": rep.retries,
+            "digest_equal": bool(np.array_equal(out, data)),
+            "crc": zlib.crc32(out.tobytes()),
+            "transfers": len(ic.transfers),
+            "outcomes": {o: outcomes.count(o) for o in sorted(set(outcomes))},
+            "blackout_s": rep.blackout_ns / 1e9,
+            "ok": rep.retries >= 2 and bool(np.array_equal(out, data)),
+        }
+    finally:
+        session.kill()
+
+
+def run_migration_bench(
+    app_classes,
+    *,
+    scale: float = 0.05,
+    seed: int = 0,
+    gpu_src: str = "V100",
+    gpu_dst: str = "K600",
+    ranks: int = 3,
+    elastic_to=(2, 5),
+    region_bytes: int = 1 << 20,
+    checkpoint_fracs=(0.25, 0.5, 0.75),
+    smoke: bool = False,
+) -> dict:
+    """Run the full migration benchmark; returns the report dict.
+
+    ``smoke`` shrinks the elastic region so the whole bench stays
+    CI-cheap; every correctness check still runs.
+    """
+    from repro.harness.fault_tolerance import run_node_failover_scenario
+
+    if smoke:
+        region_bytes = min(region_bytes, 64 << 10)
+    report: dict = {
+        "config": {
+            "apps": [cls.name for cls in app_classes],
+            "scale": scale,
+            "seed": seed,
+            "gpu_src": gpu_src,
+            "gpu_dst": gpu_dst,
+            "ranks": ranks,
+            "elastic_to": list(elastic_to),
+            "region_bytes": region_bytes,
+            "checkpoint_fracs": list(checkpoint_fracs),
+            "smoke": smoke,
+        },
+        "apps": {},
+    }
+    fracs = sorted(checkpoint_fracs)
+    for cls in app_classes:
+        baseline = _baseline_cell(cls, scale=scale, seed=seed, gpu=gpu_src)
+        live = _live_cell(
+            cls, scale=scale, seed=seed, gpu_src=gpu_src, gpu_dst=gpu_dst,
+            checkpoint_fracs=fracs, baseline=baseline,
+        )
+        naive = _naive_cell(
+            cls, scale=scale, seed=seed, gpu_src=gpu_src, gpu_dst=gpu_dst,
+            cut_frac=fracs[-1], baseline=baseline,
+        )
+        report["apps"][cls.name] = {
+            "baseline": baseline,
+            "live": live,
+            "naive": naive,
+            "blackout_speedup": (
+                naive["blackout_s"] / live["blackout_s"]
+                if live["blackout_s"] > 0 else float("inf")
+            ),
+            "ok": (
+                live["bit_correct"]
+                and naive["bit_correct"]
+                and live["blackout_s"] < naive["blackout_s"]
+            ),
+        }
+    report["elastic"] = _elastic_cells(
+        ranks=ranks, elastic_to=elastic_to, region_bytes=region_bytes,
+        seed=seed, gpu=gpu_src,
+    )
+    report["link_fault"] = _link_fault_cell(seed=seed, gpu=gpu_src)
+    targets = [gpu_src] + ([gpu_dst] if gpu_dst != gpu_src else [])
+    report["failover"] = [
+        run_node_failover_scenario(
+            app_classes[0], scale=scale, seed=seed,
+            gpu_src=gpu_src, gpu_dst=dst,
+        )
+        for dst in targets
+    ]
+    failover_ok = all(
+        cell.get("bit_correct", False)
+        for cell in report["failover"]
+        if "skipped" not in cell
+    )
+    report["ok"] = (
+        all(c["ok"] for c in report["apps"].values())
+        and report["elastic"]["ok"]
+        and report["link_fault"]["ok"]
+        and failover_ok
+    )
+    return report
+
+
+def format_migration_bench(report: dict) -> str:
+    """Render the migration bench report for terminals."""
+    cfg = report["config"]
+    lines = [
+        f"migration bench: {cfg['gpu_src']} → {cfg['gpu_dst']}, "
+        f"scale {cfg['scale']}, seed {cfg['seed']}",
+        "",
+    ]
+    for name, cell in report["apps"].items():
+        live, naive = cell["live"], cell["naive"]
+        verdict = "bit-correct" if cell["ok"] else "FAILED"
+        lines.append(
+            f"  {name}: live blackout {live['blackout_s'] * 1e3:.1f} ms "
+            f"({live['precopy_rounds']} pre-copy rounds, "
+            f"{live['full_mb']:.2f} MB full + {live['delta_mb']:.2f} MB delta) "
+            f"vs naive {naive['blackout_s'] * 1e3:.1f} ms "
+            f"— {cell['blackout_speedup']:.2f}x shorter; {verdict}"
+        )
+    el = report["elastic"]
+    for cell in el["cells"]:
+        regions = ", ".join(
+            f"{n} {r['nbytes']} B" for n, r in sorted(cell["regions"].items())
+        )
+        verdict = "digest-equal" if cell["ok"] else "FAILED"
+        lines.append(
+            f"  elastic {el['ranks']} → {cell['m']} ranks: "
+            f"{cell['replayed_calls']} calls replayed; {regions}; {verdict}"
+        )
+    lf = report["link_fault"]
+    lines.append(
+        f"  link-fault ship: {lf['transfers']} transfers "
+        f"({', '.join(f'{v} {k}' for k, v in sorted(lf['outcomes'].items()))}), "
+        f"{lf['retries']} resend(s); "
+        f"{'digest-equal' if lf['ok'] else 'FAILED'}"
+    )
+    for cell in report["failover"]:
+        if "skipped" in cell:
+            lines.append(
+                f"  failover {cell['app']} → {cell['gpu_dst']}: "
+                f"skipped ({cell['skipped']})"
+            )
+            continue
+        verdict = "bit-correct" if cell["bit_correct"] else "FAILED"
+        lines.append(
+            f"  failover {cell['app']} {cell['gpu_src']} → {cell['gpu_dst']}: "
+            f"{', '.join(cell['declared_dead'])} declared dead, "
+            f"{cell['failovers']} failover(s), "
+            f"lost {cell['lost_work_s']:.3f} s, "
+            f"finished on {cell['finished_on']}; {verdict}"
+        )
+    lines.append("")
+    lines.append(f"overall: {'OK' if report['ok'] else 'FAILED'}")
+    return "\n".join(lines)

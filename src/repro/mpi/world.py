@@ -38,6 +38,26 @@ MPI_BANDWIDTH = 9.0e9  # bytes/s
 BARRIER_NS = 2_500.0
 
 
+def split_bytes(data: bytes, n: int) -> list[bytes]:
+    """Split ``data`` into ``n`` near-equal contiguous chunks.
+
+    The canonical partition function for scattered regions: the first
+    ``len(data) % n`` chunks get one extra byte. Chunks concatenate back
+    to ``data`` exactly, which is what elastic restore relies on when it
+    repartitions an N-rank region onto M ranks.
+    """
+    if n < 1:
+        raise ValueError("need at least one partition")
+    q, rem = divmod(len(data), n)
+    out: list[bytes] = []
+    pos = 0
+    for i in range(n):
+        size = q + (1 if i < rem else 0)
+        out.append(data[pos:pos + size])
+        pos += size
+    return out
+
+
 @dataclass
 class _Message:
     src: int
@@ -89,10 +109,75 @@ class MpiWorld:
             )
             for i in range(n_ranks)
         ]
+        #: named scattered regions: name -> per-rank (device addr, nbytes)
+        self._regions: dict[str, list[tuple[int, int]]] = {}
 
     @property
     def size(self) -> int:
         return len(self.ranks)
+
+    # -- partitioned data regions ----------------------------------------------
+
+    def scatter_region(self, name: str, data: bytes) -> list[tuple[int, int]]:
+        """Partition ``data`` across ranks and stage it in device memory.
+
+        Each rank gets one near-equal contiguous chunk (``split_bytes``)
+        in a freshly cudaMalloc'd device buffer, written via an h2d
+        copy — so the region rides the normal checkpoint/replay path and
+        survives restart. The placement is recorded in the partition
+        registry so :meth:`gather_region` and elastic restore can find
+        it. Returns the per-rank ``(addr, nbytes)`` placements.
+        """
+        if name in self._regions:
+            raise ValueError(f"region {name!r} already scattered")
+        placements: list[tuple[int, int]] = []
+        for r, chunk in zip(self.ranks, split_bytes(data, self.size)):
+            # A zero-byte chunk (more ranks than bytes) still gets a
+            # 1-byte placeholder buffer so every rank owns a valid addr.
+            addr = r.backend.malloc(max(1, len(chunk)))
+            if chunk:
+                r.backend.memcpy(
+                    addr, np.frombuffer(chunk, dtype=np.uint8),
+                    len(chunk), "h2d",
+                )
+            placements.append((addr, len(chunk)))
+        self._regions[name] = placements
+        return placements
+
+    def gather_region(self, name: str) -> bytes:
+        """Read a scattered region back (d2h per rank, concatenated)."""
+        if name not in self._regions:
+            raise ValueError(f"no scattered region {name!r}")
+        parts: list[bytes] = []
+        for r, (addr, nbytes) in zip(self.ranks, self._regions[name]):
+            host = np.zeros(nbytes, dtype=np.uint8)
+            if nbytes:
+                r.backend.memcpy(host, addr, nbytes, "d2h")
+            parts.append(host.tobytes())
+        return b"".join(parts)
+
+    def partition_manifest(self) -> dict[str, list[dict]]:
+        """Serializable description of every scattered region.
+
+        Maps region name to per-rank entries ``{rank, addr, nbytes,
+        offset}`` where ``offset`` is the chunk's position in the global
+        byte string. Elastic restore captures this alongside the
+        checkpoint images: it is everything needed to reassemble the
+        global regions from restored per-rank address spaces and
+        repartition them onto a differently-sized world.
+        """
+        manifest: dict[str, list[dict]] = {}
+        for name in sorted(self._regions):
+            offset = 0
+            entries = []
+            for rank, (addr, nbytes) in enumerate(self._regions[name]):
+                entries.append(
+                    {"rank": rank, "addr": addr, "nbytes": nbytes,
+                     "offset": offset}
+                )
+                offset += nbytes
+            manifest[name] = entries
+        return manifest
 
     # -- point-to-point -------------------------------------------------------
 

@@ -1,0 +1,1 @@
+"""Cluster fault-domain tests: interconnect, migration, elastic, failover."""

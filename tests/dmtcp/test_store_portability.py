@@ -1,0 +1,152 @@
+"""Portable generation records: export/import across stores, integrity."""
+
+import numpy as np
+import pytest
+
+from repro.core.session import CracSession
+from repro.cuda.api import FatBinary
+from repro.dmtcp.image import CheckpointImage
+from repro.dmtcp.store import CheckpointStore
+from repro.errors import CheckpointStoreError, CorruptCheckpointError
+
+FB = FatBinary("portable.fatbin", ("mutate",))
+N = 64
+NBYTES = 4 * N
+
+
+def make_session(seed=7):
+    session = CracSession(seed=seed)
+    session.backend.register_app_binary(FB)
+    ptr = session.backend.malloc(NBYTES)
+    session.backend.memcpy(ptr, np.arange(N, dtype=np.float32), NBYTES, "h2d")
+    return session, ptr
+
+
+def bump(session, ptr):
+    def fn():
+        view = session.backend.device_view(ptr, NBYTES, np.float32)
+        np.add(view, 1.0, out=view)
+
+    session.backend.launch("mutate", fn, duration_ns=50_000.0)
+    session.backend.device_synchronize()
+
+
+def chain_in_store(store, session, ptr):
+    """Commit a full + incremental pair; returns the images."""
+    bump(session, ptr)
+    full = session.checkpoint(store=store)
+    bump(session, ptr)
+    inc = session.checkpoint(store=store, incremental=True, parent=full)
+    return full, inc
+
+
+class TestCrossStoreRoundTrip:
+    def test_imported_chain_verifies_and_restores_bit_exact(self):
+        a, b = CheckpointStore(), CheckpointStore()
+        session, ptr = make_session()
+        chain_in_store(a, session, ptr)
+        records = a.export_chain(a.latest())
+        assert len(records) == 2
+        gens = b.import_chain(records)
+        for gen in gens:
+            b.verify(gen)
+        session.kill()
+        session.restart_latest(b)
+        out = np.empty(N, dtype=np.float32)
+        session.backend.memcpy(out, ptr, NBYTES, "d2h")
+        assert np.array_equal(out, np.arange(N, dtype=np.float32) + 2.0)
+        session.kill()
+
+    def test_export_is_verified_on_the_source_first(self):
+        a = CheckpointStore()
+        session, ptr = make_session()
+        bump(session, ptr)
+        session.checkpoint(store=a)
+        record = a.export_generation(a.latest())
+        assert record["payload_crc"] > 0
+        assert record["size_bytes"] > 0
+        assert record["parent_generation"] is None
+        session.kill()
+
+
+class TestArrivalIntegrity:
+    def _record(self):
+        a = CheckpointStore()
+        session, ptr = make_session()
+        bump(session, ptr)
+        session.checkpoint(store=a)
+        record = a.export_generation(a.latest())
+        session.kill()
+        return record
+
+    def test_wire_corruption_is_rejected_by_the_payload_crc(self):
+        record = self._record()
+        payload = bytearray(record["payload"])
+        payload[len(payload) // 2] ^= 0xFF
+        bad = {**record, "payload": bytes(payload)}
+        b = CheckpointStore()
+        with pytest.raises(CorruptCheckpointError):
+            b.import_generation(bad)
+        assert b.generations == []
+
+    def test_region_checksum_tamper_is_rejected(self):
+        record = self._record()
+        tampered = dict(record["checksums"])
+        first = sorted(tampered)[0]
+        tampered[first] ^= 0xDEAD
+        bad = {**record, "checksums": tampered}
+        b = CheckpointStore()
+        with pytest.raises(CorruptCheckpointError):
+            b.import_generation(bad)
+
+    def test_incremental_record_requires_its_parent(self):
+        a, b = CheckpointStore(), CheckpointStore()
+        session, ptr = make_session()
+        chain_in_store(a, session, ptr)
+        inc_record = a.export_generation(a.latest())
+        assert inc_record["incremental"]
+        with pytest.raises(CheckpointStoreError):
+            b.import_generation(inc_record)
+        session.kill()
+
+
+class TestPortability:
+    def test_payload_carries_no_parent_or_runtime_state(self):
+        a = CheckpointStore()
+        session, ptr = make_session()
+        # Enough upper-half ballast that a full image dwarfs a delta.
+        session.split.upper_mmap(256 << 10)
+        full, _ = chain_in_store(a, session, ptr)
+        records = a.export_chain(a.latest())
+        full_rec, inc_rec = records
+        # The incremental record ships without its ancestor's data: its
+        # wire size is the delta, not the base, and the chain is
+        # re-linked at import time by parent_generation ids.
+        assert inc_rec["size_bytes"] < full_rec["size_bytes"]
+        orphan = CheckpointImage.from_payload(inc_rec["payload"])
+        assert orphan.parent is None
+        assert orphan.incremental
+        orphan_full = CheckpointImage.from_payload(full_rec["payload"])
+        assert orphan_full.parent is None
+        assert not orphan_full.incremental
+        session.kill()
+
+
+class TestPins:
+    def test_pinned_generation_survives_keep_n_pressure(self):
+        a = CheckpointStore(keep_generations=1)
+        session, ptr = make_session()
+        bump(session, ptr)
+        session.checkpoint(store=a)
+        first = a.latest()
+        a.pin(first)
+        for _ in range(3):
+            bump(session, ptr)
+            session.checkpoint(store=a)
+        assert first in a.generations
+        assert a.pinned() == [first]
+        a.unpin(first)
+        a.gc()
+        assert first not in a.generations
+        assert a.pinned() == []
+        session.kill()

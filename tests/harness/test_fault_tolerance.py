@@ -211,7 +211,9 @@ class TestFaultCampaign:
         assert a.runtime_s == pytest.approx(b.runtime_s)
         assert a.checkpoints >= 1  # the anchor generation at least
         assert a.stage_visits["ecc"] > 0  # sites were actually guarded
-        assert a.rung_counts == {"retry": 0, "stream-reset": 0, "restore": 0}
+        assert a.rung_counts == {
+            "retry": 0, "stream-reset": 0, "restore": 0, "failover": 0,
+        }
 
     def test_campaign_exercises_all_three_rungs_bit_correctly(self):
         report = run_fault_campaign(
