@@ -13,6 +13,10 @@ Commands:
   checkpoint pipeline with injected checkpoint/restore-stage faults;
 - ``ckpt-bench`` — full vs incremental vs forked checkpoint stall
   comparison over Rodinia workloads, emitting ``BENCH_delta_ckpt.json``;
+- ``perf-bench`` — wall-clock benchmark of the dirty-tracking/sanitizer
+  hot paths (legacy vs vectorized, plus end-to-end capture/sanitize
+  timings) with a calibration-normalized regression gate against the
+  committed baseline; emits ``BENCH_perf.json``;
 - ``fault-campaign`` — GPU runtime fault campaign: sweep fault class ×
   MTBF over guarded application runs, report per-rung recovery counts,
   lost virtual work, and bit-correctness, plus the
@@ -154,6 +158,36 @@ def build_parser() -> argparse.ArgumentParser:
                     help="CI smoke mode: cap the scale so the sweep "
                     "finishes in seconds")
     cb.add_argument("--seed", type=int, default=0)
+
+    pb = sub.add_parser(
+        "perf-bench",
+        help="hot-path wall-clock benchmark + perf-regression gate",
+    )
+    pb.add_argument("--apps", nargs="+", default=["gaussian", "kmeans"],
+                    choices=sorted(APP_REGISTRY),
+                    help="workloads for the end-to-end sections (the "
+                    "largest Rodinia apps by default)")
+    pb.add_argument("--scale", type=float, default=1.0)
+    pb.add_argument("--repeats", type=int, default=20,
+                    help="repetitions per wall metric (aggregated; "
+                    "higher = more stable)")
+    pb.add_argument("--cuts", type=int, default=4,
+                    help="number of evenly spaced checkpoint cuts")
+    pb.add_argument("--gpu", default="V100", choices=["V100", "K600"])
+    pb.add_argument("--baseline", default=None, metavar="PATH",
+                    help="baseline JSON to gate against (default: "
+                    "benchmarks/BENCH_perf_baseline.json; '-' to skip "
+                    "the gate)")
+    pb.add_argument("--update-baseline", action="store_true",
+                    help="write this run's metrics to the baseline path "
+                    "instead of gating against it")
+    pb.add_argument("--out", default="BENCH_perf.json",
+                    metavar="PATH", help="write the JSON report here "
+                    "('-' to skip)")
+    pb.add_argument("--smoke", action="store_true",
+                    help="CI smoke mode: fewer repeats and smaller "
+                    "micro traces so the bench finishes in seconds")
+    pb.add_argument("--seed", type=int, default=0)
 
     fc = sub.add_parser(
         "fault-campaign",
@@ -450,6 +484,53 @@ def cmd_ckpt_bench(args, out) -> int:
     return 0
 
 
+def cmd_perf_bench(args, out) -> int:
+    """``repro perf-bench``: hot-path wall bench + regression gate."""
+    import json
+    import os
+
+    from repro.harness.perf_bench import (
+        DEFAULT_BASELINE,
+        baseline_payload,
+        format_report,
+        run_perf_bench,
+    )
+
+    baseline_path = args.baseline or DEFAULT_BASELINE
+    baseline = None
+    if not args.update_baseline and args.baseline != "-":
+        if os.path.exists(baseline_path):
+            with open(baseline_path) as fh:
+                baseline = json.load(fh)
+        else:
+            print(f"note: no baseline at {baseline_path}; "
+                  "gate records this run only", file=out)
+    repeats = min(args.repeats, 10) if args.smoke else args.repeats
+    report = run_perf_bench(
+        [APP_REGISTRY[name] for name in args.apps],
+        scale=args.scale,
+        repeats=repeats,
+        n_cuts=args.cuts,
+        seed=args.seed,
+        gpu=args.gpu,
+        smoke=args.smoke,
+        baseline=baseline,
+    )
+    print(format_report(report), file=out)
+    if args.out != "-":
+        with open(args.out, "w") as fh:
+            json.dump(report, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"\nwrote {args.out}", file=out)
+    if args.update_baseline:
+        with open(baseline_path, "w") as fh:
+            json.dump(baseline_payload(report), fh, indent=2,
+                      sort_keys=True)
+            fh.write("\n")
+        print(f"wrote baseline {baseline_path}", file=out)
+    return 0 if report["ok"] else 1
+
+
 def cmd_fault_campaign(args, out) -> int:
     """``repro fault-campaign``: runtime fault sweep + JSON report."""
     import json
@@ -651,6 +732,8 @@ def main(argv: list[str] | None = None, out=None) -> int:
         return cmd_fault_sim(args, out)
     if args.command == "ckpt-bench":
         return cmd_ckpt_bench(args, out)
+    if args.command == "perf-bench":
+        return cmd_perf_bench(args, out)
     if args.command == "fault-campaign":
         return cmd_fault_campaign(args, out)
     if args.command == "migrate":

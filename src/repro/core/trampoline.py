@@ -93,6 +93,39 @@ class CracBackend(CudaDispatchBase):
         if self.coordinator is not None:
             self.coordinator.notify_call()
 
+    def _charge_batch(self, calls) -> None:
+        # Batched trampoline crossings, exact-parity with the per-call
+        # path: same virtual time, same fs-switch/syscall counters, and
+        # — when a coordinator is attached — the same clock and counter
+        # values at every notify_call (a checkpoint may fire there).
+        from repro.linux.process import SYSCALL_NS, WRFSBASE_NS
+
+        proc = self.process
+        thread = (
+            self.current_thread if self.current_thread is not None
+            else proc.threads[0]
+        )
+        fs_ns = WRFSBASE_NS if proc.fsgsbase else SYSCALL_NS
+        per_call = (
+            2 * fs_ns
+            + self.costs.trampoline_body_ns
+            + self.costs.native_dispatch_ns
+        )
+        if self.coordinator is None:
+            n = len(calls)
+            proc.fs_switch_count += 2 * n
+            if not proc.fsgsbase:
+                proc.syscall_count += 2 * n
+            proc.advance(n * per_call)
+        else:
+            for _ in calls:
+                proc.fs_switch_count += 2
+                if not proc.fsgsbase:
+                    proc.syscall_count += 2
+                proc.advance(per_call)
+                self.coordinator.notify_call()
+        thread.fs_base = self._upper_fs
+
     def _trampoline_ns(self, dispatch_ns: float) -> float:
         # Everything beyond the bare library call is trampoline cost:
         # the two fs switches, table indirection, coordinator notify.

@@ -120,6 +120,43 @@ class CudaDispatchBase:
             name, t0, t1, trampoline_ns=self._trampoline_ns(t1 - t0), mode=self.mode
         )
 
+    def _dispatch_batch(
+        self, calls: Sequence[tuple[str, int, Sequence[int], Sequence[int]]]
+    ) -> None:
+        """Dispatch several upper→lower calls issued back-to-back.
+
+        ``calls`` is a sequence of ``(name, payload_bytes, ship_in,
+        ship_out)`` tuples. Counting and cost are identical to calling
+        :meth:`_dispatch` once per entry — batching only lets a backend
+        charge the aggregate cost without re-entering its per-call
+        bookkeeping (Python overhead, not virtual time). The traced path
+        falls back to per-call dispatch so every call keeps its own span.
+        """
+        if self._prepaid_depth:
+            return
+        if self.tracer is not None:
+            for name, payload, ship_in, ship_out in calls:
+                self._dispatch(
+                    name, payload_bytes=payload,
+                    ship_in=ship_in, ship_out=ship_out,
+                )
+            return
+        counter = self.call_counter
+        for name, _, _, _ in calls:
+            counter[name] += 1
+        self._charge_batch(calls)
+
+    def _charge_batch(
+        self, calls: Sequence[tuple[str, int, Sequence[int], Sequence[int]]]
+    ) -> None:
+        """Charge a batch of calls; default loops :meth:`_charge_call`
+        so backends with per-call side effects (proxies shipping buffer
+        contents) stay exact without opting in."""
+        for name, payload, ship_in, ship_out in calls:
+            self._charge_call(
+                name, payload_bytes=payload, ship_in=ship_in, ship_out=ship_out
+            )
+
     def _trampoline_ns(self, dispatch_ns: float) -> float:
         """Dispatch cost beyond a bare library call, for trace attribution
         (overridden by CRAC's trampoline backend)."""
@@ -253,14 +290,12 @@ class CudaDispatchBase:
     ) -> float:
         """Launch a kernel. Counts as three upper→lower calls (eq. 2)."""
         managed = list(managed)
-        self._dispatch("cudaPushCallConfiguration", payload_bytes=32)
-        self._dispatch("cudaPopCallConfiguration", payload_bytes=32)
-        self._dispatch(
-            "cudaLaunchKernel",
-            payload_bytes=arg_bytes,
-            ship_in=self._launch_ship_buffers(managed),
-            ship_out=self._launch_ship_buffers(managed),
-        )
+        ship = self._launch_ship_buffers(managed)
+        self._dispatch_batch((
+            ("cudaPushCallConfiguration", 32, (), ()),
+            ("cudaPopCallConfiguration", 32, (), ()),
+            ("cudaLaunchKernel", arg_bytes, ship, ship),
+        ))
         return self._invoke("kernel", lambda: self.runtime.cudaLaunchKernel(
             name,
             fn,
@@ -451,3 +486,6 @@ class NativeBackend(CudaDispatchBase):
         ship_out: Sequence[int] = (),
     ) -> None:
         self.process.advance(self.costs.native_dispatch_ns)
+
+    def _charge_batch(self, calls) -> None:
+        self.process.advance(len(calls) * self.costs.native_dispatch_ns)

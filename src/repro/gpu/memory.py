@@ -16,12 +16,14 @@ Two paper-critical behaviours live here:
 
 from __future__ import annotations
 
+import bisect
 from dataclasses import dataclass, field
 from typing import Callable
 
 import numpy as np
 
 from repro.errors import CudaError
+from repro.gpu.intervals import EpochIntervalIndex
 
 #: Sub-allocation alignment, matching CUDA's 256-byte texture alignment.
 ALLOC_ALIGN = 256
@@ -101,10 +103,10 @@ class PagedContents:
         self.size = size
         self.fill_value = fill_value
         self._spans: dict[int, np.ndarray] = {}  # start -> uint8 array
-        #: sorted disjoint (start, end, epoch) byte ranges touched since
-        #: the last committed checkpoint cut; ``epoch`` is the
-        #: :attr:`write_seq` value of the range's last write
-        self._dirty: list[tuple[int, int, int]] = []
+        #: vectorized (start, end, epoch) interval index of byte ranges
+        #: touched since the last committed checkpoint cut; ``epoch`` is
+        #: the :attr:`write_seq` value of the range's last write
+        self._dirty = EpochIntervalIndex()
         self._write_seq = 0
 
     @property
@@ -125,34 +127,20 @@ class PagedContents:
         if nbytes <= 0:
             return
         self._write_seq += 1
-        lo, hi = offset, offset + nbytes
-        out: list[tuple[int, int, int]] = []
-        for s, e, ep in self._dirty:
-            if e <= lo or s >= hi:
-                out.append((s, e, ep))
-                continue
-            # The new write supersedes the overlapped part's epoch.
-            if s < lo:
-                out.append((s, lo, ep))
-            if e > hi:
-                out.append((hi, e, ep))
-        out.append((lo, hi, self._write_seq))
-        out.sort()
-        merged: list[tuple[int, int, int]] = []
-        for s, e, ep in out:
-            if merged and merged[-1][1] == s and merged[-1][2] == ep:
-                merged[-1] = (merged[-1][0], e, ep)
-            else:
-                merged.append((s, e, ep))
-        self._dirty = merged
+        self._dirty.mark(offset, offset + nbytes, self._write_seq)
 
     def dirty_spans(self) -> list[tuple[int, int]]:
         """Byte ranges touched since the last :meth:`clear_dirty`."""
-        return merge_spans([(lo, hi) for lo, hi, _ in self._dirty])
+        return self._dirty.spans()
 
     @property
     def dirty_byte_count(self) -> int:
-        return sum(hi - lo for lo, hi, _ in self._dirty)
+        return self._dirty.byte_count
+
+    def dirty_page_epochs(self, page_size: int) -> np.ndarray:
+        """Page-granular view of the dirty index: per page, the
+        :attr:`write_seq` of its newest write (0 = clean page)."""
+        return self._dirty.page_epochs(page_size, self.size)
 
     def clear_dirty(
         self,
@@ -171,24 +159,14 @@ class PagedContents:
         incremental cut saves the new content.
         """
         if spans is None:
-            self._dirty = []
+            self._dirty.clear_all()
             return
-        clear = merge_spans(list(spans))
-        out: list[tuple[int, int, int]] = []
-        for s, e, ep in self._dirty:
-            if up_to_epoch is not None and ep > up_to_epoch:
-                out.append((s, e, ep))
-                continue
-            out.extend(
-                (p_lo, p_hi, ep)
-                for p_lo, p_hi in subtract_spans([(s, e)], clear)
-            )
-        self._dirty = out
+        self._dirty.clear(spans, up_to_epoch=up_to_epoch)
 
     def dirty_bytes_since(self, epoch: int) -> int:
         """Bytes whose last write came after ``epoch`` — the
         copy-on-write exposure of a snapshot taken at that epoch."""
-        return sum(hi - lo for lo, hi, ep in self._dirty if ep > epoch)
+        return self._dirty.bytes_since(epoch)
 
     def dirty_snapshot(self) -> dict:
         """Deep copy of only the dirtied byte ranges (a GPU *delta*).
@@ -284,6 +262,10 @@ class PagedContents:
         Only the *backed* spans of the source range are copied; unbacked
         source bytes leave the destination range at the source's fill
         value. This keeps GB-scale ballast copies O(real data).
+
+        Self-copies with overlapping ranges are memmove-safe: the backed
+        source bytes are snapshotted before the destination range is
+        reset, so the copy always sees the pre-call source contents.
         """
         self._check(dst_offset, nbytes)
         other._check(src_offset, nbytes)
@@ -292,19 +274,25 @@ class PagedContents:
             # Rare slow path: differing fills force materialization.
             self.write_bytes(dst_offset, other.read_bytes(src_offset, nbytes))
             return
+        # Gather the backed source portions first — when ``other is
+        # self`` and the ranges overlap, resetting the destination
+        # before reading would destroy the very bytes being copied.
+        shift = dst_offset - src_offset
+        parts: list[tuple[int, np.ndarray]] = []
+        for s, a in list(other._spans.items()):
+            lo = max(s, src_offset)
+            hi = min(s + a.nbytes, src_offset + nbytes)
+            if lo < hi:
+                seg = a[lo - s : hi - s]
+                parts.append((lo + shift, seg.copy() if other is self else seg))
         # Reset the destination range to fill wherever it is backed.
         for s, a in list(self._spans.items()):
             lo = max(s, dst_offset)
             hi = min(s + a.nbytes, dst_offset + nbytes)
             if lo < hi:
                 a[lo - s : hi - s] = self.fill_value
-        # Copy the backed source portions.
-        shift = dst_offset - src_offset
-        for s, a in list(other._spans.items()):
-            lo = max(s, src_offset)
-            hi = min(s + a.nbytes, src_offset + nbytes)
-            if lo < hi:
-                self.write_bytes(lo + shift, a[lo - s : hi - s])
+        for dst, seg in parts:
+            self.write_bytes(dst, seg)
 
     def fill(self, value: int) -> None:
         """cudaMemset over the whole buffer: drop spans, set fill value."""
@@ -406,6 +394,10 @@ class ArenaAllocator:
         self.extra_mmaps_per_arena = extra_mmaps_per_arena
         self._free: list[_FreeBlock] = []  # sorted by start
         self.active: dict[int, int] = {}  # addr -> size
+        #: running sum of ``active.values()`` — kept in lockstep by
+        #: alloc/free/reserve so the per-alloc capacity check is O(1)
+        #: instead of an O(live-allocations) recomputation
+        self._active_bytes = 0
         self.arena_bytes = 0
         self.mmap_calls = 0
         #: optional repro.sanitizer hook target (memcheck lifecycle);
@@ -414,14 +406,14 @@ class ArenaAllocator:
 
     @property
     def active_bytes(self) -> int:
-        return sum(self.active.values())
+        return self._active_bytes
 
     def alloc(self, nbytes: int) -> int:
         """Allocate; deterministic for a fixed alloc/free sequence."""
         if nbytes <= 0:
             raise _program_error("INVALID_VALUE", "cudaMalloc of non-positive size")
         need = _align_up(nbytes)
-        if self.active_bytes + need > self.capacity:
+        if self._active_bytes + need > self.capacity:
             raise _program_error(
                 "MEMORY_ALLOCATION",
                 "out of device memory (cudaErrorMemoryAllocation)",
@@ -435,6 +427,7 @@ class ArenaAllocator:
                     blk.start += need
                     blk.size -= need
                 self.active[addr] = need
+                self._active_bytes += need
                 if self.sanitizer is not None:
                     self.sanitizer.on_arena_alloc(self, addr, need)
                 return addr
@@ -460,6 +453,7 @@ class ArenaAllocator:
             raise _program_error(
                 "INVALID_DEVICE_POINTER", f"cudaFree of unknown pointer {addr:#x}"
             )
+        self._active_bytes -= size
         self._insert_free(_FreeBlock(addr, size))
         if self.sanitizer is not None:
             self.sanitizer.on_arena_free(self, addr, size)
@@ -485,6 +479,7 @@ class ArenaAllocator:
                     if tail > 0:
                         self._insert_free(_FreeBlock(addr + need, tail))
                     self.active[addr] = need
+                    self._active_bytes += need
                     if self.sanitizer is not None:
                         self.sanitizer.on_arena_alloc(self, addr, need)
                     return
@@ -504,8 +499,6 @@ class ArenaAllocator:
 
     def _insert_free(self, blk: _FreeBlock) -> None:
         """Insert into the sorted free list, coalescing neighbours."""
-        import bisect
-
         starts = [b.start for b in self._free]
         i = bisect.bisect_left(starts, blk.start)
         self._free.insert(i, blk)

@@ -1,0 +1,580 @@
+"""``repro perf-bench``: hot-path wall-clock benchmark + regression gate.
+
+Everything else in this repo measures *virtual* time; this harness is
+the one place that deliberately measures **wall-clock** time — the
+Python interpreter cost of the simulation itself, which is what the
+dirty-tracking/sanitizer vectorization attacks. Four sections:
+
+- ``capture`` — end-to-end wall time of checkpointed runs (full /
+  incremental / forked modes, repeated for stability) on the largest
+  Rodinia apps, with digest equality against an uncheckpointed run;
+- ``sanitize`` — wall time of the same apps under the full dynamic
+  checker set (must stay hazard-clean), plus the planted-hazard suite
+  (must stay at 100% detection with zero false positives);
+- ``micro`` — the legacy pure-Python structures
+  (:mod:`repro.gpu.dirty_legacy`) versus the vectorized ones
+  (:mod:`repro.gpu.intervals`, :class:`~repro.sanitizer.core._AccessIndex`)
+  on identical synthetic op traces sized like the largest app's
+  write/access stream: asserts *equal outputs* and reports the speedup
+  (the ROADMAP's ≥5x target is judged here);
+- ``gate`` — wall metrics normalized by a fixed calibration workload
+  (so a slower CI machine doesn't fail the gate) and compared against
+  the committed ``benchmarks/BENCH_perf_baseline.json``; any normalized
+  ratio above :data:`REGRESSION_LIMIT` fails.
+
+Wall-clock reads are confined to :func:`_wall`; each is marked
+``lint: allow`` because this harness is measurement tooling, not part
+of the deterministic simulation model.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.gpu.dirty_legacy import LegacyDirtyIndex, LegacyWrittenSet
+from repro.gpu.intervals import EpochIntervalIndex, SpanSet
+from repro.harness.ckpt_bench import CKPT_MODES, default_cuts
+from repro.harness.runner import Machine, run_app
+
+#: Normalized wall-time ratio above which the CI gate fails.
+REGRESSION_LIMIT = 1.15
+#: Required micro speedup (vectorized vs legacy) on the dirty-tracking
+#: and sanitizer-scan traces — the ROADMAP item-3 target.
+SPEEDUP_TARGET = 5.0
+#: Baseline file the CI gate compares against.
+DEFAULT_BASELINE = "benchmarks/BENCH_perf_baseline.json"
+#: Damping floor, in *calibration units* (metric ÷ calibration time),
+#: added to both sides of a gate ratio so a few-millisecond metric
+#: cannot flip the gate on scheduler noise.
+RATIO_FLOOR = 1.0
+
+
+def _wall(fn: Callable[[], object]) -> tuple[float, object]:
+    """Run ``fn`` once; return (elapsed wall seconds, result)."""
+    t0 = time.perf_counter()  # lint: allow — wall-clock benchmark harness
+    result = fn()
+    t1 = time.perf_counter()  # lint: allow — wall-clock benchmark harness
+    return t1 - t0, result
+
+
+def measure_calibration() -> float:
+    """Wall seconds of a fixed numpy + interpreter workload.
+
+    Used to normalize wall metrics across machines: the gate compares
+    ``(metric / calibration)`` ratios, so a uniformly slower machine
+    cancels out and only *relative* hot-path regressions remain.
+    """
+    def work() -> int:
+        acc = 0
+        for i in range(150_000):
+            acc += i * 3 % 7
+        a = np.arange(150_000, dtype=np.int64)
+        for _ in range(40):
+            acc += int(np.sort(a % 997).sum())
+        return acc
+
+    return min(_wall(work)[0] for _ in range(5))
+
+
+# -- synthetic traces (seeded, deterministic) --------------------------------
+
+
+def dirty_trace(
+    n_ops: int, size: int, seed: int
+) -> list[tuple[str, int, int]]:
+    """A write-heavy dirty-tracking op trace: mostly small scattered
+    ``mark`` calls (strided kernel writes fragment the span list), with
+    occasional span queries and epoch-bounded clears — the call mix the
+    checkpoint capture path produces."""
+    rng = np.random.default_rng(seed)
+    ops: list[tuple[str, int, int]] = []
+    for _ in range(n_ops):
+        r = rng.random()
+        lo = int(rng.integers(0, size - 1))
+        hi = int(min(size, lo + rng.integers(1, 2048)))
+        if r < 0.94:
+            ops.append(("mark", lo, hi))
+        elif r < 0.97:
+            ops.append(("spans", 0, 0))
+        elif r < 0.99:
+            ops.append(("bytes_since", 0, 0))
+        else:
+            ops.append(("clear", lo, hi))
+    return ops
+
+
+def replay_dirty(index, ops: Sequence[tuple[str, int, int]]) -> list:
+    """Run a :func:`dirty_trace` against a dirty index; returns every
+    query result so two implementations can be compared exactly."""
+    out: list = []
+    epoch = 0
+    snap_epoch = 0
+    for kind, lo, hi in ops:
+        if kind == "mark":
+            epoch += 1
+            index.mark(lo, hi, epoch)
+        elif kind == "spans":
+            out.append(index.spans())
+            out.append(index.byte_count)
+        elif kind == "bytes_since":
+            out.append(index.bytes_since(snap_epoch))
+            snap_epoch = epoch
+        else:
+            index.clear([(lo, hi)], up_to_epoch=snap_epoch)
+            out.append(index.intervals())
+    out.append(index.intervals())
+    return out
+
+
+def access_trace(n_accesses: int, n_probes: int, size: int, seed: int,
+                 n_streams: int = 12) -> tuple[list, list]:
+    """Recorded accesses + probe ops for the racecheck-scan micro.
+
+    Clocks are built the way the sanitizer builds them: per-stream
+    monotone ticks with occasional cross-stream joins, so the
+    concurrency structure (and thus the scan's work) is realistic.
+    """
+    from repro.sanitizer.vector_clock import VectorClock
+
+    rng = np.random.default_rng(seed)
+    stream_clocks = [VectorClock() for _ in range(n_streams)]
+    accesses = []
+    for i in range(n_accesses):
+        sid = int(rng.integers(0, n_streams))
+        vc = stream_clocks[sid]
+        if rng.random() < 0.05:
+            vc.join(stream_clocks[int(rng.integers(0, n_streams))])
+        vc.tick(sid)
+        lo = int(rng.integers(0, size - 1))
+        hi = int(min(size, lo + rng.integers(1, size // 8)))
+        accesses.append(
+            (lo, hi, bool(rng.random() < 0.5), sid, vc.copy(), i, f"op{i}")
+        )
+    probes = []
+    for _ in range(n_probes):
+        sid = int(rng.integers(0, n_streams))
+        vc = stream_clocks[sid]
+        vc.tick(sid)
+        lo = int(rng.integers(0, size - 1))
+        hi = int(min(size, lo + rng.integers(1, size // 8)))
+        probes.append((lo, hi, bool(rng.random() < 0.5), sid, vc.copy()))
+    return accesses, probes
+
+
+def legacy_access_scan(accesses, probes) -> list[list[int]]:
+    """The pre-vectorization racecheck scan, verbatim logic: for each
+    probe, the indices of recorded accesses it races."""
+    out = []
+    for lo, hi, write, sid, clock in probes:
+        rows = []
+        for i, (a_lo, a_hi, a_write, a_sid, a_clock, _, _) in enumerate(
+            accesses
+        ):
+            if a_hi <= lo or a_lo >= hi:
+                continue
+            if not (write or a_write) or a_sid == sid:
+                continue
+            if a_clock.concurrent_with(clock):
+                rows.append(i)
+        out.append(rows)
+    return out
+
+
+def vector_access_scan(accesses, probes) -> list[list[int]]:
+    """The same scan through the vectorized :class:`_AccessIndex`."""
+    from repro.sanitizer.core import _Access, _AccessIndex
+
+    index = _AccessIndex()
+    for lo, hi, write, sid, clock, op_id, label in accesses:
+        index.add(_Access(lo, hi, write, sid, clock, op_id, label))
+    return [
+        index.race_rows(lo, hi, sid, write, clock)
+        for lo, hi, write, sid, clock in probes
+    ]
+
+
+def written_trace(n_ops: int, size: int, seed: int) -> list:
+    """Adds + hole queries for the initcheck written-coverage micro.
+
+    Adds dominate (every write access lands here) and stay small so
+    the set fragments, as strided writes do; hole queries are the rare
+    D2H-validation reads."""
+    rng = np.random.default_rng(seed)
+    ops = []
+    for _ in range(n_ops):
+        lo = int(rng.integers(0, size - 1))
+        hi = int(min(size, lo + rng.integers(1, 512)))
+        ops.append(("add" if rng.random() < 0.97 else "holes", lo, hi))
+    return ops
+
+
+def replay_written(ws, ops) -> list:
+    """Run a :func:`written_trace` against a written-span set."""
+    out = []
+    for kind, lo, hi in ops:
+        if kind == "add":
+            ws.add(lo, hi)
+        else:
+            out.append(ws.holes(lo, hi))
+    out.append(ws.spans())
+    return out
+
+
+def _best_of(fn: Callable[[], object], n: int = 3) -> tuple[float, object]:
+    """Best (minimum) wall time over ``n`` runs; first run's result.
+
+    The gate tracks the vectorized timings, which sit in the tens of
+    milliseconds — min-of-3 strips scheduler noise that a single sample
+    would hand straight to the regression ratio.
+    """
+    best, result = _wall(fn)
+    for _ in range(n - 1):
+        best = min(best, _wall(fn)[0])
+    return best, result
+
+
+def _micro_section(*, smoke: bool, seed: int) -> dict:
+    """Legacy vs vectorized structures on identical traces."""
+    if smoke:
+        dirty_ops, dirty_size = 6000, 1 << 24
+        acc_n, acc_probes, acc_size = 800, 800, 1 << 24
+        wr_ops, wr_size = 6000, 1 << 24
+    else:
+        dirty_ops, dirty_size = 20000, 1 << 26
+        acc_n, acc_probes, acc_size = 2500, 2500, 1 << 26
+        wr_ops, wr_size = 20000, 1 << 26
+
+    section: dict = {}
+
+    ops = dirty_trace(dirty_ops, dirty_size, seed)
+    legacy_s, legacy_out = _wall(lambda: replay_dirty(LegacyDirtyIndex(), ops))
+    vector_s, vector_out = _best_of(
+        lambda: replay_dirty(EpochIntervalIndex(), ops)
+    )
+    section["dirty"] = {
+        "ops": dirty_ops,
+        "legacy_s": legacy_s,
+        "vector_s": vector_s,
+        "speedup": legacy_s / vector_s if vector_s > 0 else float("inf"),
+        "equal": legacy_out == vector_out,
+    }
+
+    accesses, probes = access_trace(acc_n, acc_probes, acc_size, seed)
+    legacy_s, legacy_rows = _wall(
+        lambda: legacy_access_scan(accesses, probes)
+    )
+    vector_s, vector_rows = _best_of(
+        lambda: vector_access_scan(accesses, probes)
+    )
+    section["access"] = {
+        "accesses": acc_n,
+        "probes": acc_probes,
+        "legacy_s": legacy_s,
+        "vector_s": vector_s,
+        "speedup": legacy_s / vector_s if vector_s > 0 else float("inf"),
+        "equal": legacy_rows == vector_rows,
+    }
+
+    ops = written_trace(wr_ops, wr_size, seed)
+    legacy_s, legacy_out = _wall(
+        lambda: replay_written(LegacyWrittenSet(), ops)
+    )
+    vector_s, vector_out = _best_of(lambda: replay_written(SpanSet(), ops))
+    section["written"] = {
+        "ops": wr_ops,
+        "legacy_s": legacy_s,
+        "vector_s": vector_s,
+        "speedup": legacy_s / vector_s if vector_s > 0 else float("inf"),
+        "equal": legacy_out == vector_out,
+    }
+
+    section["all_equal"] = all(
+        section[k]["equal"] for k in ("dirty", "access", "written")
+    )
+    # The headline number: combined legacy vs combined vectorized cost
+    # of the capture (dirty+written) and sanitize (access) hot paths.
+    tot_legacy = sum(section[k]["legacy_s"] for k in ("dirty", "access",
+                                                      "written"))
+    tot_vector = sum(section[k]["vector_s"] for k in ("dirty", "access",
+                                                      "written"))
+    section["combined_speedup"] = (
+        tot_legacy / tot_vector if tot_vector > 0 else float("inf")
+    )
+    return section
+
+
+# -- end-to-end sections ------------------------------------------------------
+
+
+def _capture_section(
+    app_classes: Sequence[type], *, scale: float, repeats: int,
+    n_cuts: int, seed: int, gpu: str,
+) -> dict:
+    """Wall time of checkpointed runs, digest-checked per mode."""
+    cuts = default_cuts(n_cuts)
+    section: dict = {"cuts": cuts, "repeats": repeats, "apps": {}}
+    for cls in app_classes:
+        ref = run_app(
+            cls(scale=scale, seed=seed), Machine(gpu=gpu, seed=seed),
+            mode="crac", noise=False,
+        )
+        entry: dict = {"modes": {}}
+        for mode, incremental, forked in CKPT_MODES:
+            def one():
+                return run_app(
+                    cls(scale=scale, seed=seed),
+                    Machine(gpu=gpu, seed=seed),
+                    mode="crac",
+                    checkpoint_at=cuts,
+                    restart_after_checkpoint=False,
+                    incremental=incremental,
+                    forked=forked,
+                    noise=False,
+                )
+            best = None
+            digests_ok = True
+            for _ in range(repeats):
+                wall, res = _wall(one)
+                best = wall if best is None else min(best, wall)
+                digests_ok = digests_ok and res.digest == ref.digest
+            entry["modes"][mode] = {
+                "wall_s": best,
+                "digest_match": digests_ok,
+            }
+        section["apps"][cls.name] = entry
+    section["wall_s"] = sum(
+        m["wall_s"]
+        for e in section["apps"].values() for m in e["modes"].values()
+    )
+    section["digests_ok"] = all(
+        m["digest_match"]
+        for e in section["apps"].values() for m in e["modes"].values()
+    )
+    return section
+
+
+def _sanitize_section(
+    app_classes: Sequence[type], *, scale: float, repeats: int, seed: int,
+    gpu: str,
+) -> dict:
+    """Wall time under the dynamic checkers + planted-hazard verdicts."""
+    from repro.sanitizer.core import Sanitizer
+    from repro.sanitizer.planted import SCENARIOS, run_scenario
+
+    section: dict = {"repeats": repeats, "apps": {}}
+    for cls in app_classes:
+        def one():
+            san = Sanitizer()
+            run_app(
+                cls(scale=scale, seed=seed), Machine(gpu=gpu, seed=seed),
+                mode="crac", noise=False, sanitizer=san,
+            )
+            return san
+        best = None
+        hazards = 0
+        for _ in range(repeats):
+            wall, san = _wall(one)
+            best = wall if best is None else min(best, wall)
+            hazards += len(san.hazards)
+        section["apps"][cls.name] = {"wall_s": best, "hazards": hazards}
+    section["wall_s"] = sum(
+        e["wall_s"] for e in section["apps"].values()
+    )
+    section["clean"] = all(
+        e["hazards"] == 0 for e in section["apps"].values()
+    )
+
+    rows = [run_scenario(sc) for sc in SCENARIOS]
+    positives = [r for r in rows if not r["negative"]]
+    negatives = [r for r in rows if r["negative"]]
+    section["planted"] = {
+        "positives": len(positives),
+        "detected": sum(r["detected"] for r in positives),
+        "negatives": len(negatives),
+        "false_positives": sum(not r["detected"] for r in negatives),
+        "failures": [r["name"] for r in rows if not r["detected"]],
+    }
+    return section
+
+
+# -- gate ---------------------------------------------------------------------
+
+
+def _gate_metrics(report: dict) -> dict[str, float]:
+    """The calibration-normalized wall metrics the gate tracks — large
+    aggregates only; per-mode or per-structure millisecond slices are
+    too noisy to gate on (they still appear in the report for
+    diagnosis). The micro section is gated separately on its
+    *speedup*, not its absolute time: legacy and vectorized replays run
+    back-to-back under identical machine contention, so their ratio is
+    self-normalizing in a way absolute wall times are not."""
+    return {
+        "capture_wall_s": report["capture"]["wall_s"],
+        "sanitize_wall_s": report["sanitize"]["wall_s"],
+    }
+
+
+def evaluate_gate(report: dict, baseline: dict | None) -> dict:
+    """Compare a report against the committed baseline.
+
+    Each metric is normalized by its run's calibration time, then the
+    current/baseline ratio is damped with :data:`RATIO_FLOOR` so a
+    metric measured in single-digit milliseconds cannot trip the gate
+    on scheduler noise. Fails if any ratio exceeds the limit.
+    """
+    gate: dict = {"limit": REGRESSION_LIMIT, "ratios": {}}
+    if baseline is None:
+        gate.update(baseline_found=False, max_ratio=None, ok=True)
+        return gate
+    gate["baseline_found"] = True
+    cur_cal = report["calibration_s"]
+    base_cal = baseline["calibration_s"]
+    cur = _gate_metrics(report)
+    base = _gate_metrics(baseline)
+    for key in cur:
+        num = cur[key] / cur_cal + RATIO_FLOOR
+        den = base[key] / base_cal + RATIO_FLOOR
+        gate["ratios"][key] = num / den
+    # A vectorized-path slowdown shows up as the combined speedup
+    # dropping below the baseline's; +1 on both sides damps the
+    # small-number jitter the same way RATIO_FLOOR does above.
+    gate["ratios"]["micro_speedup"] = (
+        (baseline["micro"]["combined_speedup"] + 1.0)
+        / (report["micro"]["combined_speedup"] + 1.0)
+    )
+    gate["max_ratio"] = max(gate["ratios"].values())
+    gate["ok"] = gate["max_ratio"] <= REGRESSION_LIMIT
+    return gate
+
+
+def run_perf_bench(
+    app_classes: Sequence[type],
+    *,
+    scale: float = 1.0,
+    repeats: int = 20,
+    n_cuts: int = 4,
+    seed: int = 0,
+    gpu: str = "V100",
+    smoke: bool = False,
+    baseline: dict | None = None,
+) -> dict:
+    """Run every section and the gate; returns the full report.
+
+    ``report["ok"]`` requires: digest-equal checkpointed runs, clean
+    sanitizer sweeps, 100% planted detection with zero false positives,
+    observationally-equal micro replays, the ≥5x combined micro
+    speedup, and no gate regression.
+    """
+    report: dict = {
+        "benchmark": "perf",
+        "version": 1,
+        "smoke": smoke,
+        "settings": {
+            "scale": scale, "repeats": repeats, "n_cuts": n_cuts,
+            "seed": seed, "gpu": gpu,
+            "apps": [cls.name for cls in app_classes],
+        },
+        "calibration_s": measure_calibration(),
+    }
+    report["capture"] = _capture_section(
+        app_classes, scale=scale, repeats=repeats, n_cuts=n_cuts,
+        seed=seed, gpu=gpu,
+    )
+    report["sanitize"] = _sanitize_section(
+        app_classes, scale=scale, repeats=repeats, seed=seed, gpu=gpu,
+    )
+    report["micro"] = _micro_section(smoke=smoke, seed=seed)
+    report["gate"] = evaluate_gate(report, baseline)
+    planted = report["sanitize"]["planted"]
+    report["checks"] = {
+        "digests_ok": report["capture"]["digests_ok"],
+        "sanitize_clean": report["sanitize"]["clean"],
+        "planted_ok": (
+            planted["detected"] == planted["positives"]
+            and planted["false_positives"] == 0
+        ),
+        "micro_equal": report["micro"]["all_equal"],
+        "speedup_ok": report["micro"]["combined_speedup"] >= SPEEDUP_TARGET,
+        "gate_ok": report["gate"]["ok"],
+    }
+    report["speedup_target"] = SPEEDUP_TARGET
+    report["ok"] = all(report["checks"].values())
+    return report
+
+
+def baseline_payload(report: dict) -> dict:
+    """The slice of a report worth committing as the gate baseline."""
+    return {
+        "benchmark": "perf-baseline",
+        "version": report["version"],
+        "settings": report["settings"],
+        "smoke": report["smoke"],
+        "calibration_s": report["calibration_s"],
+        "capture": {"wall_s": report["capture"]["wall_s"]},
+        "sanitize": {"wall_s": report["sanitize"]["wall_s"]},
+        "micro": {
+            "combined_speedup": report["micro"]["combined_speedup"],
+            **{
+                k: {"vector_s": report["micro"][k]["vector_s"]}
+                for k in ("dirty", "access", "written")
+            },
+        },
+    }
+
+
+def format_report(report: dict) -> str:
+    """Human-readable rendering of a :func:`run_perf_bench` report."""
+    lines = [
+        f"perf-bench (scale={report['settings']['scale']}, "
+        f"repeats={report['settings']['repeats']}, "
+        f"smoke={report['smoke']}, "
+        f"calibration {report['calibration_s'] * 1e3:.1f} ms)",
+    ]
+    cap = report["capture"]
+    lines.append(
+        f"  capture:  {cap['wall_s'] * 1e3:8.1f} ms over "
+        f"{len(cap['apps'])} app(s) × {len(CKPT_MODES)} modes × "
+        f"{cap['repeats']} repeats, digests "
+        + ("match" if cap["digests_ok"] else "MISMATCH")
+    )
+    san = report["sanitize"]
+    pl = san["planted"]
+    lines.append(
+        f"  sanitize: {san['wall_s'] * 1e3:8.1f} ms, "
+        + ("clean" if san["clean"] else "HAZARDS")
+        + f"; planted {pl['detected']}/{pl['positives']} detected, "
+        f"{pl['false_positives']} false positive(s) on "
+        f"{pl['negatives']} negative(s)"
+    )
+    for key in ("dirty", "access", "written"):
+        m = report["micro"][key]
+        lines.append(
+            f"  micro/{key:<8} legacy {m['legacy_s'] * 1e3:8.1f} ms   "
+            f"vector {m['vector_s'] * 1e3:8.1f} ms   "
+            f"{m['speedup']:6.1f}x "
+            + ("(equal)" if m["equal"] else "(OUTPUT MISMATCH)")
+        )
+    lines.append(
+        f"  combined speedup: {report['micro']['combined_speedup']:.1f}x "
+        f"(target ≥{report['speedup_target']:.0f}x)"
+    )
+    gate = report["gate"]
+    if not gate.get("baseline_found"):
+        lines.append("  gate:     no baseline — recording run only")
+    else:
+        worst = max(gate["ratios"], key=gate["ratios"].get)
+        lines.append(
+            f"  gate:     max normalized ratio "
+            f"{gate['max_ratio']:.3f}x (limit {gate['limit']}x, "
+            f"worst: {worst}) "
+            + ("[ok]" if gate["ok"] else "[FAIL]")
+        )
+    checks = ", ".join(
+        f"{k}={'ok' if v else 'FAIL'}" for k, v in report["checks"].items()
+    )
+    lines.append(f"  checks:   {checks}")
+    lines.append(f"  verdict:  {'PASS' if report['ok'] else 'FAIL'}")
+    return "\n".join(lines)

@@ -38,11 +38,13 @@ from __future__ import annotations
 import itertools
 from dataclasses import dataclass, field
 
-from repro.gpu.memory import merge_spans, subtract_spans
+import numpy as np
+
+from repro.gpu.intervals import SpanSet
 from repro.gpu.timing import SANITIZER_CHECK_NS
 from repro.gpu.uvm import UVM_PAGE, ManagedBuffer
 from repro.sanitizer.hazards import HazardReport, SanitizerReport
-from repro.sanitizer.vector_clock import VectorClock
+from repro.sanitizer.vector_clock import ClockMatrix, VectorClock
 
 #: All checkers, in report order.
 CHECKERS = ("racecheck", "synccheck", "memcheck", "initcheck")
@@ -75,6 +77,75 @@ class _OpCtx:
     label: str
 
 
+class _AccessIndex:
+    """Vectorized mirror of a buffer's access history.
+
+    Byte ranges, stream ids, and write flags live in growable numpy
+    arrays aligned row-for-row with ``_BufState.accesses``; clocks live
+    in a :class:`ClockMatrix`. :meth:`race_rows` answers "which recorded
+    accesses race this op" with a handful of array reductions instead of
+    the legacy per-access Python scan — same rows, same order.
+    """
+
+    __slots__ = ("_lo", "_hi", "_sid", "_write", "_clocks", "_n")
+
+    def __init__(self) -> None:
+        self._lo = np.zeros(16, dtype=np.int64)
+        self._hi = np.zeros(16, dtype=np.int64)
+        self._sid = np.zeros(16, dtype=np.int64)
+        self._write = np.zeros(16, dtype=bool)
+        self._clocks = ClockMatrix()
+        self._n = 0
+
+    def __len__(self) -> int:
+        return self._n
+
+    def add(self, a: _Access) -> None:
+        """Append one access (row index == position in the list)."""
+        if self._n >= self._lo.size:
+            for name in ("_lo", "_hi", "_sid", "_write"):
+                arr = getattr(self, name)
+                grown = np.zeros(2 * arr.size, dtype=arr.dtype)
+                grown[: self._n] = arr[: self._n]
+                setattr(self, name, grown)
+        self._lo[self._n] = a.lo
+        self._hi[self._n] = a.hi
+        self._sid[self._n] = a.sid
+        self._write[self._n] = a.write
+        self._clocks.append(a.clock)
+        self._n += 1
+
+    def rebuild(self, accesses: list[_Access]) -> None:
+        """Re-index after a prune rewrote the access list."""
+        self._n = 0
+        self._clocks.clear()
+        for a in accesses:
+            self.add(a)
+
+    def race_rows(
+        self, r_lo: int, r_hi: int, sid: int, write: bool, clock: VectorClock
+    ) -> list[int]:
+        """Row indices of recorded accesses racing the given op, in
+        recording order: overlapping bytes, different stream, ≥1 write,
+        concurrent clocks."""
+        n = self._n
+        if n == 0:
+            return []
+        mask = (self._hi[:n] > r_lo) & (self._lo[:n] < r_hi)
+        mask &= self._sid[:n] != sid
+        if not write:
+            mask &= self._write[:n]
+        if not mask.any():
+            return []
+        row_leq, q_leq = self._clocks.versus(clock)
+        mask &= ~row_leq & ~q_leq
+        return np.flatnonzero(mask).tolist()
+
+    def dominated_rows(self, frontier: VectorClock) -> np.ndarray:
+        """Bool array: rows whose clock is ≤ ``frontier``."""
+        return self._clocks.versus(frontier)[0]
+
+
 @dataclass
 class _BufState:
     """Sanitizer-side shadow state of one live buffer."""
@@ -85,8 +156,10 @@ class _BufState:
     kind: str
     paged: bool  # managed: race at UVM page granularity
     accesses: list[_Access] = field(default_factory=list)
-    #: merged (lo, hi) byte spans ever written (initcheck coverage)
-    written: list[tuple[int, int]] = field(default_factory=list)
+    #: vectorized index over ``accesses`` (kept in lockstep)
+    index: _AccessIndex = field(default_factory=_AccessIndex)
+    #: byte spans ever written (initcheck coverage)
+    written: SpanSet = field(default_factory=SpanSet)
 
 
 class Sanitizer:
@@ -150,7 +223,7 @@ class Sanitizer:
                 self._preexisting.add((buf.addr, buf.uid))
                 st = self._state(buf)
                 # Pre-attach history is unknown: assume initialized.
-                st.written = [(0, buf.size)]
+                st.written = SpanSet([(0, buf.size)])
 
     def detach(self) -> None:
         """Unhook from the current runtime (shadow state is kept)."""
@@ -309,35 +382,31 @@ class Sanitizer:
         else:
             r_lo, r_hi = lo, hi
         if op is not None and "racecheck" in self.checkers:
-            for a in st.accesses:
-                if a.hi <= r_lo or a.lo >= r_hi:
-                    continue
-                if not (write or a.write) or a.sid == op.sid:
-                    continue
-                if a.clock.concurrent_with(op.clock):
-                    kind = (
-                        "write-write" if (write and a.write) else "read-write"
-                    )
-                    unit = "page" if st.paged else "byte"
-                    self._emit(
-                        "racecheck", kind,
-                        f"{a.label} (stream {a.sid}, op #{a.op_id}) and "
-                        f"{label} (stream {op.sid}, op #{op.op_id}) touch "
-                        f"overlapping {unit} range "
-                        f"[{max(a.lo, r_lo)}, {min(a.hi, r_hi)}) "
-                        f"with no ordering edge",
-                        addr=st.addr,
-                        byte_range=(max(a.lo, r_lo), min(a.hi, r_hi)),
-                        stream_sids=(a.sid, op.sid),
-                        op_ids=(a.op_id, op.op_id),
-                        missing_edge=(
-                            f"cudaEventRecord on stream {a.sid} after op "
-                            f"#{a.op_id} + cudaStreamWaitEvent on stream "
-                            f"{op.sid} before op #{op.op_id}"
-                        ),
-                    )
+            for i in st.index.race_rows(r_lo, r_hi, op.sid, write, op.clock):
+                a = st.accesses[i]
+                kind = (
+                    "write-write" if (write and a.write) else "read-write"
+                )
+                unit = "page" if st.paged else "byte"
+                self._emit(
+                    "racecheck", kind,
+                    f"{a.label} (stream {a.sid}, op #{a.op_id}) and "
+                    f"{label} (stream {op.sid}, op #{op.op_id}) touch "
+                    f"overlapping {unit} range "
+                    f"[{max(a.lo, r_lo)}, {min(a.hi, r_hi)}) "
+                    f"with no ordering edge",
+                    addr=st.addr,
+                    byte_range=(max(a.lo, r_lo), min(a.hi, r_hi)),
+                    stream_sids=(a.sid, op.sid),
+                    op_ids=(a.op_id, op.op_id),
+                    missing_edge=(
+                        f"cudaEventRecord on stream {a.sid} after op "
+                        f"#{a.op_id} + cudaStreamWaitEvent on stream "
+                        f"{op.sid} before op #{op.op_id}"
+                    ),
+                )
         if not write and "initcheck" in self.checkers:
-            missing = subtract_spans([(lo, hi)], st.written)
+            missing = st.written.holes(lo, hi)
             if missing:
                 self._emit(
                     "initcheck", "uninitialized-read",
@@ -349,28 +418,115 @@ class Sanitizer:
                     op_ids=(op.op_id,) if op else (),
                 )
         if write:
-            st.written = merge_spans(st.written + [(lo, hi)])
+            st.written.add(lo, hi)
         if op is not None:
-            st.accesses.append(_Access(
-                r_lo, r_hi, write, op.sid, op.clock, op.op_id, label
-            ))
+            a = _Access(r_lo, r_hi, write, op.sid, op.clock, op.op_id, label)
+            st.accesses.append(a)
+            st.index.add(a)
             if len(st.accesses) > HISTORY_LIMIT:
                 self._prune(st)
 
-    def _prune(self, st: _BufState) -> None:
-        """Drop accesses every stream's clock dominates: any future op's
-        clock will dominate them too, so they can never race again."""
-        clocks = list(self._stream_clocks.values())
+    def _prune_frontier(self) -> VectorClock:
+        """The clock every *future* device op is guaranteed to dominate.
+
+        Componentwise min over all live stream clocks **and** the birth
+        clock of a hypothetical not-yet-created stream (host ⊔
+        default-stream barrier, the state ``_stream_clock`` seeds new
+        streams with). Without the birth clock the frontier over-prunes:
+        an access dominated by every *existing* stream — say its writer
+        plus one event-joined peer — is still concurrent with the first
+        op of a stream created later, because that op starts from the
+        host/barrier clocks, which may never have absorbed the access.
+        """
+        birth = self._host_clock.copy()
+        birth.join(self._default_barrier)
+        clocks = [*self._stream_clocks.values(), birth]
         keys = set()
         for c in clocks:
             keys.update(c.clocks)
-        frontier = VectorClock({
-            k: min(c.clocks.get(k, 0) for c in clocks) for k in keys
+        return VectorClock({
+            k: m for k in keys
+            if (m := min(c.clocks.get(k, 0) for c in clocks)) > 0
         })
-        st.accesses = [a for a in st.accesses if not a.clock.leq(frontier)]
+
+    def _prune(self, st: _BufState) -> None:
+        """Bound a buffer's access history without losing live races.
+
+        Three stages, mildest first:
+
+        1. **Frontier drop** (exact): discard accesses dominated by
+           :meth:`_prune_frontier` — every future op's clock dominates
+           the frontier, so ``a ≤ frontier ≤ c`` means ``a`` can never
+           be concurrent with a future ``c``.
+        2. **Coverage compaction** (exact): drop an access whose bytes
+           are fully covered by *later same-stream* accesses of at least
+           the same strength (writes need write coverage; reads any).
+           Same-stream clocks are totally ordered, so for the dropped
+           ``a``, a covering later ``b`` satisfies ``a ≤ b``; if ``a``
+           would race a future ``c`` then ``b ⋠ c`` (else ``a ≤ c``)
+           and ``c ⋠ b`` (a future op ticks its own component past
+           anything recorded), so ``b`` reports the race.
+        3. **Span summarization** (detection-sound): collapse what
+           remains into one access per (stream, write, merged span)
+           carrying the group's *newest* clock. Any race a summarized
+           access would hit still fires (same argument as 2 — the
+           newest same-stream clock dominates the group), but the
+           summary clock may claim concurrency an older member had
+           already lost, so pre-summary ops can over-report; counted in
+           ``report.history_summarized`` and only reachable with
+           hundreds of live never-synchronized accesses per buffer.
+           A group whose merged spans are still too fragmented (a
+           strided writer leaves one span per write, so merging alone
+           bounds nothing) is collapsed to its convex hull — also
+           detection-sound, over-approximating only in the hull's gaps,
+           which keeps the history hard-bounded per (stream, write).
+        """
+        dominated = st.index.dominated_rows(self._prune_frontier())
+        if dominated.any():
+            st.accesses = [
+                a for a, d in zip(st.accesses, dominated.tolist()) if not d
+            ]
+            st.index.rebuild(st.accesses)
+        if len(st.accesses) <= 4 * HISTORY_LIMIT:
+            return
+        self.report.history_compactions += 1
+        cover_any: dict[int, SpanSet] = {}
+        cover_write: dict[int, SpanSet] = {}
+        kept: list[_Access] = []
+        for a in reversed(st.accesses):
+            cov = (cover_write if a.write else cover_any).get(a.sid)
+            if cov is not None and cov.covers(a.lo, a.hi):
+                continue
+            kept.append(a)
+            cover_any.setdefault(a.sid, SpanSet()).add(a.lo, a.hi)
+            if a.write:
+                cover_write.setdefault(a.sid, SpanSet()).add(a.lo, a.hi)
+        kept.reverse()
+        st.accesses = kept
         if len(st.accesses) > 4 * HISTORY_LIMIT:
-            # Pathological (many never-synced streams): keep the tail.
-            st.accesses = st.accesses[-2 * HISTORY_LIMIT:]
+            self.report.history_summarized += 1
+            groups: dict[tuple[int, bool], tuple[SpanSet, _Access]] = {}
+            for a in st.accesses:
+                spans, newest = groups.get(
+                    (a.sid, a.write), (SpanSet(), a)
+                )
+                spans.add(a.lo, a.hi)
+                groups[(a.sid, a.write)] = (
+                    spans, a if a.op_id >= newest.op_id else newest
+                )
+            st.accesses = []
+            for (sid, write), (spans, newest) in sorted(groups.items()):
+                merged = spans.spans()
+                if len(merged) > HISTORY_LIMIT // 4:
+                    merged = [(merged[0][0], merged[-1][1])]
+                st.accesses.extend(
+                    _Access(
+                        lo, hi, write, sid, newest.clock, newest.op_id,
+                        f"history-summary:{newest.label}",
+                    )
+                    for lo, hi in merged
+                )
+        st.index.rebuild(st.accesses)
 
     # -- hooks: copies / memset / kernels ------------------------------------
 

@@ -43,10 +43,21 @@ class HazardReport:
 
 @dataclass
 class SanitizerReport:
-    """Everything one sanitizer run produced."""
+    """Everything one sanitizer run produced.
+
+    ``history_compactions`` counts exact same-stream coverage
+    compactions of a buffer's access history (lossless for race
+    detection); ``history_summarized`` counts the last-resort
+    per-(stream, write) span summarizations, which never miss a race
+    but may over-approximate the ordering of pre-summary ops — a
+    nonzero value flags that any racecheck positives on that run
+    deserve a second look.
+    """
 
     hazards: list[HazardReport] = field(default_factory=list)
     ops_instrumented: int = 0
+    history_compactions: int = 0
+    history_summarized: int = 0
 
     def by_checker(self) -> dict[str, list[HazardReport]]:
         """Hazards grouped by the checker that emitted them."""

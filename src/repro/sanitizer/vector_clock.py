@@ -22,6 +22,8 @@ component strictly greater on each side).
 
 from __future__ import annotations
 
+import numpy as np
+
 #: Key used for the host thread's component in a clock.
 HOST = "host"
 
@@ -61,3 +63,88 @@ class VectorClock:
             self.clocks.items(), key=lambda kv: str(kv[0])
         ))
         return f"VC({inner})"
+
+
+class ClockMatrix:
+    """Batched happens-before comparison against many stored clocks.
+
+    Stores appended clocks as rows of a growable int64 matrix, one
+    column per component ever seen (a missing component is 0, exactly
+    the :class:`VectorClock` convention). :meth:`versus` compares every
+    stored row against one query clock in two vectorized reductions —
+    the replacement for racecheck's per-access ``concurrent_with`` loop.
+    """
+
+    __slots__ = ("_cols", "_data", "_n")
+
+    def __init__(self) -> None:
+        self._cols: dict = {}  # component -> column index
+        self._data = np.zeros((16, 4), dtype=np.int64)
+        self._n = 0
+
+    def __len__(self) -> int:
+        return self._n
+
+    def _col(self, component) -> int:
+        j = self._cols.get(component)
+        if j is None:
+            j = len(self._cols)
+            self._cols[component] = j
+            if j >= self._data.shape[1]:
+                wider = np.zeros(
+                    (self._data.shape[0], 2 * self._data.shape[1]),
+                    dtype=np.int64,
+                )
+                wider[:, : self._data.shape[1]] = self._data
+                self._data = wider
+        return j
+
+    def append(self, clock: VectorClock) -> None:
+        """Add one clock as a new row."""
+        if self._n >= self._data.shape[0]:
+            taller = np.zeros(
+                (2 * self._data.shape[0], self._data.shape[1]),
+                dtype=np.int64,
+            )
+            taller[: self._n] = self._data[: self._n]
+            self._data = taller
+        self._data[self._n, :] = 0
+        for k, v in clock.clocks.items():
+            # _col may widen (reallocate) _data, so resolve the column
+            # before touching the array — a cached row view (or the
+            # array operand itself, which Python evaluates before the
+            # subscript) would go stale.
+            j = self._col(k)
+            self._data[self._n, j] = v
+        self._n += 1
+
+    def clear(self) -> None:
+        """Drop all rows (column mapping is kept)."""
+        self._n = 0
+
+    def versus(self, clock: VectorClock) -> tuple[np.ndarray, np.ndarray]:
+        """``(row_leq_clock, clock_leq_row)`` bool arrays over all rows.
+
+        ``row_leq_clock[i]`` is ``rows[i].leq(clock)``;
+        ``clock_leq_row[i]`` is ``clock.leq(rows[i])``. Concurrency is
+        ``~row_leq_clock & ~clock_leq_row``.
+        """
+        ncols = len(self._cols)
+        m = self._data[: self._n, :ncols]
+        q = np.zeros(ncols, dtype=np.int64)
+        fresh_positive = False
+        for k, v in clock.clocks.items():
+            j = self._cols.get(k)
+            if j is None:
+                # A component no stored row has: every row holds 0
+                # there, so rows stay ≤ the query, and a positive value
+                # makes the query ≤ no row.
+                fresh_positive = fresh_positive or v > 0
+            else:
+                q[j] = v
+        row_leq = (m <= q).all(axis=1)
+        if fresh_positive:
+            q_leq = np.zeros(self._n, dtype=bool)
+        else:
+            q_leq = (m >= q).all(axis=1)
+        return row_leq, q_leq

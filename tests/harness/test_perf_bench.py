@@ -1,0 +1,124 @@
+"""perf-bench harness: trace determinism, replay equality, gate math.
+
+The full benchmark runs in CI (``repro perf-bench --smoke``); these
+tests cover the pieces cheaply — tiny traces through both replay
+paths, and the regression-gate arithmetic against synthetic reports.
+"""
+
+import pytest
+
+from repro.gpu.dirty_legacy import LegacyDirtyIndex, LegacyWrittenSet
+from repro.gpu.intervals import EpochIntervalIndex, SpanSet
+from repro.harness.perf_bench import (
+    RATIO_FLOOR,
+    REGRESSION_LIMIT,
+    access_trace,
+    baseline_payload,
+    dirty_trace,
+    evaluate_gate,
+    legacy_access_scan,
+    replay_dirty,
+    replay_written,
+    vector_access_scan,
+    written_trace,
+)
+
+
+class TestTraces:
+    def test_traces_are_deterministic(self):
+        assert dirty_trace(50, 1 << 12, 3) == dirty_trace(50, 1 << 12, 3)
+        assert written_trace(50, 1 << 12, 3) == written_trace(50, 1 << 12, 3)
+        a1, p1 = access_trace(20, 10, 1 << 12, 3)
+        a2, p2 = access_trace(20, 10, 1 << 12, 3)
+        assert [(x[:4]) for x in a1] == [(x[:4]) for x in a2]
+        assert [c.clocks for *_, c in p1] == [c.clocks for *_, c in p2]
+
+    def test_dirty_replay_equal(self):
+        ops = dirty_trace(300, 1 << 12, seed=1)
+        assert replay_dirty(LegacyDirtyIndex(), ops) == (
+            replay_dirty(EpochIntervalIndex(), ops)
+        )
+
+    def test_written_replay_equal(self):
+        ops = written_trace(300, 1 << 12, seed=2)
+        assert replay_written(LegacyWrittenSet(), ops) == (
+            replay_written(SpanSet(), ops)
+        )
+
+    def test_access_scan_equal(self):
+        accesses, probes = access_trace(60, 40, 1 << 12, seed=4)
+        assert legacy_access_scan(accesses, probes) == (
+            vector_access_scan(accesses, probes)
+        )
+
+
+def _report(cal=0.1, cap=0.02, san=0.01, speedup=8.0):
+    return {
+        "version": 1,
+        "smoke": True,
+        "settings": {"scale": 1.0, "repeats": 3, "n_cuts": 4, "seed": 0,
+                     "gpu": "V100", "apps": ["gaussian"]},
+        "calibration_s": cal,
+        "capture": {"wall_s": cap},
+        "sanitize": {"wall_s": san},
+        "micro": {
+            "combined_speedup": speedup,
+            "dirty": {"vector_s": 0.5},
+            "access": {"vector_s": 0.05},
+            "written": {"vector_s": 0.01},
+        },
+    }
+
+
+class TestGate:
+    def test_no_baseline_is_ok(self):
+        gate = evaluate_gate(_report(), None)
+        assert gate["ok"] and not gate["baseline_found"]
+
+    def test_identical_run_passes(self):
+        gate = evaluate_gate(_report(), baseline_payload(_report()))
+        assert gate["baseline_found"]
+        assert gate["max_ratio"] == pytest.approx(1.0)
+        assert gate["ok"]
+
+    def test_large_regression_fails(self):
+        base = baseline_payload(_report())
+        gate = evaluate_gate(_report(cap=0.5), base)
+        assert gate["ratios"]["capture_wall_s"] > REGRESSION_LIMIT
+        assert not gate["ok"]
+
+    def test_slower_machine_is_normalized_away(self):
+        """Everything (calibration included) 2x slower: all ratios 1."""
+        base = baseline_payload(_report())
+        cur = _report(cal=0.2, cap=0.04, san=0.02)
+        gate = evaluate_gate(cur, base)
+        assert gate["max_ratio"] == pytest.approx(1.0)
+        assert gate["ok"]
+
+    def test_tiny_metric_jitter_is_damped(self):
+        """A few-ms metric doubling must not trip the gate (the floor
+        keeps sub-calibration noise out of the ratio)."""
+        base = baseline_payload(_report(san=0.004))
+        gate = evaluate_gate(_report(san=0.009), base)
+        assert gate["ratios"]["sanitize_wall_s"] < REGRESSION_LIMIT
+        assert gate["ok"]
+
+    def test_speedup_drop_fails(self):
+        base = baseline_payload(_report(speedup=8.0))
+        gate = evaluate_gate(_report(speedup=4.0), base)
+        assert gate["ratios"]["micro_speedup"] > REGRESSION_LIMIT
+        assert not gate["ok"]
+
+    def test_floor_is_positive(self):
+        assert RATIO_FLOOR > 0
+        assert REGRESSION_LIMIT > 1.0
+
+
+class TestBaselinePayload:
+    def test_payload_carries_gate_inputs_only(self):
+        pay = baseline_payload(_report())
+        assert pay["calibration_s"] == 0.1
+        assert pay["capture"] == {"wall_s": 0.02}
+        assert pay["sanitize"] == {"wall_s": 0.01}
+        assert pay["micro"]["combined_speedup"] == 8.0
+        assert "checks" not in pay

@@ -1,0 +1,145 @@
+"""History-prune soundness: no live race may be lost to pruning.
+
+The pruner's correctness hinges on the *frontier* — the clock every
+future device op is guaranteed to dominate. The original implementation
+took the componentwise min over the clocks of **existing** streams
+only; that over-prunes: an access dominated by its writer and one
+event-joined peer is still concurrent with the first op of a stream
+created *later*, whose clock starts from host ⊔ default-barrier (the
+birth clock) and may never have absorbed the access. These tests pin
+the fixed frontier and the exact/sound compaction stages behind it.
+"""
+
+import numpy as np
+import pytest
+
+from repro.sanitizer.core import HISTORY_LIMIT, Sanitizer
+from repro.sanitizer.planted import _machine
+from repro.sanitizer.vector_clock import HOST, VectorClock
+
+
+@pytest.fixture
+def machine():
+    return _machine()
+
+
+def races(san):
+    return [h for h in san.hazards if h.checker == "racecheck"]
+
+
+class TestFrontierBirthClock:
+    def test_frontier_includes_birth_clock(self):
+        """min must range over host ⊔ barrier, not just live streams."""
+        san = Sanitizer()
+        san._stream_clocks = {
+            1: VectorClock({1: 5, HOST: 2}),
+            2: VectorClock({1: 5, 2: 3, HOST: 2}),
+        }
+        san._host_clock = VectorClock({HOST: 2})
+        san._default_barrier = VectorClock()
+        frontier = san._prune_frontier()
+        # Component 1 is 5 in every live stream, but a stream created
+        # now would be born with clock {host: 2} — without component 1.
+        assert frontier.clocks == {HOST: 2}
+
+    def test_frontier_is_min_when_host_synced(self):
+        san = Sanitizer()
+        san._stream_clocks = {
+            1: VectorClock({1: 5, HOST: 2}),
+            2: VectorClock({1: 4, 2: 3, HOST: 2}),
+        }
+        san._host_clock = VectorClock({1: 4, HOST: 2})
+        san._default_barrier = VectorClock()
+        frontier = san._prune_frontier()
+        assert frontier.clocks == {1: 4, HOST: 2}
+
+    def test_late_stream_race_survives_prune(self, machine):
+        """Stream 1 writes; stream 2 joins via event and floods the
+        history past HISTORY_LIMIT; the host never syncs. A stream
+        created afterwards must still race stream 1's write — the old
+        existing-streams-only frontier dropped it here."""
+        rt, san = machine
+        s1, s2 = rt.cudaStreamCreate(), rt.cudaStreamCreate()
+        dst = rt.cudaMalloc(4096)
+        data = np.zeros(4096, dtype=np.uint8)
+        rt.cudaMemcpy(dst, data, 64, kind="h2d", stream=s1, async_=True)
+        e = rt.cudaEventCreate()
+        rt.cudaEventRecord(e, s1)
+        rt.cudaStreamWaitEvent(s2, e)
+        one = np.zeros(1, dtype=np.uint8)
+        for i in range(HISTORY_LIMIT + 20):
+            rt.cudaMemcpy(dst, one, 1, kind="h2d", stream=s2,
+                          async_=True, dst_offset=64 + i)
+        assert not san.hazards  # setup is fully ordered
+        s3 = rt.cudaStreamCreate()
+        rt.cudaMemcpy(dst, data, 64, kind="h2d", stream=s3, async_=True)
+        found = races(san)
+        assert found, "race against the pruned-away stream-1 write lost"
+        assert any(s1.sid in h.stream_sids and s3.sid in h.stream_sids
+                   for h in found)
+
+    def test_device_sync_lets_frontier_drop_history(self, machine):
+        """After a device-wide sync everything is ordered: the frontier
+        dominates the old accesses, prune drops them, and later ops on
+        any stream stay race-free."""
+        rt, san = machine
+        s1, s2 = rt.cudaStreamCreate(), rt.cudaStreamCreate()
+        dst = rt.cudaMalloc(4096)
+        one = np.zeros(1, dtype=np.uint8)
+        for i in range(HISTORY_LIMIT + 20):
+            rt.cudaMemcpy(dst, one, 1, kind="h2d", stream=s1,
+                          async_=True, dst_offset=i)
+        rt.cudaDeviceSynchronize()
+        # Push past the limit again so _prune runs with the frontier
+        # now dominating the pre-sync accesses.
+        for i in range(HISTORY_LIMIT + 20):
+            rt.cudaMemcpy(dst, one, 1, kind="h2d", stream=s2,
+                          async_=True, dst_offset=i)
+        assert not san.hazards
+        (st,) = [
+            s for s in san._buffers.values() if s.size == 4096
+        ]
+        # The pre-sync generation was provably dead and must be gone.
+        assert len(st.accesses) <= HISTORY_LIMIT + 20
+
+
+class TestPathologicalTail:
+    def test_summarization_bounds_history_and_keeps_detection(self,
+                                                              machine):
+        """> 4×HISTORY_LIMIT live, never-synchronized, same-stream
+        disjoint writes: exact compaction cannot shrink them, so span
+        summarization must bound the history — and the summarized
+        history must still catch a cross-stream race."""
+        rt, san = machine
+        s1 = rt.cudaStreamCreate()
+        n = 4 * HISTORY_LIMIT + 8
+        dst = rt.cudaMalloc(2 * n)
+        one = np.zeros(1, dtype=np.uint8)
+        for i in range(n):
+            rt.cudaMemcpy(dst, one, 1, kind="h2d", stream=s1,
+                          async_=True, dst_offset=2 * i)
+        assert not san.hazards
+        assert san.report.history_compactions >= 1
+        assert san.report.history_summarized >= 1
+        (st,) = [s for s in san._buffers.values() if s.size == 2 * n]
+        assert len(st.accesses) <= 4 * HISTORY_LIMIT
+        s2 = rt.cudaStreamCreate()
+        rt.cudaMemcpy(dst, one, 1, kind="h2d", stream=s2, async_=True)
+        assert races(san), "summarized history lost a live race"
+
+    def test_exact_compaction_alone_is_silent(self, machine):
+        """Same-stream *overwrites* of one range compact exactly: no
+        summarization, no false races afterwards."""
+        rt, san = machine
+        s1 = rt.cudaStreamCreate()
+        dst = rt.cudaMalloc(4096)
+        chunk = np.zeros(64, dtype=np.uint8)
+        for _ in range(4 * HISTORY_LIMIT + 8):
+            rt.cudaMemcpy(dst, chunk, 64, kind="h2d", stream=s1,
+                          async_=True)
+        assert not san.hazards
+        assert san.report.history_summarized == 0
+        rt.cudaStreamSynchronize(s1)
+        s2 = rt.cudaStreamCreate()
+        rt.cudaMemcpy(dst, chunk, 64, kind="h2d", stream=s2, async_=True)
+        assert not san.hazards
