@@ -25,6 +25,12 @@ Commands:
   (stop-ship-restore) blackout across heterogeneous nodes, elastic
   N → M restore, scripted link faults, and rung-4 node failover;
   emits ``BENCH_migration.json``;
+- ``serve-bench`` — multi-tenant serving-tier chaos campaign: hundreds
+  of concurrent sessions through admission control, checkpoint-backed
+  eviction, and the recovery ladder across fault cells (ECC, kernel
+  hangs, node death, eviction storms); gates on zero lost sessions,
+  digest equality, and p99 resume latency vs the committed baseline;
+  emits ``BENCH_serve.json``;
 - ``sanitize`` — compute-sanitizer-style hazard analysis: run one
   workload under the dynamic checkers (racecheck/synccheck/memcheck/
   initcheck), run the checkpoint-determinism lint, or run the full CI
@@ -251,6 +257,36 @@ def build_parser() -> argparse.ArgumentParser:
                     help="CI smoke mode: cap the scale and shrink the "
                     "elastic region")
     mg.add_argument("--seed", type=int, default=0)
+
+    sv = sub.add_parser(
+        "serve-bench",
+        help="multi-tenant serving-tier chaos campaign: admission, "
+        "eviction, recovery ladder, node death",
+    )
+    sv.add_argument("--sessions", type=int, default=200,
+                    help="concurrent sessions per cell")
+    sv.add_argument("--nodes", type=int, default=4,
+                    help="serving nodes in the pool")
+    sv.add_argument("--slots", type=int, default=12,
+                    help="GPU slots (hot sessions) per node")
+    sv.add_argument("--waves", type=int, default=2,
+                    help="request waves over the whole population")
+    sv.add_argument("--state-elems", type=int, default=64,
+                    help="float32 elements of per-session state")
+    sv.add_argument("--baseline", default=None, metavar="PATH",
+                    help="baseline JSON to gate against (default: "
+                    "benchmarks/BENCH_serve_baseline.json; '-' to skip "
+                    "the gate)")
+    sv.add_argument("--update-baseline", action="store_true",
+                    help="write this run's metrics to the baseline path "
+                    "instead of gating against it")
+    sv.add_argument("--out", default="BENCH_serve.json",
+                    metavar="PATH", help="write the JSON report here "
+                    "('-' to skip)")
+    sv.add_argument("--smoke", action="store_true",
+                    help="CI smoke mode: cap sessions and waves so the "
+                    "campaign finishes in seconds")
+    sv.add_argument("--seed", type=int, default=0)
 
     sz = sub.add_parser(
         "sanitize",
@@ -594,6 +630,50 @@ def cmd_migrate(args, out) -> int:
     return 0
 
 
+def cmd_serve_bench(args, out) -> int:
+    """``repro serve-bench``: serving-tier chaos campaign + gate."""
+    import json
+    import os
+
+    from repro.harness.serve_bench import (
+        DEFAULT_BASELINE,
+        baseline_payload,
+        format_serve_bench,
+        run_serve_bench,
+    )
+
+    baseline_path = args.baseline or DEFAULT_BASELINE
+    gate_path: str | None = baseline_path
+    if args.update_baseline or args.baseline == "-":
+        gate_path = None
+    elif not os.path.exists(baseline_path):
+        print(f"note: no baseline at {baseline_path}; "
+              "gate records this run only", file=out)
+    report = run_serve_bench(
+        sessions=args.sessions,
+        nodes=args.nodes,
+        slots=args.slots,
+        waves=args.waves,
+        seed=args.seed,
+        state_elems=args.state_elems,
+        smoke=args.smoke,
+        baseline=gate_path,
+    )
+    print(format_serve_bench(report), file=out)
+    if args.out != "-":
+        with open(args.out, "w") as fh:
+            json.dump(report, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"\nwrote {args.out}", file=out)
+    if args.update_baseline:
+        with open(baseline_path, "w") as fh:
+            json.dump(baseline_payload(report), fh, indent=2,
+                      sort_keys=True)
+            fh.write("\n")
+        print(f"wrote baseline {baseline_path}", file=out)
+    return 0 if report["ok"] else 1
+
+
 def cmd_sanitize(args, out) -> int:
     """``repro sanitize``: hazard analysis / lint / CI gate."""
     import json
@@ -738,6 +818,8 @@ def main(argv: list[str] | None = None, out=None) -> int:
         return cmd_fault_campaign(args, out)
     if args.command == "migrate":
         return cmd_migrate(args, out)
+    if args.command == "serve-bench":
+        return cmd_serve_bench(args, out)
     if args.command == "sanitize":
         return cmd_sanitize(args, out)
     if args.command == "trace":

@@ -108,10 +108,7 @@ def ship_chain(
     if gen is None:
         raise MigrationError(f"node {src.name!r} has no generation to ship")
     records = src.store.export_chain(gen)
-    pinned = [r["generation"] for r in records]
-    for g in pinned:
-        src.store.pin(g)
-    try:
+    with src.store.pin_guard(r["generation"] for r in records):
         by_src: dict[int, CheckpointImage] = {}
         imported: list[int] = []
         t = now_ns
@@ -128,9 +125,6 @@ def ship_chain(
             by_src[record["generation"]] = dst.store.get(g).image
             total_retries += used
             shipped += record["size_bytes"]
-    finally:
-        for g in pinned:
-            src.store.unpin(g)
     return {
         "generations": imported,
         "end_ns": t,
@@ -227,17 +221,46 @@ class LiveMigration:
         self._retries_used += used
         return record["size_bytes"], end
 
+    def _release_pins(self) -> None:
+        """Release every in-flight pin this migration still holds.
+
+        Runs on success (the destination's imports are the
+        acknowledgement) and on every failure path (no acknowledgement
+        will ever come) — a migration that dies mid-ship must never
+        leave pinned generations behind to wedge the source's keep-N GC.
+        """
+        while self._pinned:
+            self.src.store.unpin(self._pinned.pop())
+
+    def abort(self) -> None:
+        """Abandon the migration: release pins, mark the machine failed.
+
+        Idempotent; the failure paths of :meth:`begin`,
+        :meth:`precopy_round`, and :meth:`cutover` call this before
+        re-raising, and a caller that stops driving a live migration
+        early (e.g. the destination node died between rounds) should
+        call it too.
+        """
+        self._release_pins()
+        self.phase = "failed"
+
     def begin(self) -> int:
         """Drain + full checkpoint; ship it in the background.
 
         The app resumes as soon as the checkpoint is cut — the base
         image crosses the wire on the shipping timeline while execution
-        continues. Returns the source generation id.
+        continues. Returns the source generation id. A failed ship
+        (persistent link faults) aborts the migration: pins are
+        released and the error propagates.
         """
         if self.phase != "idle":
             raise MigrationError(f"begin() in phase {self.phase!r}")
-        gen = self._checkpoint(incremental=False)
-        self._full_bytes, _ = self._ship(gen)
+        try:
+            gen = self._checkpoint(incremental=False)
+            self._full_bytes, _ = self._ship(gen)
+        except Exception:
+            self.abort()
+            raise
         self.phase = "precopy"
         return gen
 
@@ -245,8 +268,12 @@ class LiveMigration:
         """Cut + background-ship one incremental delta; returns its bytes."""
         if self.phase != "precopy":
             raise MigrationError(f"precopy_round() in phase {self.phase!r}")
-        gen = self._checkpoint(incremental=True)
-        nbytes, _ = self._ship(gen)
+        try:
+            gen = self._checkpoint(incremental=True)
+            nbytes, _ = self._ship(gen)
+        except Exception:
+            self.abort()
+            raise
         self._delta_bytes += nbytes
         self._rounds += 1
         return nbytes
@@ -262,23 +289,26 @@ class LiveMigration:
         if self.phase != "precopy":
             raise MigrationError(f"cutover() in phase {self.phase!r}")
         t_cut = self.session.process.clock_ns
-        gen = self._checkpoint(incremental=True)
-        nbytes, end = self._ship(gen)
-        self._delta_bytes += nbytes
-        if end > self.session.process.clock_ns:
-            # The final delta's wire time is inside the blackout.
-            self.session.process.advance_to(end)
-        self.session.kill()
-        self.session.gpu = self.dst.gpu
-        restart = self.session.restart_latest(
-            self.dst.store, allow_heterogeneous=True
-        )
+        try:
+            gen = self._checkpoint(incremental=True)
+            nbytes, end = self._ship(gen)
+            self._delta_bytes += nbytes
+            if end > self.session.process.clock_ns:
+                # The final delta's wire time is inside the blackout.
+                self.session.process.advance_to(end)
+            self.session.kill()
+            self.session.gpu = self.dst.gpu
+            restart = self.session.restart_latest(
+                self.dst.store, allow_heterogeneous=True
+            )
+        except Exception:
+            self.abort()
+            raise
         blackout = self.session.process.clock_ns - t_cut
         if self.job in self.src.sessions:
             self.src.release(self.job)
         self.dst.adopt(self.job, self.session)
-        for g in self._pinned:
-            self.src.store.unpin(g)
+        self._release_pins()
         self.phase = "done"
         return MigrationReport(
             mode="live", job=self.job, src=self.src.name, dst=self.dst.name,

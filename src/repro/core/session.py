@@ -1066,6 +1066,26 @@ class FaultDomain:
         )
         self._trace_rung("failover", t_fault, attempt, exc)
 
+    def failover_now(self, exc: Exception) -> None:
+        """Take the failover rung outside a guarded call.
+
+        The serve tier detects node death through its own heartbeat
+        sweep, not through a failed runtime call — there may be no
+        in-flight op to fail when the node is declared dead. This entry
+        point runs the same rung-4 mechanics (pre-fault snapshot,
+        handler-driven cross-node restore, deterministic redo) under
+        the same per-episode budget, so a tier-initiated failover is
+        indistinguishable from a ladder-initiated one in the report.
+        """
+        if self.failover_handler is None:
+            raise ValueError("failover_now needs an installed failover_handler")
+        if not isinstance(exc, CudaError):
+            exc = cuda_error(
+                CudaErrorCode.HEARTBEAT_LOST,
+                f"node declared dead by the serving tier: {exc!r}",
+            )
+        self._failover(1, exc)
+
     # -- op-log retirement -----------------------------------------------------
 
     def _note_synced(self, sync_scope) -> None:

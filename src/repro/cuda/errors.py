@@ -44,6 +44,9 @@ class CudaErrorCode(enum.Enum):
     NOT_SUPPORTED = 801
     LIBRARY_STATE_INCONSISTENT = 999  # simulation-specific: post-restore UVA mismatch
     # -- simulation-specific runtime fault conditions (≥ 990) --
+    SERVE_ADMISSION_REJECTED = 990
+    SERVE_SESSION_EVICTED = 991
+    SERVE_DEADLINE_EXCEEDED = 992
     HEARTBEAT_LOST = 993
     STREAM_STALLED = 994
     TRANSFER_CRC_MISMATCH = 995
@@ -73,6 +76,14 @@ SEVERITY: dict[CudaErrorCode, ErrorSeverity] = {
     CudaErrorCode.LAUNCH_FAILURE: ErrorSeverity.STICKY,
     CudaErrorCode.NOT_SUPPORTED: ErrorSeverity.PROGRAM,
     CudaErrorCode.LIBRARY_STATE_INCONSISTENT: ErrorSeverity.FATAL,
+    # Serve-tier conditions (repro.serve): admission rejection is
+    # backpressure (retry after backoff is exactly the right response),
+    # an evicted session heals by rehydration + re-issue (retryable),
+    # and a missed deadline is deterministic — no recovery rung can
+    # un-miss it, so the ladder surfaces it like API misuse.
+    CudaErrorCode.SERVE_ADMISSION_REJECTED: ErrorSeverity.RETRYABLE,
+    CudaErrorCode.SERVE_SESSION_EVICTED: ErrorSeverity.RETRYABLE,
+    CudaErrorCode.SERVE_DEADLINE_EXCEEDED: ErrorSeverity.PROGRAM,
     CudaErrorCode.HEARTBEAT_LOST: ErrorSeverity.FATAL,
     CudaErrorCode.STREAM_STALLED: ErrorSeverity.STICKY,
     CudaErrorCode.TRANSFER_CRC_MISMATCH: ErrorSeverity.RETRYABLE,

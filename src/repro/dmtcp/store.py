@@ -32,8 +32,9 @@ lifecycle:
 from __future__ import annotations
 
 import zlib
+from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Iterator
+from typing import TYPE_CHECKING, Iterable, Iterator
 
 from repro.dmtcp.image import CheckpointImage
 from repro.errors import CheckpointStoreError, CorruptCheckpointError
@@ -278,6 +279,29 @@ class CheckpointStore:
     def pinned(self) -> list[int]:
         """Currently pinned generation ids, oldest first."""
         return sorted(self._pins)
+
+    @contextmanager
+    def pin_guard(self, generations: Iterable[int]):
+        """Pin ``generations`` for the duration of a ``with`` block.
+
+        The balance guarantee every shipping path needs: however the
+        block exits — a clean import acknowledgement, a
+        :class:`~repro.errors.CorruptCheckpointError` from arrival
+        re-verification, a :class:`~repro.errors.MigrationError` after
+        the retry budget, or a dead destination — every pin taken here
+        is released, so an abandoned shipment can never wedge keep-N GC.
+        Only generations that were successfully pinned are unpinned
+        (a missing generation raises before any later pin is taken).
+        """
+        taken: list[int] = []
+        try:
+            for gen in generations:
+                self.pin(gen)
+                taken.append(gen)
+            yield taken
+        finally:
+            for gen in taken:
+                self.unpin(gen)
 
     # -- portability: export / import ------------------------------------------
 

@@ -202,6 +202,73 @@ class MigrationError(ClusterError):
     """
 
 
+class ServeError(ReproError):
+    """Invalid operation on the multi-tenant session-serving tier."""
+
+
+class AdmissionRejectedError(CudaError, ServeError):
+    """The serving tier shed this request at admission (load shedding).
+
+    Raised when the bounded admission queue is full: accepting more work
+    would collapse latency for everything already admitted, so the tier
+    rejects *typed* instead. Routed through the CUDA error taxonomy as
+    ``SERVE_ADMISSION_REJECTED`` (severity *retryable* — backing off and
+    re-offering the request later is exactly the right client response).
+    """
+
+    def __init__(self, msg: str) -> None:
+        from repro.cuda.errors import CudaErrorCode
+
+        super().__init__(msg, code=CudaErrorCode.SERVE_ADMISSION_REJECTED)
+
+
+class SessionEvictedError(CudaError, ServeError):
+    """The target session is parked as a checkpoint image, not live.
+
+    Raised when an operation reaches a session whose hot state was
+    evicted under memory pressure. Severity *retryable*
+    (``SERVE_SESSION_EVICTED``): rehydrating the session via
+    ``restart_latest`` and re-issuing the operation heals it — which is
+    what the serve scheduler does transparently; the error only
+    surfaces when rehydration itself is impossible (e.g. a quarantined
+    session).
+    """
+
+    def __init__(self, sid: str, msg: str = "") -> None:
+        from repro.cuda.errors import CudaErrorCode
+
+        self.sid = sid
+        super().__init__(
+            msg or f"session {sid!r} is parked as a checkpoint image",
+            code=CudaErrorCode.SERVE_SESSION_EVICTED,
+        )
+
+
+class ServeDeadlineExceededError(CudaError, ServeError):
+    """A request missed its per-session service deadline.
+
+    By the time a slot freed up the request had already waited past its
+    deadline; serving it would waste capacity on an answer nobody is
+    waiting for. Severity *program* (``SERVE_DEADLINE_EXCEEDED``): the
+    miss is deterministic — no recovery rung can un-miss a deadline —
+    so the ladder surfaces it to the caller unchanged and the tier
+    sheds the request.
+    """
+
+    def __init__(self, sid: str, waited_ns: float, deadline_ns: float) -> None:
+        from repro.cuda.errors import CudaErrorCode
+
+        self.sid = sid
+        self.waited_ns = waited_ns
+        self.deadline_ns = deadline_ns
+        super().__init__(
+            f"request for session {sid!r} waited "
+            f"{waited_ns / 1e6:.2f} ms > deadline "
+            f"{deadline_ns / 1e6:.2f} ms",
+            code=CudaErrorCode.SERVE_DEADLINE_EXCEEDED,
+        )
+
+
 class UnsupportedFeatureError(ReproError):
     """A baseline system was asked to do something it cannot do.
 

@@ -1,0 +1,53 @@
+"""LRU hot-set bookkeeping behind checkpoint-backed eviction.
+
+The scheduler keeps every *hot* (live-on-a-GPU-slot) session in one
+global recency order; when a node's slots fill up, the least recently
+used hot session *on that node* is parked as a checkpoint image. The
+structure is deliberately dumb — an insertion-ordered dict with
+move-to-end on touch — because eviction policy must be deterministic for
+campaigns to be bit-reproducible.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator
+
+
+class LruHotSet:
+    """Recency order over hot session ids (LRU first in iteration)."""
+
+    def __init__(self) -> None:
+        # dict preserves insertion order; touch() reinserts at the end,
+        # so iteration order is least- to most-recently used.
+        self._order: dict[str, None] = {}
+
+    def touch(self, sid: str) -> None:
+        """Mark ``sid`` hot and most recently used."""
+        self._order.pop(sid, None)
+        self._order[sid] = None
+
+    def discard(self, sid: str) -> None:
+        """Remove ``sid`` from the hot set (idempotent)."""
+        self._order.pop(sid, None)
+
+    def lru(
+        self, predicate: Callable[[str], bool] | None = None
+    ) -> str | None:
+        """Least recently used hot sid (optionally filtered), or None."""
+        for sid in self._order:
+            if predicate is None or predicate(sid):
+                return sid
+        return None
+
+    def members(self) -> list[str]:
+        """Hot sids, least recently used first."""
+        return list(self._order)
+
+    def __contains__(self, sid: str) -> bool:
+        return sid in self._order
+
+    def __len__(self) -> int:
+        return len(self._order)
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._order)

@@ -115,6 +115,27 @@ class MetricsRegistry:
             m = self._histograms[name] = HistogramMetric(name)
         return m
 
+    def merge(self, other: "MetricsRegistry") -> None:
+        """Fold ``other``'s metrics into this registry.
+
+        Counters add, gauges take the other's (later) value, histograms
+        fold count/total/min/max and add per-bucket counts — so merging
+        per-cell registries yields the same snapshot a single shared
+        registry would have produced.
+        """
+        for name, m in other._counters.items():
+            self.counter(name).inc(m.value)
+        for name, m in other._gauges.items():
+            self.gauge(name).set(m.value)
+        for name, m in other._histograms.items():
+            mine = self.histogram(name)
+            mine.count += m.count
+            mine.total += m.total
+            mine.min = min(mine.min, m.min)
+            mine.max = max(mine.max, m.max)
+            for exp, n in m.buckets.items():
+                mine.buckets[exp] = mine.buckets.get(exp, 0) + n
+
     def snapshot(self) -> dict:
         """JSON-safe, key-sorted snapshot of every registered metric."""
         return {

@@ -1,0 +1,85 @@
+"""Admission control: bounded queue, typed shedding, deadlines."""
+
+import pytest
+
+from repro.cuda.errors import CudaErrorCode
+from repro.errors import (
+    AdmissionRejectedError,
+    ServeDeadlineExceededError,
+    ServeError,
+)
+from repro.serve import AdmissionController
+
+
+def test_admits_until_queue_full_then_rejects_typed():
+    ac = AdmissionController(max_queue=3, deadline_ns=1e12)
+    for i in range(3):
+        ac.offer(f"s{i}")
+    with pytest.raises(AdmissionRejectedError) as exc:
+        ac.offer("s3")
+    assert ac.rejected == 1
+    assert ac.admitted == 3
+    # The rejection rides the CUDA severity taxonomy: retryable, so a
+    # client (or the ladder) knows backing off and re-offering is sound.
+    assert exc.value.code is CudaErrorCode.SERVE_ADMISSION_REJECTED
+    assert exc.value.retryable
+    assert isinstance(exc.value, ServeError)
+
+
+def test_release_frees_the_slot():
+    ac = AdmissionController(max_queue=1, deadline_ns=1e12)
+    ac.offer("a")
+    with pytest.raises(AdmissionRejectedError):
+        ac.offer("b")
+    ac.release("a")
+    assert ac.offer("b") >= 0.0
+    ac.release("b")
+    ac.release("b")  # idempotent
+
+
+def test_duplicate_inflight_sid_is_rejected():
+    ac = AdmissionController(max_queue=8)
+    ac.offer("a")
+    with pytest.raises(AdmissionRejectedError):
+        ac.offer("a")
+
+
+def test_deadline_miss_is_typed_and_deterministic():
+    ac = AdmissionController(
+        max_queue=100, deadline_ns=1e6, service_estimate_ns=1e6, servers=1
+    )
+    ac.offer("a")
+    ac.offer("b")  # wait = 1e6 == deadline: still admitted
+    with pytest.raises(ServeDeadlineExceededError) as exc:
+        ac.offer("c")  # wait = 2e6 > deadline
+    assert ac.deadline_missed == 1
+    # Deterministic miss: no recovery rung can un-miss a deadline.
+    assert exc.value.code is CudaErrorCode.SERVE_DEADLINE_EXCEEDED
+    assert exc.value.severity == "program"
+    assert exc.value.sid == "c"
+    assert exc.value.waited_ns > exc.value.deadline_ns
+
+
+def test_wait_estimate_scales_with_depth_and_servers():
+    ac = AdmissionController(
+        max_queue=100, deadline_ns=1e12,
+        service_estimate_ns=100.0, servers=4,
+    )
+    waits = [ac.offer(f"s{i}") for i in range(8)]
+    assert waits[0] == 0.0
+    assert waits[3] == 0.0  # still within the 4 servers
+    assert waits[4] == 100.0
+    assert waits[7] == 100.0
+    assert ac.estimate_wait_ns() == 200.0
+
+
+def test_snapshot_counts():
+    ac = AdmissionController(max_queue=1, deadline_ns=1e12)
+    ac.offer("a")
+    with pytest.raises(AdmissionRejectedError):
+        ac.offer("b")
+    snap = ac.snapshot()
+    assert snap == {
+        "offered": 2, "admitted": 1, "rejected": 1,
+        "deadline_missed": 0, "depth": 1, "max_queue": 1,
+    }

@@ -1,0 +1,41 @@
+"""LRU hot-set bookkeeping: recency order, filtered victim choice."""
+
+from repro.serve import LruHotSet
+
+
+def test_touch_moves_to_most_recent():
+    hot = LruHotSet()
+    for sid in ("a", "b", "c"):
+        hot.touch(sid)
+    assert hot.members() == ["a", "b", "c"]
+    hot.touch("a")
+    assert hot.members() == ["b", "c", "a"]
+    assert hot.lru() == "b"
+
+
+def test_lru_with_predicate_picks_first_match():
+    hot = LruHotSet()
+    for sid in ("a", "b", "c", "d"):
+        hot.touch(sid)
+    node_members = {"b", "d"}
+    assert hot.lru(lambda s: s in node_members) == "b"
+    hot.touch("b")
+    assert hot.lru(lambda s: s in node_members) == "d"
+
+
+def test_discard_and_empty():
+    hot = LruHotSet()
+    hot.touch("a")
+    hot.discard("a")
+    hot.discard("a")  # idempotent
+    assert len(hot) == 0
+    assert hot.lru() is None
+    assert "a" not in hot
+
+
+def test_iteration_is_lru_first():
+    hot = LruHotSet()
+    for sid in ("x", "y", "z"):
+        hot.touch(sid)
+    hot.touch("x")
+    assert list(hot) == ["y", "z", "x"]

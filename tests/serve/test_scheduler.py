@@ -1,0 +1,206 @@
+"""The serving tier end to end: park/rehydrate, chaos, node death."""
+
+import numpy as np
+
+from repro.apps.base import digest_arrays
+from repro.errors import SessionEvictedError
+from repro.harness.fault_injection import FaultSpec
+from repro.serve import SessionPool, ServeScheduler
+from repro.serve.scheduler import reference_digest
+
+N = 32
+
+
+def make_tier(n_nodes=2, slots=2, seed=3, **kwargs):
+    pool = SessionPool(n_nodes, slots=slots, seed=seed)
+    return pool, ServeScheduler(pool, seed=seed, state_elems=N, **kwargs)
+
+
+def close_all(sched, sids):
+    results = [sched.close_session(sid) for sid in sids]
+    assert all(not r["lost"] for r in results), results
+    assert all(r["ok"] for r in results), results
+    return results
+
+
+class TestEvictionRehydration:
+    def test_park_rehydrate_is_digest_equal(self):
+        # 5 sessions over 4 slots: every wave churns someone through
+        # park + rehydrate, and every digest must still match the
+        # pure-numpy replay of exactly the requests that session served.
+        pool, sched = make_tier()
+        sids = [f"s{i}" for i in range(5)]
+        for sid in sids:
+            sched.open_session(sid)
+        for _ in range(3):
+            for sid in sids:
+                sched.handle_request(sid)
+        results = close_all(sched, sids)
+        assert sum(r["parks"] for r in results) > 0
+        assert sum(r["rehydrates"] for r in results) > 0
+
+    def test_parked_session_holds_no_gpu_slot(self):
+        pool, sched = make_tier()
+        for i in range(5):
+            sched.open_session(f"s{i}")
+        for node in pool.nodes:
+            assert len(node.hot) <= node.slots
+        states = sched.states()
+        assert states["hot"] == 4
+        assert states["parked"] == 1
+
+    def test_parks_are_incremental_after_the_anchor(self):
+        pool, sched = make_tier(slots=1)
+        sched.open_session("a")
+        sched.handle_request("a")
+        sched.open_session("b")  # lands on the other 1-slot node
+        # "c" fills the pool past capacity and parks "a": the park rides
+        # the anchor generation as an incremental delta.
+        sched.open_session("c")
+        rec = sched.records["a"]
+        assert rec.state == "parked"
+        latest = rec.store.get(rec.store.latest())
+        assert latest.image.parent is not None
+
+    def test_every_session_has_an_off_node_shadow(self):
+        pool, sched = make_tier()
+        sched.open_session("a")
+        home = sched.records["a"].node
+        shadow = pool.shadow_home("a")
+        assert shadow is not None and shadow is not home
+
+
+class TestChaosWhileServing:
+    def test_ecc_storm_stays_digest_equal(self):
+        plan = [FaultSpec("ecc", probability=0.10, max_fires=2)]
+        pool, sched = make_tier(seed=17, fault_plan=plan)
+        sids = [f"e{i}" for i in range(5)]
+        for sid in sids:
+            sched.open_session(sid)
+        for _ in range(4):
+            for sid in sids:
+                sched.handle_request(sid)
+        close_all(sched, sids)
+        counters = sched.metrics.snapshot()["counters"]
+        assert counters.get("serve.recovery.restore", 0) > 0
+
+    def test_kernel_hang_stays_digest_equal(self):
+        plan = [FaultSpec("kernel-hang", probability=0.10, max_fires=2)]
+        pool, sched = make_tier(seed=23, fault_plan=plan)
+        sids = [f"k{i}" for i in range(5)]
+        for sid in sids:
+            sched.open_session(sid)
+        for _ in range(4):
+            for sid in sids:
+                sched.handle_request(sid)
+        close_all(sched, sids)
+        counters = sched.metrics.snapshot()["counters"]
+        assert counters.get("serve.recovery.stream-reset", 0) > 0
+
+    def test_recovery_budget_quarantines_not_crashes(self):
+        # Budget 0: the first recovered fault tips the session into
+        # quarantine. Further requests shed typed; close still verifies.
+        plan = [FaultSpec("ecc", at_count=2, max_fires=1)]
+        pool, sched = make_tier(seed=29, fault_plan=plan,
+                                recovery_budget=0)
+        sched.open_session("q")
+        sched.open_session("other")
+        served = 0
+        quarantined_at = None
+        for r in range(6):
+            try:
+                sched.handle_request("q")
+                served += 1
+            except SessionEvictedError as exc:
+                assert exc.sid == "q"
+                quarantined_at = r
+                break
+        assert quarantined_at is not None
+        assert sched.records["q"].state == "quarantined"
+        counters = sched.metrics.snapshot()["counters"]
+        assert counters.get("serve.quarantined", 0) == 1
+        assert counters.get("serve.requests.shed_quarantined", 0) >= 0
+        # The quarantined session is still restorable and digest-equal.
+        result = sched.close_session("q")
+        assert result["ok"] and not result["lost"]
+        assert result["requests"] == served
+
+
+class TestNodeDeath:
+    def test_hot_sessions_fail_over_digest_equal(self):
+        pool, sched = make_tier(n_nodes=3, slots=3, seed=31)
+        sids = [f"n{i}" for i in range(6)]
+        for sid in sids:
+            sched.open_session(sid)
+        for sid in sids:
+            sched.handle_request(sid)
+        victim = sched.records[sids[0]].node
+        moved = sorted(victim.hot)
+        pool.fail(victim.name)
+        assert sched.sweep() == [victim.name]
+        assert sched.sweep() == []  # idempotent
+        for sid in moved:
+            rec = sched.records[sid]
+            assert rec.node is not victim and rec.node.alive
+            assert rec.failovers == 1
+        # The survivors keep serving; everyone closes digest-equal.
+        for sid in sids:
+            sched.handle_request(sid)
+        results = close_all(sched, sids)
+        assert sum(r["failovers"] for r in results) == len(moved)
+
+    def test_failover_charges_detection_latency(self):
+        pool, sched = make_tier(
+            n_nodes=3, slots=3, seed=37,
+            heartbeat_interval_s=0.5, max_missed=3,
+        )
+        sched.open_session("a")
+        sched.handle_request("a")
+        pool.fail(sched.records["a"].node.name)
+        sched.sweep()
+        # 3 missed 0.5 s heartbeats = 1.5 s of virtual detection time,
+        # charged into the failover resume latency.
+        assert sched.resume_ns[-1] >= 1.5e9
+
+    def test_parked_sessions_rehome_without_restore(self):
+        pool, sched = make_tier(n_nodes=3, slots=1, seed=41)
+        for sid in ("a", "b", "c"):
+            sched.open_session(sid)
+        sched.handle_request("a")
+        # "d" overfills the pool; the LRU victim ("b") parks on its home.
+        sched.open_session("d")
+        parked = [
+            s for s, r in sched.records.items() if r.state == "parked"
+        ]
+        assert len(parked) == 1
+        rec = sched.records[parked[0]]
+        home, restarts_before = rec.node, rec.rehydrates
+        pool.fail(home.name)
+        sched.sweep()
+        assert rec.node is not home and rec.node.alive
+        assert rec.rehydrates == restarts_before  # images moved, no restore
+        assert sched.handle_request(rec.sid)["sid"] == rec.sid
+        close_all(sched, ["a", "b", "c", "d"])
+
+
+class TestReferenceDigest:
+    def test_reference_matches_unfaulted_serving(self):
+        pool, sched = make_tier(slots=3, seed=43)
+        sched.open_session("r")
+        for _ in range(3):
+            sched.handle_request("r")
+        rec = sched.records["r"]
+        view = rec.session.backend.device_view(
+            rec.addr, rec.nbytes, np.float32
+        )
+        assert digest_arrays(view) == reference_digest(
+            43, "r", N, [0, 1, 2]
+        )
+
+    def test_reference_is_order_sensitive(self):
+        assert reference_digest(0, "s", N, [0, 1]) != reference_digest(
+            0, "s", N, [1, 0]
+        )
+        assert reference_digest(0, "s", N, [0]) != reference_digest(
+            0, "s", N, [0, 0]
+        )

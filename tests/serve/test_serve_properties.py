@@ -1,0 +1,70 @@
+"""Property test: no evict/rehydrate/fault schedule changes a digest.
+
+Hypothesis drives a random interleaving of requests, forced parks,
+node deaths, and injected runtime faults over a small session
+population. Whatever the schedule, every session that closes must be
+digest-equal to the pure-numpy reference replay of exactly the requests
+it served — the same state a never-evicted, never-faulted run would
+hold. This is the serving tier's transparency claim in its strongest
+form: checkpoint-backed eviction and the recovery ladder are invisible
+to session state.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.harness.fault_injection import FaultSpec
+from repro.serve import SessionPool, ServeScheduler
+
+N = 32
+SIDS = ("p0", "p1", "p2")
+
+step_strategy = st.lists(
+    st.one_of(
+        # serve one request to a random session
+        st.tuples(st.just("request"), st.integers(0, len(SIDS) - 1)),
+        # force-park a random session (no-op if not hot)
+        st.tuples(st.just("park"), st.integers(0, len(SIDS) - 1)),
+        # kill a node (at most one death; the pool needs 2 alive to
+        # place, so the 3-node pool tolerates exactly one)
+        st.tuples(st.just("node-death"), st.just(0)),
+    ),
+    min_size=2,
+    max_size=14,
+)
+
+fault_strategy = st.sampled_from([
+    (),
+    (FaultSpec("ecc", probability=0.05, max_fires=1),),
+    (FaultSpec("kernel-hang", probability=0.05, max_fires=1),),
+])
+
+
+@settings(max_examples=12, deadline=None)
+@given(steps=step_strategy, faults=fault_strategy, seed=st.integers(0, 2**16))
+def test_any_schedule_is_digest_equal(steps, faults, seed):
+    pool = SessionPool(3, slots=2, seed=seed)
+    sched = ServeScheduler(
+        pool, seed=seed, state_elems=N, fault_plan=list(faults)
+    )
+    for sid in SIDS:
+        sched.open_session(sid)
+    killed = False
+    for kind, arg in steps:
+        if kind == "request":
+            sched.handle_request(SIDS[arg])
+        elif kind == "park":
+            rec = sched.records[SIDS[arg]]
+            if rec.state == "hot":
+                sched._park(rec)
+        elif kind == "node-death" and not killed:
+            # Kill the busiest node so the death actually moves state.
+            victim = max(
+                pool.alive_nodes(), key=lambda n: (len(n.hot), n.name)
+            )
+            pool.fail(victim.name)
+            sched.sweep()
+            killed = True
+    results = [sched.close_session(sid) for sid in SIDS]
+    assert all(not r["lost"] for r in results), results
+    assert all(r["ok"] for r in results), results
