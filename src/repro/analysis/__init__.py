@@ -1,0 +1,44 @@
+"""Whole-program static analysis for checkpoint-restart safety.
+
+Three passes over the source tree (AST only — no module is imported,
+so analysing a broken tree can never crash the analyser):
+
+- **wiring** (:mod:`repro.analysis.wiring`) — cross-layer API-wiring
+  consistency: every ``cuda*`` trampoline method must be entered,
+  dispatched (trace attribution), reachable, sanitizer-modelled,
+  replay-logged, captured *and* restored, and severity-classified.
+- **taint** (:mod:`repro.analysis.taint`) — replay-determinism
+  dataflow: wall-clock/unseeded-RNG values flowing into kernel args or
+  capture digests, device pointers escaping into module-level host
+  containers, stream/event use-after-destroy, and launches with no
+  statically reachable sync before a checkpoint cut.
+- **lint** (:mod:`repro.sanitizer.lint`, re-hosted here) — the
+  per-line determinism rules, upgraded with import-binding resolution
+  so aliased imports (``from time import time``) no longer evade them.
+
+Findings (:mod:`repro.analysis.findings`) route severity through the
+``cuda/errors.py`` taxonomy, honour ``# lint: allow`` suppressions,
+diff against a committed baseline (``benchmarks/ANALYSIS_baseline.json``)
+and export SARIF. ``repro analyze`` is the CLI; the ``analyze`` CI job
+fails on any unbaselined finding.
+"""
+
+# Exports resolve lazily: the sanitizer lint imports
+# repro.analysis.bindings (triggering this __init__), and the engine
+# imports the lint — an eager engine import here would be a cycle.
+_ENGINE_EXPORTS = {"analyze_package", "analyze_sources", "run_corpus_gate"}
+_FINDING_EXPORTS = {"Baseline", "Finding"}
+
+__all__ = sorted(_ENGINE_EXPORTS | _FINDING_EXPORTS)
+
+
+def __getattr__(name: str):
+    if name in _ENGINE_EXPORTS:
+        from repro.analysis import engine
+
+        return getattr(engine, name)
+    if name in _FINDING_EXPORTS:
+        from repro.analysis import findings
+
+        return getattr(findings, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

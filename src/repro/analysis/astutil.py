@@ -1,0 +1,184 @@
+"""Shared AST plumbing: the package index and call-graph reachability.
+
+A :class:`PackageIndex` holds every parsed module of the tree under
+analysis, keyed by repo-relative posix path. It can be built from a
+directory (the real tree) or from an in-memory ``{relpath: source}``
+dict (the planted-violation corpus) — both go through the same passes,
+which is what makes the corpus a faithful gate.
+
+The call graph is *name-based*: a call ``self.arena.alloc(...)``
+reaches every ``def alloc`` in the package. Deliberately
+over-approximate — for "is a sanitizer hook statically reachable from
+this API?" an over-approximation can only *hide* a gap behind an
+unrelated same-named function, never invent one, which keeps the pass
+at zero false positives.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections import defaultdict
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Iterable
+
+#: deliberate-violation libraries, excluded from whole-repo analysis
+EXCLUDED_PARTS = ("sanitizer/planted.py", "analysis/corpus.py")
+
+SUPPRESS_MARK = "lint: allow"
+
+
+@dataclass
+class ModuleInfo:
+    """One parsed source file."""
+
+    rel: str  # posix relative path, e.g. "repro/cuda/api.py"
+    tree: ast.Module
+    lines: list[str] = field(default_factory=list)
+
+    def suppressed(self, node: ast.AST) -> bool:
+        """True if the node's source line carries ``# lint: allow``."""
+        line = getattr(node, "lineno", 0) - 1
+        return 0 <= line < len(self.lines) and SUPPRESS_MARK in self.lines[line]
+
+
+class PackageIndex:
+    """All modules of one tree plus a package-wide function-name map."""
+
+    def __init__(self, modules: dict[str, ModuleInfo]) -> None:
+        self.modules = modules
+        self._functions: dict[str, list[tuple[ModuleInfo, ast.AST]]] | None = None
+
+    @classmethod
+    def from_dir(
+        cls,
+        root: str | Path,
+        *,
+        rel_to: Path | None = None,
+        exclude_parts: Iterable[str] = EXCLUDED_PARTS,
+    ) -> "PackageIndex":
+        """Parse every ``*.py`` under ``root`` (skipping exclusions)."""
+        root = Path(root)
+        base = rel_to if rel_to is not None else root.parent
+        modules: dict[str, ModuleInfo] = {}
+        for path in sorted(root.rglob("*.py")):
+            rel = path.relative_to(base).as_posix()
+            if any(part in rel for part in exclude_parts):
+                continue
+            source = path.read_text()
+            modules[rel] = ModuleInfo(
+                rel, ast.parse(source, filename=str(path)), source.splitlines()
+            )
+        return cls(modules)
+
+    @classmethod
+    def from_sources(cls, sources: dict[str, str]) -> "PackageIndex":
+        """Parse an in-memory tree (corpus scenarios, tests)."""
+        modules = {
+            rel: ModuleInfo(rel, ast.parse(src, filename=rel), src.splitlines())
+            for rel, src in sources.items()
+        }
+        return cls(modules)
+
+    def find(self, *suffixes: str) -> ModuleInfo | None:
+        """First module whose path ends with any of ``suffixes``."""
+        for suffix in suffixes:
+            for rel, mod in self.modules.items():
+                if rel.endswith(suffix):
+                    return mod
+        return None
+
+    def functions(self) -> dict[str, list[tuple[ModuleInfo, ast.AST]]]:
+        """Package-wide ``def`` name → [(module, node)] map (cached)."""
+        if self._functions is None:
+            fns: dict[str, list] = defaultdict(list)
+            for mod in self.modules.values():
+                for node in ast.walk(mod.tree):
+                    if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                        fns[node.name].append((mod, node))
+            self._functions = dict(fns)
+        return self._functions
+
+
+def attr_chain(node: ast.AST) -> list[str]:
+    """``a.b.c`` -> ["a", "b", "c"]; [] if not a plain name chain.
+
+    Subscripts are stepped through (``a[0].b`` -> ["a", "b"]) so real
+    code like ``self.devices[i].enqueue_copy`` still yields a chain.
+    """
+    parts: list[str] = []
+    while True:
+        if isinstance(node, ast.Attribute):
+            parts.append(node.attr)
+            node = node.value
+        elif isinstance(node, ast.Subscript):
+            node = node.value
+        else:
+            break
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return list(reversed(parts))
+    return []
+
+
+def call_name(node: ast.Call) -> str | None:
+    """Terminal name of a call target (``a.b.c()`` -> "c")."""
+    if isinstance(node.func, ast.Name):
+        return node.func.id
+    if isinstance(node.func, ast.Attribute):
+        return node.func.attr
+    return None
+
+
+def str_constants(node: ast.AST) -> list[str]:
+    """All string literals anywhere under ``node`` (handles IfExp args
+    like ``self._entry("cudaMemcpyAsync" if async_ else "cudaMemcpy")``)."""
+    return [
+        n.value
+        for n in ast.walk(node)
+        if isinstance(n, ast.Constant) and isinstance(n.value, str)
+    ]
+
+
+def called_names(node: ast.AST) -> set[str]:
+    """Terminal names of every call under ``node``."""
+    names: set[str] = set()
+    for n in ast.walk(node):
+        if isinstance(n, ast.Call):
+            cn = call_name(n)
+            if cn is not None:
+                names.add(cn)
+    return names
+
+
+def body_matches(node: ast.AST, predicate: Callable[[ast.AST], bool]) -> bool:
+    """True if any descendant satisfies ``predicate``."""
+    return any(predicate(n) for n in ast.walk(node))
+
+
+def reaches(
+    index: PackageIndex,
+    fn: ast.AST,
+    predicate: Callable[[ast.AST], bool],
+    *,
+    depth: int = 3,
+) -> bool:
+    """BFS over the name-based call graph: does ``predicate`` hold in
+    ``fn``'s body or in any function reachable within ``depth`` calls?"""
+    functions = index.functions()
+    frontier: list[ast.AST] = [fn]
+    seen: set[int] = {id(fn)}
+    for _ in range(depth + 1):
+        next_frontier: list[ast.AST] = []
+        for body in frontier:
+            if body_matches(body, predicate):
+                return True
+            for name in called_names(body):
+                for _mod, target in functions.get(name, ()):
+                    if id(target) not in seen:
+                        seen.add(id(target))
+                        next_frontier.append(target)
+        if not next_frontier:
+            break
+        frontier = next_frontier
+    return False

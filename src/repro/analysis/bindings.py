@@ -1,0 +1,63 @@
+"""Import-binding resolution: local names back to canonical origins.
+
+The old lint matched attribute chains literally, so ``time.time()`` was
+caught but ``from time import time`` or ``import numpy.random as npr``
+slipped through. This module records what every imported local name
+*means* and rewrites call chains into canonical dotted form before any
+rule looks at them:
+
+    from time import time as now    ->  now()        resolves to time.time
+    import numpy.random as npr      ->  npr.random() resolves to numpy.random.random
+    import numpy as np              ->  np.random.rand() resolves to numpy.random.rand
+
+Relative imports (``from .foo import bar``) resolve to nothing — they
+can only name package-local modules, never the stdlib sources the
+nondeterminism rules care about.
+"""
+
+from __future__ import annotations
+
+import ast
+
+#: aliases normalised to their canonical module name
+_CANONICAL_HEADS = {"np": "numpy"}
+
+
+class ImportBindings:
+    """Local-name → canonical dotted-origin map for one module."""
+
+    def __init__(self) -> None:
+        self.names: dict[str, str] = {}
+
+    @classmethod
+    def collect(cls, tree: ast.AST) -> "ImportBindings":
+        """Walk a module body for ``import``/``from-import`` bindings."""
+        b = cls()
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    local = alias.asname or alias.name.split(".")[0]
+                    # `import a.b` binds the *root* name `a`; only an
+                    # asname binds the full dotted path.
+                    origin = alias.name if alias.asname else alias.name.split(".")[0]
+                    b.names[local] = origin
+            elif isinstance(node, ast.ImportFrom):
+                if node.level or node.module is None:
+                    continue  # relative import: package-local
+                for alias in node.names:
+                    local = alias.asname or alias.name
+                    b.names[local] = f"{node.module}.{alias.name}"
+        return b
+
+    def resolve(self, chain: list[str]) -> list[str]:
+        """Rewrite ``chain`` with its head's import origin substituted.
+
+        Unbound heads pass through unchanged (so literal ``time.time()``
+        still resolves even without seeing the import statement).
+        """
+        if not chain:
+            return chain
+        head = chain[0]
+        origin = self.names.get(head, head)
+        origin = _CANONICAL_HEADS.get(origin, origin)
+        return origin.split(".") + chain[1:]

@@ -1,0 +1,199 @@
+"""Typed findings, taxonomy-routed severity, baselines, SARIF export.
+
+A :class:`Finding` is the unit every pass produces. Severity is not a
+free-form string: each rule maps to a :class:`CudaErrorCode` and the
+finding's severity is whatever ``cuda/errors.classify`` says for that
+code — the same four-way taxonomy (retryable/sticky/fatal/program) the
+fault domain uses at runtime, so "how bad is this statically?" and
+"how bad would this be at restore time?" give the same answer.
+
+Fingerprints are ``sha1(rule|path|message)`` truncated to 16 hex
+chars — deliberately line-independent, so reformatting a file does not
+invalidate a baseline entry, but changing what is wrong does.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.cuda.errors import CudaErrorCode, ErrorSeverity, classify
+
+#: Which taxonomy code each rule routes through. Wiring gaps that would
+#: corrupt or lose state across a cut are LIBRARY_STATE_INCONSISTENT
+#: (fatal — only restore recovers); inconsistencies that a developer
+#: must fix but that fail deterministically are INVALID_VALUE /
+#: NOT_SUPPORTED (program); an unsynced launch before a cut poisons the
+#: stream exactly like STREAM_STALLED (sticky).
+RULE_CODES: dict[str, CudaErrorCode] = {
+    "wiring/entry-prologue": CudaErrorCode.INVALID_VALUE,
+    "wiring/api-unreachable": CudaErrorCode.NOT_SUPPORTED,
+    "wiring/trace-unattributed": CudaErrorCode.NOT_SUPPORTED,
+    "wiring/dispatch-unentered": CudaErrorCode.INVALID_VALUE,
+    "wiring/log-op-unreplayed": CudaErrorCode.LIBRARY_STATE_INCONSISTENT,
+    "wiring/capture-blob-unrestored": CudaErrorCode.LIBRARY_STATE_INCONSISTENT,
+    "wiring/sanitizer-model-missing": CudaErrorCode.NOT_SUPPORTED,
+    "wiring/unlogged-alloc": CudaErrorCode.LIBRARY_STATE_INCONSISTENT,
+    "wiring/severity-unclassified": CudaErrorCode.INVALID_VALUE,
+    "wiring/library-kernel-unregistered": CudaErrorCode.INVALID_VALUE,
+    "det/nondet-into-kernel": CudaErrorCode.LIBRARY_STATE_INCONSISTENT,
+    "det/nondet-into-capture": CudaErrorCode.LIBRARY_STATE_INCONSISTENT,
+    "det/unseeded-rng": CudaErrorCode.LIBRARY_STATE_INCONSISTENT,
+    "det/use-after-destroy": CudaErrorCode.INVALID_VALUE,
+    "det/unsynced-launch": CudaErrorCode.STREAM_STALLED,
+    "det/pointer-escape": CudaErrorCode.INVALID_DEVICE_POINTER,
+    "lint/nondeterminism": CudaErrorCode.LIBRARY_STATE_INCONSISTENT,
+    "lint/raw-raise": CudaErrorCode.INVALID_VALUE,
+    "lint/dict-iteration": CudaErrorCode.LIBRARY_STATE_INCONSISTENT,
+    "lint/syntax": CudaErrorCode.INVALID_VALUE,
+}
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One static finding from any pass."""
+
+    analyzer: str  # "wiring" | "taint" | "lint"
+    rule: str  # e.g. "wiring/sanitizer-model-missing"
+    path: str  # repo-relative posix path
+    line: int
+    message: str
+
+    @property
+    def code(self) -> CudaErrorCode:
+        """Taxonomy code this rule routes through."""
+        return RULE_CODES.get(self.rule, CudaErrorCode.INVALID_VALUE)
+
+    @property
+    def severity(self) -> ErrorSeverity:
+        """Recovery-taxonomy severity (via ``cuda/errors.classify``)."""
+        return classify(self.code)
+
+    @property
+    def fingerprint(self) -> str:
+        """Line-independent stable identity for baselining."""
+        key = f"{self.rule}|{self.path}|{self.message}"
+        return hashlib.sha1(key.encode()).hexdigest()[:16]
+
+    def describe(self) -> str:
+        """``path:line: [rule/severity] message`` rendering."""
+        return (
+            f"{self.path}:{self.line}: [{self.rule}/"
+            f"{self.severity.value}] {self.message}"
+        )
+
+    def to_dict(self) -> dict:
+        """JSON-serialisable record (report + artifact format)."""
+        return {
+            "analyzer": self.analyzer,
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "message": self.message,
+            "code": self.code.name,
+            "severity": self.severity.value,
+            "fingerprint": self.fingerprint,
+        }
+
+
+@dataclass
+class Baseline:
+    """Committed set of accepted findings, each with a justification."""
+
+    entries: dict[str, dict] = field(default_factory=dict)  # fp -> entry
+
+    @classmethod
+    def load(cls, path: str | Path) -> "Baseline":
+        """Load a baseline file; a missing file is an empty baseline."""
+        path = Path(path)
+        if not path.exists():
+            return cls()
+        data = json.loads(path.read_text())
+        return cls({e["fingerprint"]: e for e in data.get("entries", [])})
+
+    def save(self, path: str | Path) -> None:
+        """Write the baseline (sorted, so diffs are stable)."""
+        data = {
+            "version": 1,
+            "entries": [
+                self.entries[fp] for fp in sorted(self.entries)
+            ],
+        }
+        Path(path).write_text(json.dumps(data, indent=2) + "\n")
+
+    def add(self, finding: Finding, justification: str) -> None:
+        """Accept ``finding`` with a human-readable justification."""
+        self.entries[finding.fingerprint] = {
+            "fingerprint": finding.fingerprint,
+            "rule": finding.rule,
+            "path": finding.path,
+            "message": finding.message,
+            "justification": justification,
+        }
+
+    def split(
+        self, findings: list[Finding]
+    ) -> tuple[list[Finding], list[Finding], list[str]]:
+        """``(unbaselined, baselined, unused_fingerprints)``.
+
+        Unused entries are reported so a fixed finding's stale baseline
+        line gets deleted instead of silently masking a future one.
+        """
+        unbaselined = [f for f in findings if f.fingerprint not in self.entries]
+        baselined = [f for f in findings if f.fingerprint in self.entries]
+        live = {f.fingerprint for f in findings}
+        unused = sorted(fp for fp in self.entries if fp not in live)
+        return unbaselined, baselined, unused
+
+
+def format_findings(findings: list[Finding]) -> str:
+    """Multi-line compiler-style report (CLI output)."""
+    if not findings:
+        return "analyze: clean"
+    lines = [f"analyze: {len(findings)} finding(s)"]
+    lines += ["  " + f.describe() for f in findings]
+    return "\n".join(lines)
+
+
+def to_sarif(findings: list[Finding]) -> dict:
+    """SARIF 2.1.0-shaped export (one run, one rule per rule id)."""
+    level = {
+        ErrorSeverity.RETRYABLE: "note",
+        ErrorSeverity.PROGRAM: "warning",
+        ErrorSeverity.STICKY: "error",
+        ErrorSeverity.FATAL: "error",
+    }
+    rules = sorted({f.rule for f in findings})
+    return {
+        "version": "2.1.0",
+        "$schema": "https://json.schemastore.org/sarif-2.1.0.json",
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "repro-analyze",
+                        "rules": [{"id": r} for r in rules],
+                    }
+                },
+                "results": [
+                    {
+                        "ruleId": f.rule,
+                        "level": level[f.severity],
+                        "message": {"text": f.message},
+                        "partialFingerprints": {"stable": f.fingerprint},
+                        "locations": [
+                            {
+                                "physicalLocation": {
+                                    "artifactLocation": {"uri": f.path},
+                                    "region": {"startLine": max(1, f.line)},
+                                }
+                            }
+                        ],
+                    }
+                    for f in findings
+                ],
+            }
+        ],
+    }

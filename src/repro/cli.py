@@ -317,6 +317,27 @@ def build_parser() -> argparse.ArgumentParser:
                     help="CI smoke mode: cap the clean-sweep scale")
     sz.add_argument("--seed", type=int, default=0)
 
+    an = sub.add_parser(
+        "analyze",
+        help="whole-program static analysis: API-wiring consistency, "
+        "replay-determinism dataflow, and the determinism lint; fails "
+        "on any unbaselined finding",
+    )
+    an.add_argument("--gate", action="store_true",
+                    help="also run the planted-violation corpus "
+                    "(100%% detection / 0 false positives) — the CI mode")
+    an.add_argument("--baseline", default="benchmarks/ANALYSIS_baseline.json",
+                    metavar="PATH",
+                    help="committed baseline of accepted findings")
+    an.add_argument("--update-baseline", action="store_true",
+                    help="rewrite the baseline to accept every current "
+                    "finding (each entry still needs a justification "
+                    "edited in before committing)")
+    an.add_argument("--out", default="-", metavar="PATH",
+                    help="write the findings/inventory JSON report here")
+    an.add_argument("--sarif", default=None, metavar="PATH",
+                    help="also export SARIF 2.1.0 for code-scanning UIs")
+
     tr = sub.add_parser(
         "trace",
         help="run one workload under the unified tracer and export a "
@@ -722,6 +743,89 @@ def cmd_sanitize(args, out) -> int:
     return 0 if san.report.clean else 1
 
 
+def cmd_analyze(args, out) -> int:
+    """``repro analyze``: static wiring/determinism analysis + gate."""
+    import json
+
+    from repro.analysis.engine import (
+        analyze_package,
+        findings_from_report,
+        run_corpus_gate,
+    )
+    from repro.analysis.findings import Baseline, format_findings, to_sarif
+
+    ok = True
+    gate = None
+    if args.gate:
+        gate = run_corpus_gate()
+        print(
+            f"corpus:  {gate['detected']}/{gate['positives']} planted "
+            f"violations detected, {gate['false_positives']} false "
+            f"positive(s) on {len(gate['scenarios']) - gate['positives']} "
+            "negative control(s)",
+            file=out,
+        )
+        for row in gate["scenarios"]:
+            if not row["ok"]:
+                print(
+                    f"  FAIL {row['name']}: expected {row['expect']}, "
+                    f"found {row['found']}",
+                    file=out,
+                )
+        ok = ok and gate["ok"]
+
+    baseline = Baseline.load(args.baseline)
+    report = analyze_package(baseline=baseline)
+    findings = findings_from_report(report)
+
+    if args.update_baseline:
+        for f in findings:
+            baseline.add(f, "TODO: justify before committing")
+        baseline.save(args.baseline)
+        print(
+            f"baseline: accepted {len(findings)} finding(s) into "
+            f"{args.baseline} — edit in justifications before committing",
+            file=out,
+        )
+        findings = []
+        report["findings"] = []
+        report["ok"] = True
+
+    counts = report["counts"]
+    print(
+        f"analyze: {counts['apis']} APIs / {counts['modules']} modules — "
+        f"{counts['unbaselined']} unbaselined, "
+        f"{counts['baselined']} baselined finding(s)",
+        file=out,
+    )
+    if findings:
+        print(format_findings(findings), file=out)
+        ok = False
+    if report["unused_baseline"]:
+        print(
+            "stale baseline entries (finding fixed — delete them): "
+            + ", ".join(report["unused_baseline"]),
+            file=out,
+        )
+        ok = False
+
+    if args.out != "-":
+        payload = dict(report)
+        if gate is not None:
+            payload["corpus_gate"] = gate
+        payload["ok"] = ok
+        with open(args.out, "w") as fh:
+            json.dump(payload, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"wrote {args.out}", file=out)
+    if args.sarif is not None:
+        with open(args.sarif, "w") as fh:
+            json.dump(to_sarif(findings), fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"wrote {args.sarif}", file=out)
+    return 0 if ok else 1
+
+
 def cmd_trace(args, out) -> int:
     """``repro trace APP``: traced run + Chrome trace + JSON report."""
     import json
@@ -822,6 +926,8 @@ def main(argv: list[str] | None = None, out=None) -> int:
         return cmd_serve_bench(args, out)
     if args.command == "sanitize":
         return cmd_sanitize(args, out)
+    if args.command == "analyze":
+        return cmd_analyze(args, out)
     if args.command == "trace":
         return cmd_trace(args, out)
     if args.command == "reproduce":

@@ -664,9 +664,13 @@ class CudaRuntime:
         """Device-to-device copy across GPUs (PCIe/NVLink path): occupies
         both GPUs' copy engines for the transfer."""
         self._entry("cudaMemcpyPeer")
+        s = self._stream(stream)
+        if self.sanitizer is not None:
+            # Before the _buffer lookups, so memcheck records wild/freed
+            # peer pointers before the raise (same order as cudaMemcpy).
+            self.sanitizer.on_copy(self, s, "d2d", dst, src, nbytes, 0, 0, False)
         sbuf = self._buffer(src)
         dbuf = self._buffer(dst)
-        s = self._stream(stream)
         src_dev = self.devices[getattr(sbuf, "device_index", 0)]
         dst_dev = self.devices[getattr(dbuf, "device_index", 0)]
         end = src_dev.enqueue_copy(s, nbytes, "d2h", at_ns=self.now)
@@ -808,6 +812,8 @@ class CudaRuntime:
             "prefetch of a non-managed pointer",
         )
         s = self._stream(stream)
+        if self.sanitizer is not None:
+            self.sanitizer.on_prefetch(self, s, buf, offset, nbytes, to_device)
         if to_device:
             cost = self.uvm.device_access(buf, offset, nbytes)
         else:

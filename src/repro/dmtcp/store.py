@@ -369,7 +369,9 @@ class CheckpointStore:
                 "mismatch (bytes corrupted in transit)"
             )
         image = CheckpointImage.from_payload(payload, parent=parent)
-        checksums = {int(i): int(c) for i, c in record["checksums"].items()}
+        checksums = {
+            int(i): int(c) for i, c in sorted(record["checksums"].items())
+        }
         for idx, region in enumerate(image.regions):
             want = checksums.get(idx)
             if want is None or region.checksum() != want:

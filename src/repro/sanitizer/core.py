@@ -615,6 +615,18 @@ class Sanitizer:
             ),
         )
 
+    def on_prefetch(self, runtime, stream, buf, offset: int, nbytes: int,
+                    to_device: bool) -> None:
+        """cudaMemPrefetchAsync: bulk page migration reads the range on
+        the prefetching stream, so it orders against concurrent writers
+        exactly like an async copy's source end."""
+        self._charge()
+        op = self._begin_op(stream, "prefetch")
+        self._record_access(
+            buf, offset, nbytes, write=False, op=op,
+            label=f"prefetch-{'to-device' if to_device else 'to-host'}",
+        )
+
     def on_pointer_miss(self, runtime, addr: int) -> None:
         """Host-side dereference of a pointer the runtime no longer (or
         never) knows — ``device_view`` on a freed/wild address."""

@@ -13,10 +13,15 @@ Three rules, each tied to a replay/checkpoint invariant of the model:
   through the ``cuda_error``/``cuda_check`` taxonomy so the fault
   domain can classify them (retryable/sticky/fatal/program).
 - ``dict-iteration`` — iterating ``.items()``/``.values()``/``.keys()``
-  without ``sorted(...)`` inside checkpoint *capture* functions
-  (``core/plugin.py``, ``dmtcp/``): image content must not depend on
-  dict insertion order, or two identical runs produce different
-  checksums.
+  without ``sorted(...)`` inside checkpoint *capture and restore*
+  functions (``core/plugin.py``, ``dmtcp/``): image content must not
+  depend on dict insertion order, or two identical runs produce
+  different checksums — and the restore side must apply state in an
+  order that cannot depend on how a dict happened to be built.
+
+Aliased imports are resolved before matching (``from time import time
+as now``, ``import numpy.random as npr``), so renaming a
+nondeterministic source does not evade the rule.
 
 Suppress a finding by appending ``# lint: allow`` to the line.
 """
@@ -29,17 +34,22 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Iterable
 
+from repro.analysis.bindings import ImportBindings
+
 SUPPRESS_MARK = "lint: allow"
 
 RAW_RAISE_TYPES = {"ValueError", "RuntimeError", "IndexError"}
 #: path fragments (posix style) marking CUDA call-path modules
 CUDA_PATH_PARTS = ("repro/cuda/", "repro/gpu/")
 
-#: path fragments marking checkpoint capture modules
+#: path fragments marking checkpoint capture/restore modules
 CAPTURE_PATH_PARTS = ("repro/core/plugin.py", "repro/dmtcp/")
-#: function names treated as capture paths within those modules
+#: function names treated as capture *or restore* paths within those
+#: modules — the read side is linted too: restore must not apply state
+#: in dict-insertion order
 CAPTURE_FN_RE = re.compile(
-    r"precheckpoint|capture|snapshot|checksum|serialize|save|dump|commit",
+    r"precheckpoint|capture|snapshot|checksum|serialize|save|dump|commit"
+    r"|restore|load|rehydrate|import_",
     re.IGNORECASE,
 )
 
@@ -86,9 +96,15 @@ def _attr_chain(node: ast.AST) -> list[str]:
 
 
 class _Visitor(ast.NodeVisitor):
-    def __init__(self, rel_path: str, lines: list[str]) -> None:
+    def __init__(
+        self,
+        rel_path: str,
+        lines: list[str],
+        bindings: ImportBindings | None = None,
+    ) -> None:
         self.rel_path = rel_path
         self.lines = lines
+        self.bindings = bindings if bindings is not None else ImportBindings()
         self.findings: list[LintFinding] = []
         self._fn_stack: list[str] = []
         self.in_cuda_path = any(p in rel_path for p in CUDA_PATH_PARTS)
@@ -136,18 +152,23 @@ class _Visitor(ast.NodeVisitor):
         self.generic_visit(node)
 
     def _check_nondet_call(self, node: ast.Call, chain: list[str]) -> None:
+        # Resolve import aliases first: `from time import time as now`
+        # and `import numpy.random as npr` must match like the literal
+        # dotted forms do.
+        spelled = ".".join(chain)
+        chain = self.bindings.resolve(chain)
         head, tail = chain[0], chain[-1]
         if head == "random" and len(chain) == 2 and tail in NONDET_RANDOM_FNS:
             self._add(
                 "nondeterminism", node,
-                f"global random.{tail}() — draw from a named seeded "
-                "stream (random.Random(seed)) instead",
+                f"global random.{tail}() (written {spelled!r}) — draw from "
+                "a named seeded stream (random.Random(seed)) instead",
             )
         elif head == "time" and len(chain) == 2 and tail in NONDET_TIME_FNS:
             self._add(
                 "nondeterminism", node,
-                f"wall clock time.{tail}() — the model runs on virtual "
-                "time only",
+                f"wall clock time.{tail}() (written {spelled!r}) — the "
+                "model runs on virtual time only",
             )
         elif tail in NONDET_DATETIME_FNS and len(chain) >= 2 and chain[-2] in (
             "datetime", "date",
@@ -165,8 +186,8 @@ class _Visitor(ast.NodeVisitor):
         ):
             self._add(
                 "nondeterminism", node,
-                f"legacy {'.'.join(chain)}() global — use "
-                "np.random.default_rng(seed)",
+                f"legacy {'.'.join(chain)}() global (written {spelled!r}) "
+                "— use np.random.default_rng(seed)",
             )
 
     # -- rule: raw-raise ------------------------------------------------------
@@ -230,6 +251,20 @@ class _Visitor(ast.NodeVisitor):
     visit_GeneratorExp = _visit_comp  # type: ignore[assignment]
 
 
+def lint_source(source: str, rel_path: str) -> list[LintFinding]:
+    """Lint in-memory source (also the ``repro.analysis`` entry point,
+    which runs the same rules over planted corpus trees)."""
+    try:
+        tree = ast.parse(source, filename=rel_path)
+    except SyntaxError as exc:
+        return [LintFinding("syntax", rel_path, exc.lineno or 0, str(exc.msg))]
+    visitor = _Visitor(
+        rel_path, source.splitlines(), ImportBindings.collect(tree)
+    )
+    visitor.visit(tree)
+    return visitor.findings
+
+
 def lint_file(path: str | Path, *, rel_to: Path | None = None) -> list[LintFinding]:
     """Lint one Python source file."""
     path = Path(path)
@@ -238,14 +273,7 @@ def lint_file(path: str | Path, *, rel_to: Path | None = None) -> list[LintFindi
         if rel_to is not None
         else path.as_posix()
     )
-    source = path.read_text()
-    try:
-        tree = ast.parse(source, filename=str(path))
-    except SyntaxError as exc:
-        return [LintFinding("syntax", rel, exc.lineno or 0, str(exc.msg))]
-    visitor = _Visitor(rel, source.splitlines())
-    visitor.visit(tree)
-    return visitor.findings
+    return lint_source(path.read_text(), rel)
 
 
 def lint_paths(

@@ -1,0 +1,49 @@
+"""Import-binding resolution: aliases back to canonical dotted origins."""
+
+import ast
+
+from repro.analysis.bindings import ImportBindings
+
+
+def bindings(source: str) -> ImportBindings:
+    return ImportBindings.collect(ast.parse(source))
+
+
+def test_from_import_binds_qualified_origin():
+    b = bindings("from time import time\n")
+    assert b.resolve(["time"]) == ["time", "time"]
+
+
+def test_from_import_with_asname():
+    b = bindings("from time import perf_counter as clock\n")
+    assert b.resolve(["clock"]) == ["time", "perf_counter"]
+
+
+def test_dotted_import_with_asname():
+    b = bindings("import numpy.random as npr\n")
+    assert b.resolve(["npr", "random"]) == ["numpy", "random", "random"]
+
+
+def test_plain_dotted_import_binds_root_only():
+    # `import a.b` puts only `a` in the namespace; `a.b.c()` chains
+    # resolve through the root, unchanged.
+    b = bindings("import numpy.random\n")
+    assert b.resolve(["numpy", "random", "rand"]) == [
+        "numpy", "random", "rand",
+    ]
+
+
+def test_np_alias_is_canonicalised():
+    b = bindings("import numpy as np\n")
+    assert b.resolve(["np", "random", "rand"]) == ["numpy", "random", "rand"]
+
+
+def test_relative_import_resolves_to_nothing():
+    b = bindings("from .clock import time\n")
+    assert b.resolve(["time"]) == ["time"]
+
+
+def test_unbound_head_passes_through():
+    b = bindings("")
+    assert b.resolve(["time", "time"]) == ["time", "time"]
+    assert b.resolve([]) == []

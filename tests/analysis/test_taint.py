@@ -1,0 +1,106 @@
+"""Replay-determinism taint pass: flows, strong updates, lifecycles."""
+
+import textwrap
+
+from repro.analysis.engine import analyze_sources
+
+
+def det_rules(source, rel="repro/core/session.py"):
+    findings = analyze_sources({rel: textwrap.dedent(source)})
+    return sorted(f.rule for f in findings if f.rule.startswith("det/"))
+
+
+class TestNondetFlows:
+    def test_aliased_wall_clock_into_launch(self):
+        assert "det/nondet-into-kernel" in det_rules("""\
+            from time import time as now
+
+            def run(rt, kernel):
+                t = now()
+                rt.launch(kernel, t)
+            """)
+
+    def test_nondet_through_arithmetic(self):
+        assert "det/nondet-into-kernel" in det_rules("""\
+            import time
+
+            def run(rt, kernel):
+                seed = int(time.time()) % 1000
+                rt.launch(kernel, seed)
+            """)
+
+    def test_np_random_into_capture_digest(self):
+        assert "det/nondet-into-capture" in det_rules("""\
+            import numpy.random as npr
+            import zlib
+
+            def capture(plugin):
+                pad = npr.rand(16)
+                plugin.add_blob("crac/pad", zlib.crc32(pad))
+            """)
+
+    def test_strong_update_clears_taint(self):
+        # Reassigning the variable to a constant before the sink is a
+        # strong update: the tainted value never reaches the kernel.
+        rules = det_rules("""\
+            import time
+
+            def bench(rt, kernel):
+                t = time.time()  # lint: allow
+                t = 0
+                rt.launch(kernel, t)
+            """)
+        assert "det/nondet-into-kernel" not in rules
+
+
+class TestLifecycles:
+    def test_unseeded_default_rng(self):
+        assert det_rules("""\
+            import numpy as np
+
+            def draw():
+                rng = np.random.default_rng()
+                return rng.normal()
+            """) == ["det/unseeded-rng"]
+
+    def test_seeded_rng_is_clean(self):
+        assert det_rules("""\
+            import numpy as np
+
+            def draw(seed):
+                rng = np.random.default_rng(seed)
+                return rng.normal()
+            """) == []
+
+    def test_stream_use_after_destroy(self):
+        assert det_rules("""\
+            def teardown(rt, kernel):
+                s = rt.cudaStreamCreate()
+                rt.cudaStreamDestroy(s)
+                rt.launch(kernel, stream=s)
+            """) == ["det/use-after-destroy"]
+
+    def test_launch_unsynced_before_checkpoint(self):
+        assert "det/unsynced-launch" in det_rules("""\
+            def cut(rt, mgr, kernel):
+                rt.launch(kernel)
+                mgr.checkpoint()
+            """)
+
+    def test_launch_synced_before_checkpoint_is_clean(self):
+        assert det_rules("""\
+            def cut(rt, mgr, kernel):
+                rt.launch(kernel)
+                rt.cudaDeviceSynchronize()
+                mgr.checkpoint()
+            """) == []
+
+    def test_device_pointer_escape_to_module_global(self):
+        assert "det/pointer-escape" in det_rules("""\
+            _CACHE = {}
+
+            def alloc(rt, key, nbytes):
+                ptr = rt.cudaMalloc(nbytes)
+                _CACHE[key] = ptr
+                return ptr
+            """)

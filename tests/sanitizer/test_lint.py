@@ -139,6 +139,82 @@ class TestDictIteration:
         assert out == []
 
 
+class TestAliasedImports:
+    """Regression: the old literal matcher missed import aliasing."""
+
+    def test_from_time_import_time_flagged(self, tmp_path):
+        out = lint_src(tmp_path, """\
+            from time import time
+            t = time()
+            """)
+        assert rules(out) == ["nondeterminism"]
+        assert "time.time" in out[0].message
+        assert "written 'time'" in out[0].message
+
+    def test_from_time_import_perf_counter_aliased(self, tmp_path):
+        out = lint_src(tmp_path, """\
+            from time import perf_counter as clock
+            t = clock()
+            """)
+        assert rules(out) == ["nondeterminism"]
+        assert "time.perf_counter" in out[0].message
+
+    def test_numpy_random_module_alias_flagged(self, tmp_path):
+        out = lint_src(tmp_path, """\
+            import numpy.random as npr
+            x = npr.rand(4)
+            """)
+        assert rules(out) == ["nondeterminism"]
+        assert "numpy.random.rand" in out[0].message
+
+    def test_from_random_import_randint_flagged(self, tmp_path):
+        out = lint_src(tmp_path, """\
+            from random import randint
+            n = randint(0, 9)
+            """)
+        assert rules(out) == ["nondeterminism"]
+
+    def test_aliased_call_respects_suppression(self, tmp_path):
+        out = lint_src(tmp_path, """\
+            from time import perf_counter as clock
+            t = clock()  # lint: allow
+            """)
+        assert out == []
+
+    def test_unrelated_alias_not_flagged(self, tmp_path):
+        out = lint_src(tmp_path, """\
+            from os.path import join as time
+            p = time("a", "b")
+            """)
+        assert out == []
+
+
+class TestRestoreFunctions:
+    """Regression: restore/load paths get the same ordering rules."""
+
+    def test_restore_fn_dict_iteration_flagged(self, tmp_path):
+        out = lint_src(tmp_path, """\
+            def restore_buffers(bufs):
+                for k, v in bufs.items():
+                    pass
+            """, rel="repro/dmtcp/image.py")
+        assert rules(out) == ["dict-iteration"]
+
+    def test_import_generation_fn_flagged(self, tmp_path):
+        out = lint_src(tmp_path, """\
+            def import_generation(record):
+                return {k: v for k, v in record.items()}
+            """, rel="repro/dmtcp/store.py")
+        assert rules(out) == ["dict-iteration"]
+
+    def test_restore_sorted_iteration_clean(self, tmp_path):
+        out = lint_src(tmp_path, """\
+            def rehydrate(bufs):
+                return [kv for kv in sorted(bufs.items())]
+            """, rel="repro/dmtcp/image.py")
+        assert out == []
+
+
 class TestHarness:
     def test_syntax_error_reported_not_raised(self, tmp_path):
         out = lint_src(tmp_path, "def f(:\n")
