@@ -68,17 +68,23 @@ class CracPlugin(DmtcpPlugin):
         tracer = getattr(self.session, "tracer", None)
 
         # 1. Drain the queue of pending CUDA kernels (on every GPU).
-        t_drain = process.clock_ns
-        for dev in runtime.devices:
-            runtime.process.advance_to(dev.synchronize_all())
-        runtime.cudaDeviceSynchronize()
-        # The device is drained: every recorded managed write has ended,
-        # so the CRUM-conflict log can be compacted (it otherwise grows
-        # without bound across a long run).
-        for mbuf in sorted(runtime.uvm.buffers.values(), key=lambda b: b.addr):
-            runtime.uvm.compact_writes(mbuf, before_ns=process.clock_ns)
-        if tracer is not None:
-            tracer.ckpt_span("drain", t_drain, process.clock_ns)
+        #    A *speculative* cut skips this entirely — kernels keep
+        #    launching through the capture window and the version table
+        #    catches whatever they touch (validated at commit time).
+        if not image.speculative:
+            t_drain = process.clock_ns
+            for dev in runtime.devices:
+                runtime.process.advance_to(dev.synchronize_all())
+            runtime.cudaDeviceSynchronize()
+            # The device is drained: every recorded managed write has
+            # ended, so the CRUM-conflict log can be compacted (it
+            # otherwise grows without bound across a long run).
+            for mbuf in sorted(
+                runtime.uvm.buffers.values(), key=lambda b: b.addr
+            ):
+                runtime.uvm.compact_writes(mbuf, before_ns=process.clock_ns)
+            if tracer is not None:
+                tracer.ckpt_span("drain", t_drain, process.clock_ns)
 
         # 2. Stage active allocations; drain device-side bytes over PCIe.
         #    For an incremental image only the *dirtied* spans are staged
@@ -128,9 +134,15 @@ class CracPlugin(DmtcpPlugin):
             image.record_contents_capture(
                 buf.contents, dirty_spans, buf.contents.write_seq
             )
-        process.advance(
-            drain_bytes / runtime.device.spec.pcie_bw * NS_PER_S
-        )
+        drain_ns = drain_bytes / runtime.device.spec.pcie_bw * NS_PER_S
+        if image.speculative:
+            # The drain crosses PCIe on the background capture timeline;
+            # the checkpointer folds this into the writer's window.
+            image.spec_deferred_ns = (
+                getattr(image, "spec_deferred_ns", 0.0) + drain_ns
+            )
+        else:
+            process.advance(drain_ns)
         if tracer is not None:
             tracer.ckpt_span(
                 "stage", t_stage, process.clock_ns,
@@ -164,6 +176,12 @@ class CracPlugin(DmtcpPlugin):
             },
         )
         image.add_blob("crac/current-device", runtime.current_device)
+        if image.speculative:
+            # Handle-version snapshot at the cut: what the speculative
+            # writer diffs the live table against at validation time.
+            image.add_blob(
+                "crac/spec-versions", self.session.handle_table.cut()
+            )
         # Platform fingerprint: replay determinism "relies on using the
         # same CUDA/GPU platform on restart" (§3.2.4).
         image.add_blob(

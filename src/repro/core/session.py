@@ -73,6 +73,7 @@ from repro.errors import (
     InjectedFault,
     RecoveryAbortedError,
     RestartError,
+    SpeculationAbortedError,
 )
 from repro.gpu.device import GpuDevice
 from repro.gpu.streams import Stream
@@ -85,6 +86,7 @@ from repro.gpu.timing import (
 )
 from repro.gpu.uvm import UVM_PAGE, ManagedBuffer
 from repro.linux.loader import ProgramImage
+from repro.spec import HandleTable
 
 if TYPE_CHECKING:  # core must not import harness at runtime
     from repro.harness.fault_injection import FaultInjector
@@ -159,9 +161,14 @@ class CracSession:
         # coordinator handshake) — significant for short-running apps.
         self.process.advance(costs.crac_startup_ns)
         self.plugin = CracPlugin(self, full_arena=full_arena_checkpoint)
+        #: per-resource version table backing speculative checkpoints;
+        #: devices and the trampoline bump it on every mutating op
+        self.handle_table = HandleTable()
         self.checkpointer = DmtcpCheckpointer(
             self.process, [self.plugin], costs, fault_injector=fault_injector
         )
+        self.checkpointer.handle_table = self.handle_table
+        self.backend.handle_table = self.handle_table
         self.coordinator = DmtcpCoordinator(self.checkpointer, seed=seed)
         self.backend.coordinator = self.coordinator
         self.restarts: list[RestartReport] = []
@@ -184,6 +191,7 @@ class CracSession:
         # classified CudaError propagates raw to the application.
         for dev in self.split.runtime.devices:
             dev.fault_injector = fault_injector
+            dev.handle_table = self.handle_table
 
     def enable_fault_domain(
         self,
@@ -280,6 +288,7 @@ class CracSession:
         parent: CheckpointImage | None = None,
         store: CheckpointStore | None = None,
         forked: bool = False,
+        speculative: bool = False,
     ) -> CheckpointImage:
         """Take a checkpoint now (drain → stage → dump upper half).
 
@@ -291,27 +300,62 @@ class CracSession:
         after quiesce + snapshot, pays copy-on-write for bytes it
         touches inside the write window, and the write completes at
         :meth:`finish_forked_checkpoints` (called automatically before
-        the next checkpoint and at kill)."""
+        the next checkpoint and at kill). ``speculative=True`` skips
+        the quiesce too — kernels keep launching through the capture
+        window and the cut is *validated* at finish time against the
+        handle-version table; a rolled-back speculation falls back to
+        the forked path automatically (same cut parameters)."""
         # Only one background write at a time: drain the previous one
         # first (usually long done — residual wait is then zero).
         self.finish_forked_checkpoints()
         image = self.coordinator.checkpoint(
             gzip=gzip, incremental=incremental, parent=parent, store=store,
-            forked=forked,
+            forked=forked, speculative=speculative,
         )
-        if forked:
-            self.pending_forks.append(image.forked_writer)
+        if forked or speculative:
+            writer = image.forked_writer
+            if speculative:
+                # Remembered so an aborted speculation can re-issue the
+                # same cut through the stop-the-world forked path.
+                writer.fallback_kwargs = dict(
+                    gzip=gzip, incremental=incremental, parent=parent,
+                    store=store,
+                )
+            self.pending_forks.append(writer)
         return image
 
     def finish_forked_checkpoints(self, *, block: bool = True) -> None:
-        """Complete every pending forked image write (COW charge +
-        commit). A failure aborts that write — its image never commits,
-        dirty bits stay intact — and propagates."""
+        """Complete every pending forked/speculative image write (COW or
+        validation charge + commit). A failure aborts that write — its
+        image never commits, dirty bits stay intact — and propagates,
+        except a rolled-back *speculation*, which falls back cleanly to
+        a forked checkpoint of the same cut parameters."""
         while self.pending_forks:
             writer = self.pending_forks.pop(0)
-            writer.finish(
-                self.process if self.process.alive else None, block=block
-            )
+            try:
+                writer.finish(
+                    self.process if self.process.alive else None, block=block
+                )
+            except SpeculationAbortedError:
+                fallback = getattr(writer, "fallback_kwargs", None)
+                if fallback is None or not self.process.alive:
+                    raise
+                # The aborted cut left every dirty bit intact, so the
+                # forked re-issue captures the same (now slightly newer)
+                # state the stop-the-world path would have. Its writer
+                # joins pending_forks and drains in this same loop.
+                self.checkpoint(forked=True, **fallback)
+
+    def abort_pending_writers(self) -> None:
+        """Tear down in-flight background writers without committing.
+
+        The fault-domain ladder calls this before killing the process:
+        recovery rolls back to an already-committed generation, so an
+        in-flight write must release its snapshot epochs (dirty bits
+        stay intact) rather than commit a cut that post-dates the
+        recovery line. Idempotent per writer."""
+        while self.pending_forks:
+            self.pending_forks.pop(0).abort()
 
     def kill(self) -> None:
         """Terminate the original process (device state is lost).
@@ -538,11 +582,14 @@ class CracSession:
         self.checkpointer = DmtcpCheckpointer(
             proc, [self.plugin], self.costs, fault_injector=self.fault_injector
         )
+        self.checkpointer.handle_table = self.handle_table
         self.coordinator = DmtcpCoordinator(self.checkpointer, seed=self.seed)
         self.backend.coordinator = self.coordinator
-        # Re-wire the runtime fault domain into the fresh devices.
+        # Re-wire the runtime fault domain and the speculative version
+        # table into the fresh devices.
         for dev in fresh.runtime.devices:
             dev.fault_injector = self.fault_injector
+            dev.handle_table = self.handle_table
         if self.fault_domain is not None:
             self.fault_domain.attach()
         if self.sanitizer is not None:
@@ -1013,6 +1060,10 @@ class FaultDomain:
         pre_entries = list(session.backend.log.entries)
         self._in_recovery = True
         try:
+            # An in-flight background write (forked or speculative) must
+            # not commit a cut that post-dates the recovery line we are
+            # rolling back to: release it (dirty bits stay intact).
+            session.abort_pending_writers()
             session.kill()
             report = session.restart_latest(self.store)
             committed = self.committed_at.get(report.generation, t_fault)
@@ -1050,6 +1101,9 @@ class FaultDomain:
         pre_entries = list(session.backend.log.entries)
         self._in_recovery = True
         try:
+            # Same writer release as rung 3: the dying node's in-flight
+            # background write must never commit past the shipped cut.
+            session.abort_pending_writers()
             outcome = self.failover_handler(exc) or {}
             cut_ns = float(outcome.get("cut_ns", t_fault))
             lost = max(0.0, t_fault - cut_ns)

@@ -69,6 +69,9 @@ class CracBackend(CudaDispatchBase):
         # Live handles the app holds, for restart recreation.
         self.live_streams: dict[int, Stream] = {}
         self.live_events: dict[int, Event] = {}
+        #: repro.spec.HandleTable tracking handle versions for
+        #: speculative checkpoints; None until a session wires one
+        self.handle_table = None
 
     # -- dispatch cost ---------------------------------------------------------
 
@@ -253,6 +256,8 @@ class CracBackend(CudaDispatchBase):
             "fatbin": fatbin,
             "functions": [],
         }
+        if self.handle_table is not None:
+            self.handle_table.add("module", virtual)
         return virtual
 
     def register_function(self, handle: int, kernel_name: str) -> None:
@@ -263,26 +268,36 @@ class CracBackend(CudaDispatchBase):
     def unregister_fatbin(self, handle: int) -> None:
         entry = self.fatbin_registry.pop(handle)
         super().unregister_fatbin(entry["real"])
+        if self.handle_table is not None:
+            self.handle_table.remove("module", handle)
 
     # -- stream / event tracking ----------------------------------------------------
 
     def stream_create(self) -> Stream:
         s = super().stream_create()
         self.live_streams[s.sid] = s
+        if self.handle_table is not None:
+            self.handle_table.add("stream", s.sid)
         return s
 
     def stream_destroy(self, stream: Stream) -> None:
         super().stream_destroy(stream)
         self.live_streams.pop(stream.sid, None)
+        if self.handle_table is not None:
+            self.handle_table.remove("stream", stream.sid)
 
     def event_create(self) -> Event:
         e = super().event_create()
         self.live_events[e.eid] = e
+        if self.handle_table is not None:
+            self.handle_table.add("event", e.eid)
         return e
 
     def event_destroy(self, event: Event) -> None:
         super().event_destroy(event)
         self.live_events.pop(event.eid, None)
+        if self.handle_table is not None:
+            self.handle_table.remove("event", event.eid)
 
     # -- restart support --------------------------------------------------------------
 

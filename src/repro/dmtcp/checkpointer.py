@@ -64,6 +64,9 @@ class DmtcpCheckpointer:
         self.fault_injector = fault_injector
         #: repro.trace.Tracer receiving pipeline stage spans; None = untraced
         self.tracer = None
+        #: repro.spec.HandleTable snapshotted by speculative cuts; None
+        #: disables speculative=True (no versions to validate against)
+        self.handle_table = None
 
     # -- checkpoint ------------------------------------------------------------
 
@@ -74,6 +77,7 @@ class DmtcpCheckpointer:
         incremental: bool = False,
         parent: CheckpointImage | None = None,
         forked: bool = False,
+        speculative: bool = False,
         defer_commit: bool = False,
     ) -> CheckpointImage:
         """Take a checkpoint; advances the process clock by the cost.
@@ -97,14 +101,45 @@ class DmtcpCheckpointer:
         background timeline tracked by the :class:`ForkedCheckpoint`
         attached as ``image.forked_writer`` — commit (and the
         ``image-write`` fault stage) move to its ``finish()``.
+
+        ``speculative=True`` goes further (PhoenixOS-style validated
+        speculation): *nothing* stops the world. The cut snapshots the
+        handle-version table and buffer contents instantly, kernels keep
+        launching, and quiesce + region walk + PCIe drain + image write
+        all run on a background timeline tracked by the
+        :class:`repro.spec.SpeculativeCheckpoint` attached as
+        ``image.forked_writer``. Conflict detection and commit move to
+        its ``finish()``; an aborted speculation rolls back with every
+        dirty bit intact. Requires a wired ``handle_table``.
         """
         if incremental and parent is None:
             raise ValueError("incremental checkpoint requires a parent image")
+        if speculative and forked:
+            raise ValueError(
+                "speculative and forked checkpoints are exclusive modes"
+            )
+        if speculative and self.handle_table is None:
+            raise ValueError(
+                "speculative checkpoint requires a wired handle table"
+            )
         proc = self.process
         t_start = proc.clock_ns
-        proc.advance(self.costs.ckpt_quiesce_ns)
-        if self.tracer is not None:
-            self.tracer.ckpt_span("quiesce", t_start, proc.clock_ns)
+        background_ns = 0.0
+        if speculative:
+            # No quiesce: the app stalls only for the version-table
+            # snapshot; the coordination work joins the background
+            # timeline the writer validates against.
+            proc.advance(
+                self.costs.spec_cut_ns
+                + len(self.handle_table) * self.costs.spec_handle_ns
+            )
+            background_ns += self.costs.ckpt_quiesce_ns
+            if self.tracer is not None:
+                self.tracer.ckpt_span("spec-cut", t_start, proc.clock_ns)
+        else:
+            proc.advance(self.costs.ckpt_quiesce_ns)
+            if self.tracer is not None:
+                self.tracer.ckpt_span("quiesce", t_start, proc.clock_ns)
 
         image = CheckpointImage(
             pid=proc.pid,
@@ -112,6 +147,7 @@ class DmtcpCheckpointer:
             gzip=gzip,
             incremental=incremental,
             parent=parent if incremental else None,
+            speculative=speculative,
         )
         for plugin in self.plugins:
             if self.fault_injector is not None:
@@ -130,11 +166,18 @@ class DmtcpCheckpointer:
                 hi = (hi + PAGE_SIZE - 1) // PAGE_SIZE * PAGE_SIZE
                 skips.append((lo, hi - lo))
 
+        # A speculative plugin deferred its PCIe drain instead of
+        # advancing the app clock; fold it into the background window.
+        background_ns += getattr(image, "spec_deferred_ns", 0.0)
+
         t_regions = proc.clock_ns
         for region in proc.vas.regions():
             if self.fault_injector is not None:
                 self.fault_injector.check("region-save", region.tag)
-            proc.advance(self.costs.ckpt_region_ns)
+            if speculative:
+                background_ns += self.costs.ckpt_region_ns
+            else:
+                proc.advance(self.costs.ckpt_region_ns)
             snapshot = (
                 region.dirty_pages_snapshot()
                 if incremental
@@ -171,7 +214,21 @@ class DmtcpCheckpointer:
         write_ns = written / self.costs.ckpt_write_bw * NS_PER_S
         if gzip:
             write_ns += written / self.costs.gzip_bw * NS_PER_S
-        if forked:
+        if speculative:
+            # Everything a stop-the-world cut pays synchronously runs on
+            # the background timeline; validation happens at finish().
+            from repro.spec import SpeculativeCheckpoint
+
+            image.forked_writer = SpeculativeCheckpoint(  # type: ignore[attr-defined]
+                image=image,
+                cut_ns=proc.clock_ns,
+                validate_end_ns=proc.clock_ns + background_ns + write_ns,
+                costs=self.costs,
+                handle_table=self.handle_table,
+                fault_injector=self.fault_injector,
+                tracer=self.tracer,
+            )
+        elif forked:
             # The write happens on the forked child's timeline; the app
             # resumes now and only pays COW for pages it touches inside
             # the write window (charged at finish()).
@@ -194,7 +251,7 @@ class DmtcpCheckpointer:
         for plugin in self.plugins:
             plugin.on_resume(image)
         image.checkpoint_time_ns = proc.clock_ns - t_start
-        if not forked and not defer_commit:
+        if not forked and not speculative and not defer_commit:
             image.mark_committed()
             if self.tracer is not None:
                 self.tracer.instant(

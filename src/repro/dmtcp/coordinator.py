@@ -91,21 +91,23 @@ class DmtcpCoordinator:
         parent: CheckpointImage | None = None,
         store: CheckpointStore | None = None,
         forked: bool = False,
+        speculative: bool = False,
     ) -> CheckpointImage:
         """Take a checkpoint now.
 
         With ``store`` the image goes through the store's two-phase
         commit (stage → commit); a crash mid-write leaves a discardable
-        partial in the store and propagates. With ``forked`` the image
-        write (and the store commit, if any) happens later, when the
-        attached ``image.forked_writer`` finishes — the session drives
-        that.
+        partial in the store and propagates. With ``forked`` (or
+        ``speculative``) the image write (and the store commit, if any)
+        happens later, when the attached ``image.forked_writer``
+        finishes — the session drives that.
         """
         image = self.checkpointer.checkpoint(
             gzip=gzip, incremental=incremental, parent=parent,
-            forked=forked, defer_commit=store is not None,
+            forked=forked, speculative=speculative,
+            defer_commit=store is not None,
         )
-        if forked:
+        if forked or speculative:
             image.forked_writer.store = store
         elif store is not None:
             store.put(image)

@@ -122,3 +122,27 @@ class ForkedCheckpoint:
             self.tracer.instant(
                 "ckpt", "commit", self.write_end_ns, pid=self.image.pid
             )
+
+    def abort(self) -> None:
+        """Release a background write that died mid-window; idempotent.
+
+        A no-op after :meth:`finish` completed (the commit cannot be
+        undone). Otherwise the writer is torn down without ever reaching
+        ``mark_committed``: the image's capture tuples — references into
+        the live process's dirty state — are dropped so nothing can
+        clear dirty bits later, and every dirty page/span stays intact
+        for the next cut. The fault-domain ladder calls this before
+        killing a process with an in-flight fork, instead of letting the
+        dead window's snapshot epoch dangle (the same leak class as the
+        migration pin-leak fix).
+        """
+        if self._finished:
+            return
+        self.aborted = True
+        self._finished = True
+        self.image.region_captures = []
+        self.image.contents_captures = []
+        if self.tracer is not None:
+            self.tracer.instant(
+                "ckpt", "forked-abort", self.fork_ns, pid=self.image.pid
+            )

@@ -91,6 +91,12 @@ class CheckpointImage:
     checkpoint_time_ns: float = 0.0
     #: CRC recorded by :meth:`seal` (``None`` until sealed).
     sealed_checksum: int | None = None
+    #: True for a validated-speculation cut (no quiesce; capture runs
+    #: concurrently with the application and commit moves to the
+    #: :class:`repro.spec.SpeculativeCheckpoint` writer's validation).
+    #: Plugins branch on this to defer their drain costs off the
+    #: critical path.
+    speculative: bool = False
     #: True once the image is durably committed (store commit, or the
     #: end of a direct store-less checkpoint). Dirty-state clearing in
     #: the live process happens only at this point, so an aborted or

@@ -41,6 +41,22 @@ class CheckpointStoreError(CheckpointError):
     partial staged image, or loading an evicted generation)."""
 
 
+class SpeculationAbortedError(CheckpointError):
+    """A speculative (validated-concurrency) checkpoint rolled back.
+
+    Raised by :meth:`repro.spec.SpeculativeCheckpoint.finish` when
+    validation cannot commit the cut — an injected fault at the
+    ``spec-validate`` stage, or conflict replay exceeding its budget.
+    The image is already aborted (dirty bits intact, nothing committed)
+    when this surfaces; the session catches it and falls back to the
+    stop-the-world forked path for the same cut parameters.
+    """
+
+    def __init__(self, msg: str, *, conflicts: int = 0) -> None:
+        self.conflicts = conflicts
+        super().__init__(msg)
+
+
 class RestartError(ReproError):
     """Restart from a checkpoint image failed."""
 

@@ -78,6 +78,10 @@ class GpuDevice:
         self.op_log = None
         #: count of injected ECC page errors (campaign accounting)
         self.ecc_errors = 0
+        #: repro.spec.HandleTable whose stream/event versions advance on
+        #: every mutating op — the speculative checkpoint's conflict
+        #: source; None until a session wires one
+        self.handle_table = None
 
     def _trip(self, stage: str, context: str) -> str | None:
         """Consult the attached injector at a runtime fault stage."""
@@ -165,6 +169,8 @@ class GpuDevice:
         stream.kernel_count += 1
         self.total_kernel_ns += duration_ns
         self.total_kernels += 1
+        if self.handle_table is not None:
+            self.handle_table.bump("stream", stream.sid)
         if self.op_log is not None:
             # Log the *intended* duration: the stream-reset rung replays
             # the op as it should have run, not the hung version.
@@ -212,6 +218,8 @@ class GpuDevice:
         self._copy_engine_ready[kind] = end
         self._finish(stream, end)
         self.copied_bytes[kind] += nbytes
+        if self.handle_table is not None:
+            self.handle_table.bump("stream", stream.sid)
         if self.op_log is not None:
             self.op_log.record(
                 stream.sid, "copy", f"memcpy-{kind}",
@@ -355,6 +363,8 @@ class GpuDevice:
         """cudaEventRecord: event completes when prior stream work does."""
         event.timestamp_ns = max(stream.ready_ns, at_ns)
         event.recorded = True
+        if self.handle_table is not None:
+            self.handle_table.bump("event", event.eid)
 
     def stream_wait_event(self, stream: Stream, event: Event) -> None:
         """cudaStreamWaitEvent: future stream work waits for the event."""

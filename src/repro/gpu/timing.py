@@ -155,6 +155,20 @@ class HostCosts:
     #: Cost to reset one poisoned stream (drain, destroy, recreate the
     #: hardware queue) during fault-domain recovery, ns.
     stream_reset_ns: float = 5_000_000.0
+    #: Application-visible cost of a *speculative* checkpoint cut: arm
+    #: the handle-version trackers and snapshot the version table — the
+    #: only stall the validated-speculation path leaves on the critical
+    #: path (no quiesce, no drain), ns.
+    spec_cut_ns: float = 2_000_000.0
+    #: Per-handle version-snapshot cost at a speculative cut, ns.
+    spec_handle_ns: float = 2_000.0
+    #: Bandwidth at which conflicted spans are re-copied during
+    #: speculative validation (invalidate-and-replay of buffers the app
+    #: wrote inside the capture window), bytes/s.
+    spec_replay_bw: float = 10.0e9
+    #: Per-invalidated-handle fixed replay cost during validation
+    #: (re-issue the handle's logged ops against the captured state), ns.
+    spec_invalidate_ns: float = 50_000.0
 
 
 DEFAULT_HOST_COSTS = HostCosts()

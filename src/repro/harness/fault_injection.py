@@ -17,6 +17,8 @@ Stages (``FaultInjector.STAGES``):
 - ``image-write``   — while the store writes a staged image (per
   region); a crash here leaves a *partial* staged image behind, which
   is exactly what the store's two-phase commit protocol must tolerate;
+- ``spec-validate`` — at the validation point of a speculative
+  checkpoint (forces rollback + fallback to the forked path);
 - ``commit``        — between stage and commit of a coordinated
   two-phase checkpoint (forces the all-abort path);
 - ``replay``        — during allocation-log replay at restart
@@ -134,6 +136,7 @@ class FaultInjector:
         "precheckpoint",
         "region-save",
         "image-write",
+        "spec-validate",
         "commit",
         "replay",
         "restore",

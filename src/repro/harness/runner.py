@@ -103,6 +103,7 @@ def run_app(
     restart_after_checkpoint: bool = True,
     incremental: bool = False,
     forked: bool = False,
+    speculative: bool = False,
     gzip: bool = False,
     noise: bool = True,
     costs: HostCosts = DEFAULT_HOST_COSTS,
@@ -122,7 +123,10 @@ def run_app(
     run's. ``incremental=True`` chains the checkpoints as
     base + dirty-page deltas (host pages *and* GPU buffer spans);
     ``forked=True`` writes each image on a background timeline while the
-    app keeps running (COW-charged — the CRUM-style forked checkpoint).
+    app keeps running (COW-charged — the CRUM-style forked checkpoint);
+    ``speculative=True`` additionally skips the quiesce — the cut is
+    validated against the handle-version table at commit time (the
+    PhoenixOS-style concurrent checkpoint, near-zero stall).
 
     ``store`` (CRAC only) commits every checkpoint through the store's
     two-phase protocol and performs the restart via the self-healing
@@ -175,6 +179,7 @@ def run_app(
                 parent=chain[-1] if (incremental and chain) else None,
                 store=store,
                 forked=forked,
+                speculative=speculative,
             )
             chain.append(image)
             rec = CkptRecord(

@@ -42,8 +42,10 @@ RAW_RAISE_TYPES = {"ValueError", "RuntimeError", "IndexError"}
 #: path fragments (posix style) marking CUDA call-path modules
 CUDA_PATH_PARTS = ("repro/cuda/", "repro/gpu/")
 
-#: path fragments marking checkpoint capture/restore modules
-CAPTURE_PATH_PARTS = ("repro/core/plugin.py", "repro/dmtcp/")
+#: path fragments marking checkpoint capture/restore modules (the
+#: speculative handle table snapshots/restores versions, so it is held
+#: to the same deterministic-iteration rules)
+CAPTURE_PATH_PARTS = ("repro/core/plugin.py", "repro/dmtcp/", "repro/spec/")
 #: function names treated as capture *or restore* paths within those
 #: modules — the read side is linted too: restore must not apply state
 #: in dict-insertion order

@@ -1,0 +1,22 @@
+"""Validated speculative checkpointing (PhoenixOS-style, ROADMAP item 1).
+
+Per-resource handle versioning lets a checkpoint proceed *while kernels
+keep launching*: the cut snapshots versions instead of quiescing, and
+validation detects + replays anything the application mutated inside
+the capture window before commit. See :mod:`repro.spec.speculative` for
+the full model.
+"""
+
+from repro.spec.conflicts import Conflict, brute_force_advanced, detect_conflicts
+from repro.spec.handles import HANDLE_KINDS, HandleRecord, HandleTable
+from repro.spec.speculative import SpeculativeCheckpoint
+
+__all__ = [
+    "HANDLE_KINDS",
+    "Conflict",
+    "HandleRecord",
+    "HandleTable",
+    "SpeculativeCheckpoint",
+    "brute_force_advanced",
+    "detect_conflicts",
+]

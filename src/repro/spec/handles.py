@@ -1,0 +1,145 @@
+"""Per-resource handle table with monotone version ids.
+
+PhoenixOS checkpoints *while kernels keep launching* by versioning every
+CUDA resource handle (buffers, streams, events, modules): a speculative
+cut snapshots the version table instead of quiescing, and validation
+later compares live versions against the snapshot to find resources the
+application touched inside the capture window. The lifecycle here mirrors
+the ``POSHandle`` add/commit/restore cycle (SNIPPETS.md's
+``POSHandle_CUDA_Stream.__add/__commit/__restore``):
+
+- ``add``      — register a handle; its version starts at 0;
+- ``bump``     — a mutating op on the handle advances its version
+  (kernel launch or copy on a stream, event record, module re-register);
+- ``cut``      — snapshot every live version (the ``__commit`` step of a
+  speculative checkpoint; O(handles), no device stall);
+- ``restore``  — reset versions to a snapshot after an aborted
+  speculation or a restart (the ``__restore`` step).
+
+Buffer *contents* versions are deliberately **not** duplicated here:
+:class:`repro.gpu.memory.PagedContents` already maintains a monotone
+``write_seq`` bumped on every mutation, and the checkpoint image records
+``(contents, spans, write_seq)`` capture tuples at the cut — so buffer
+conflict detection reads those epochs directly (zero extra hot-path
+cost). The table tracks the handle kinds that have *no* byte-level dirty
+index: streams, events and modules (fat binaries).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+#: Handle kinds tracked by the table. Buffers are versioned by their
+#: ``PagedContents.write_seq`` (see module doc) and never appear here.
+HANDLE_KINDS = ("stream", "event", "module")
+
+
+@dataclass
+class HandleRecord:
+    """One versioned resource handle (POSHandle-style)."""
+
+    kind: str
+    key: int
+    #: Monotone version id; advanced by every mutating op on the handle.
+    version: int = 0
+    #: False once the handle is destroyed (destruction itself is a
+    #: version-advancing mutation: destroying a captured stream inside
+    #: the capture window is a conflict).
+    live: bool = True
+
+
+@dataclass
+class HandleTable:
+    """Version table for every live stream/event/module handle."""
+
+    records: dict[tuple[str, int], HandleRecord] = field(default_factory=dict)
+
+    # -- __add ----------------------------------------------------------------
+
+    def add(self, kind: str, key: int) -> HandleRecord:
+        """Register a handle; re-adding a dead key restarts it at a
+        version past its previous life (arena-style key reuse must not
+        read as "unchanged")."""
+        if kind not in HANDLE_KINDS:
+            raise KeyError(f"unknown handle kind {kind!r}")
+        prev = self.records.get((kind, key))
+        version = prev.version + 1 if prev is not None else 0
+        rec = HandleRecord(kind=kind, key=key, version=version)
+        self.records[(kind, key)] = rec
+        return rec
+
+    def bump(self, kind: str, key: int) -> int:
+        """Advance a handle's version; lazily registers unknown keys
+        (handles created before the table was attached, e.g. the default
+        stream)."""
+        rec = self.records.get((kind, key))
+        if rec is None:
+            rec = self.add(kind, key)
+        rec.version += 1
+        return rec.version
+
+    def remove(self, kind: str, key: int) -> None:
+        """Destroy a handle: version-advancing, record retained so a cut
+        snapshot taken before the destroy still detects the conflict."""
+        rec = self.records.get((kind, key))
+        if rec is None:
+            return
+        rec.version += 1
+        rec.live = False
+
+    def version(self, kind: str, key: int) -> int:
+        """Current version of a handle (0 for never-registered keys)."""
+        rec = self.records.get((kind, key))
+        return rec.version if rec is not None else 0
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    # -- __commit -------------------------------------------------------------
+
+    def cut(self) -> dict[str, dict[int, int]]:
+        """Snapshot every version at the cut point.
+
+        Returns ``{kind: {key: version}}`` with deterministic (sorted)
+        ordering — this is what the checkpoint image stores as the
+        ``crac/spec-versions`` blob and what validation later diffs
+        against the live table.
+        """
+        snapshot: dict[str, dict[int, int]] = {k: {} for k in HANDLE_KINDS}
+        for (kind, key), rec in sorted(self.records.items()):
+            snapshot[kind][key] = rec.version
+        return snapshot
+
+    def advanced_since(
+        self, snapshot: dict[str, dict[int, int]]
+    ) -> list[tuple[str, int, int, int]]:
+        """Handles whose version moved past the snapshot.
+
+        Returns sorted ``(kind, key, cut_version, live_version)`` rows:
+        exactly the handles the application mutated inside the capture
+        window, plus any created after the cut (cut_version 0 for keys
+        the snapshot never saw — a fresh handle is by definition not
+        covered by the captured state).
+        """
+        advanced: list[tuple[str, int, int, int]] = []
+        for (kind, key), rec in sorted(self.records.items()):
+            at_cut = snapshot.get(kind, {}).get(key)
+            if at_cut is None:
+                if rec.version > 0 or not rec.live:
+                    advanced.append((kind, key, 0, rec.version))
+                continue
+            if rec.version > at_cut:
+                advanced.append((kind, key, at_cut, rec.version))
+        return advanced
+
+    # -- __restore ------------------------------------------------------------
+
+    def restore(self, snapshot: dict[str, dict[int, int]]) -> None:
+        """Reset the table to a snapshot (restart adopting checkpointed
+        handles, or rollback after an aborted speculation)."""
+        self.records = {}
+        for kind in sorted(snapshot):
+            for key, version in sorted(snapshot[kind].items()):
+                self.records[(kind, key)] = HandleRecord(
+                    kind=kind, key=key, version=version
+                )

@@ -1,0 +1,197 @@
+"""The validated-speculation checkpoint writer.
+
+A ``speculative=True`` cut does **not** quiesce: the checkpointer
+snapshots handle versions and buffer contents at the cut instant
+(physical copies are free in virtual time — the same trick the forked
+mode uses) and the application keeps launching kernels through
+``cuda/api.py``/``gpu/device.py`` while capture, drain and image write
+proceed on a *background virtual timeline* ending at
+``validate_end_ns``. The application pays only ``HostCosts.spec_cut_ns``
+plus a per-handle version-snapshot cost at the cut.
+
+At :meth:`SpeculativeCheckpoint.finish` the speculation is *validated*:
+every resource the application mutated inside the capture window — a
+buffer whose ``write_seq`` moved past its captured epoch, a stream or
+event whose :class:`~repro.spec.HandleTable` version advanced — is a
+conflict. Conflicted handles are invalidated and their spans replayed
+(re-copied from the op/version log) before commit, charged at
+``spec_replay_bw`` + ``spec_invalidate_ns`` per handle. The committed
+image is digest-equal to a stop-the-world cut by construction: its bytes
+were captured at the cut instant; conflicts cost time, never fidelity.
+
+If validation cannot commit — an injected ``spec-validate`` fault —
+the speculation rolls back: :meth:`abort` drops the image's capture
+references *without touching live dirty state* (``mark_committed``
+never runs, so every dirty bit survives for the fallback cut) and
+:class:`~repro.errors.SpeculationAbortedError` tells the session to
+fall back to the forked (stop-the-world) path.
+
+The writer duck-types :class:`~repro.dmtcp.forked.ForkedCheckpoint`
+(``in_flight`` / ``finish`` / ``abort`` / ``committed`` / ``store``) so
+the session's pending-writer machinery drives both interchangeably.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+from repro.errors import InjectedFault, SpeculationAbortedError
+from repro.gpu.timing import NS_PER_S, HostCosts
+from repro.linux.process import SimProcess
+from repro.spec.conflicts import Conflict, detect_conflicts
+
+if TYPE_CHECKING:  # avoid import cycles at runtime
+    from repro.dmtcp.image import CheckpointImage
+    from repro.dmtcp.store import CheckpointStore
+    from repro.harness.fault_injection import FaultInjector
+    from repro.spec.handles import HandleTable
+
+
+@dataclass
+class SpeculativeCheckpoint:
+    """An in-flight speculative capture awaiting validation."""
+
+    image: "CheckpointImage"
+    #: application clock at the cut (capture window opens here)
+    cut_ns: float
+    #: background-timeline instant capture + image write are done and
+    #: the speculation can validate/commit
+    validate_end_ns: float
+    costs: HostCosts
+    #: live handle table to diff against the image's version snapshot
+    handle_table: "HandleTable | None" = None
+    store: "CheckpointStore | None" = None
+    fault_injector: "FaultInjector | None" = None
+    #: conflicts found at validation (filled in by :meth:`finish`)
+    conflicts: list[Conflict] = field(default_factory=list)
+    #: handles invalidated and replayed at validation
+    invalidated: int = 0
+    #: bytes re-copied by invalidate-and-replay
+    replayed_bytes: int = 0
+    #: app-visible validation cost (conflict replay), ns
+    replay_time_ns: float = 0.0
+    #: residual time the app blocked waiting out the background window
+    residual_wait_ns: float = 0.0
+    generation: int | None = None
+    aborted: bool = False
+    #: checkpoint kwargs remembered for the forked fallback after abort
+    fallback_kwargs: dict | None = None
+    #: repro.trace.Tracer receiving spec-validate spans; None = untraced
+    tracer: object | None = None
+    _finished: bool = field(default=False, repr=False)
+
+    @property
+    def committed(self) -> bool:
+        return self.image.committed
+
+    def in_flight(self, now_ns: float) -> bool:
+        """True while background capture is still running at ``now_ns``."""
+        return not self._finished and now_ns < self.validate_end_ns
+
+    # -- validate + commit ----------------------------------------------------
+
+    def finish(
+        self, process: SimProcess | None = None, *, block: bool = True
+    ) -> None:
+        """Validate the speculation and move the commit point here.
+
+        Mirrors :meth:`ForkedCheckpoint.finish`: ``process`` is the
+        application to charge replay/residual costs to (``None`` when
+        the parent already died — validation still runs, against state
+        frozen at death). Raises
+        :class:`~repro.errors.SpeculationAbortedError` after rolling
+        back if validation cannot commit.
+        """
+        if self._finished:
+            return
+        try:
+            if self.fault_injector is not None:
+                self.fault_injector.check(
+                    "spec-validate", f"speculative commit pid {self.image.pid}"
+                )
+        except InjectedFault as exc:
+            self.abort()
+            raise SpeculationAbortedError(
+                f"speculative checkpoint of pid {self.image.pid} rolled "
+                f"back: {exc}"
+            ) from exc
+
+        # Conflict detection: epoch/version diff against the cut.
+        self.conflicts = detect_conflicts(self.image, self.handle_table)
+        self.invalidated = len(self.conflicts)
+        # Only writes that landed while background capture still held
+        # un-captured spans are torn and must replay; like the forked
+        # mode's COW exposure, pro-rate the dirtied bytes by how much of
+        # the elapsed window overlapped the capture window.
+        if process is not None and process.alive:
+            window = max(process.clock_ns - self.cut_ns, 1.0)
+        else:
+            window = max(self.validate_end_ns - self.cut_ns, 1.0)
+        overlap = min(1.0, (self.validate_end_ns - self.cut_ns) / window)
+        self.replayed_bytes = int(
+            sum(c.nbytes for c in self.conflicts) * overlap
+        )
+        self.replay_time_ns = (
+            self.replayed_bytes / self.costs.spec_replay_bw * NS_PER_S
+            + self.invalidated * self.costs.spec_invalidate_ns
+        )
+        if process is not None and process.alive:
+            t0 = process.clock_ns
+            process.advance(self.replay_time_ns)
+            if self.tracer is not None and self.replay_time_ns:
+                self.tracer.ckpt_span(
+                    "spec-validate", t0, process.clock_ns,
+                    conflicts=self.invalidated, bytes=self.replayed_bytes,
+                )
+            if block and process.clock_ns < self.validate_end_ns:
+                self.residual_wait_ns = self.validate_end_ns - process.clock_ns
+                process.advance_to(self.validate_end_ns)
+        try:
+            if self.store is not None:
+                # Staging fires the image-write fault stage per region; a
+                # crash leaves a discardable partial and the image stays
+                # uncommitted (dirty bits intact).
+                self.generation = self.store.put(self.image)
+            else:
+                if self.fault_injector is not None:
+                    self.fault_injector.check(
+                        "image-write",
+                        f"speculative write pid {self.image.pid}",
+                    )
+                self.image.mark_committed()
+        except Exception:
+            self.aborted = True
+            self._finished = True
+            raise
+        self._finished = True
+        if self.tracer is not None:
+            # Capture + write ran on the background timeline.
+            self.tracer.ckpt_span(
+                "spec-write", self.cut_ns, self.validate_end_ns,
+                bytes=self.image.size_bytes,
+            )
+            self.tracer.instant(
+                "ckpt", "commit", self.validate_end_ns, pid=self.image.pid
+            )
+
+    # -- rollback -------------------------------------------------------------
+
+    def abort(self) -> None:
+        """Roll the speculation back; idempotent, a no-op after commit.
+
+        Drops the image's capture tuples so ``mark_committed`` can never
+        clear live dirty state through them — every dirty bit the cut
+        observed (and everything written since) stays intact for the
+        fallback checkpoint. Live buffers/regions are never touched.
+        """
+        if self._finished:
+            return
+        self.aborted = True
+        self._finished = True
+        self.image.region_captures = []
+        self.image.contents_captures = []
+        if self.tracer is not None:
+            self.tracer.instant(
+                "ckpt", "spec-abort", self.cut_ns, pid=self.image.pid
+            )

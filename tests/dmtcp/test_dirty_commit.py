@@ -146,6 +146,73 @@ class TestAbortedCheckpointPreservesDirty:
         assert 2 not in _dirty_page_set(proc, a)
 
 
+class TestSpeculationAbortPreservesDirty:
+    """Speculation-abort × defer_commit: a rolled-back speculative cut
+    must leave ALL dirty bits intact — ``mark_committed`` never runs on
+    it, and nothing else may clear the epochs its snapshot pinned."""
+
+    def test_aborted_speculation_keeps_all_dirty_bits(self):
+        import numpy as np
+
+        from repro.core import CracSession
+        from repro.cuda.api import FatBinary
+
+        session = CracSession(seed=7)
+        session.backend.register_app_binary(FatBinary("s.fatbin", ("k",)))
+        upper = session.split.upper_mmap(8 * PAGE_SIZE)
+        session.process.vas.write(upper, b"pre-cut host")
+        p = session.backend.malloc(4096)
+        session.backend.device_view(p, 64)[:] = np.arange(64, dtype=np.uint8)
+
+        pre_host = set(session.process.vas.find(upper).dirty)
+        buf = session.runtime.buffers[p]
+        pre_gpu = buf.contents.dirty_byte_count
+        assert pre_host and pre_gpu > 0
+
+        image = session.checkpoint(speculative=True)
+        # Speculative cut defers the commit: nothing cleared yet.
+        assert not image.committed
+        assert set(session.process.vas.find(upper).dirty) >= pre_host
+        assert buf.contents.dirty_byte_count >= pre_gpu
+
+        # More dirtying inside the capture window, then roll back.
+        session.process.vas.write(upper + 4 * PAGE_SIZE, b"in-window")
+        session.backend.device_view(p, 16, offset=1024)[:] = 3
+        session.abort_pending_writers()
+
+        assert not image.committed
+        host_dirty = set(session.process.vas.find(upper).dirty)
+        assert pre_host <= host_dirty and 4 in host_dirty, (
+            "speculation abort lost host dirty bits"
+        )
+        assert buf.contents.dirty_byte_count >= pre_gpu, (
+            "speculation abort lost GPU dirty spans"
+        )
+        # Even a stray commit on the rolled-back image clears nothing.
+        image.mark_committed()
+        assert set(session.process.vas.find(upper).dirty) == host_dirty
+        assert buf.contents.dirty_byte_count >= pre_gpu
+
+        # The next (stop-the-world) cut captures everything and is the
+        # one that finally clears.
+        nxt = session.checkpoint()
+        assert nxt.committed
+        assert set(session.process.vas.find(upper).dirty) == set()
+        assert buf.contents.dirty_byte_count == 0
+
+    def test_defer_commit_alone_keeps_dirty_until_commit(self, proc):
+        """The checkpointer-level defer_commit contract the speculative
+        writer builds on."""
+        a = proc.vas.mmap(4 * PAGE_SIZE)
+        proc.vas.write(a, b"x")
+        c = DmtcpCheckpointer(proc)
+        image = c.checkpoint(defer_commit=True)
+        assert not image.committed
+        assert _dirty_page_set(proc, a) == {0}
+        image.mark_committed()
+        assert _dirty_page_set(proc, a) == set()
+
+
 class TestGpuDirtyPreservation:
     def test_aborted_checkpoint_keeps_gpu_dirty_spans(self):
         """The same crash-consistency property for device buffers."""

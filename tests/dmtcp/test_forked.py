@@ -188,6 +188,76 @@ class TestCowWindowRewrite:
         )
 
 
+class TestForkedAbort:
+    """abort(): release a background write without committing — the
+    fault-domain ladder tears in-flight writers down before recovery
+    rolls the session back to an older generation."""
+
+    def test_abort_releases_without_commit_and_keeps_dirty(self):
+        session = make_session()
+        upper = session.split.upper_mmap(4 * PAGE_SIZE)
+        session.process.vas.write(upper, b"dirty")
+        p = session.backend.malloc(4096)
+        session.backend.device_view(p, 16)[:] = 5
+        image = session.checkpoint(forked=True)
+        writer = session.pending_forks[0]
+        session.abort_pending_writers()
+        assert writer.aborted
+        assert not image.committed
+        assert session.pending_forks == []
+        assert 0 in session.process.vas.find(upper).dirty
+        buf = session.runtime.buffers[p]
+        assert buf.contents.dirty_byte_count > 0
+        # A stray commit on the released image must clear nothing.
+        image.mark_committed()
+        assert 0 in session.process.vas.find(upper).dirty
+        assert buf.contents.dirty_byte_count > 0
+
+    def test_abort_is_idempotent_and_noop_after_finish(self):
+        session = make_session()
+        session.split.upper_mmap(4 * PAGE_SIZE)
+        image = session.checkpoint(forked=True)
+        writer = session.pending_forks[0]
+        writer.abort()
+        writer.abort()  # second abort: no-op
+        assert writer.aborted
+        # And once finished, abort must not un-commit.
+        session2 = make_session()
+        session2.split.upper_mmap(4 * PAGE_SIZE)
+        image2 = session2.checkpoint(forked=True)
+        session2.finish_forked_checkpoints()
+        writer2 = image2.forked_writer
+        writer2.abort()
+        assert image2.committed
+        assert not writer2.aborted
+
+    def test_fault_at_write_completion_then_abort_is_clean(self):
+        """A write that crashed at completion is released by abort()
+        without re-raising — the ladder can always tear down."""
+        fi = FaultInjector()
+        session = make_session(fault_injector=fi)
+        upper = session.split.upper_mmap(4 * PAGE_SIZE)
+        session.process.vas.write(upper, b"dirty")
+        image = session.checkpoint(forked=True)
+        writer = session.pending_forks[0]
+        fi.arm(FaultSpec("image-write", at_count=fi.visits["image-write"] + 1))
+        with pytest.raises(InjectedFault):
+            session.finish_forked_checkpoints()
+        writer.abort()  # post-crash teardown: idempotent, no raise
+        assert not image.committed
+        assert 0 in session.process.vas.find(upper).dirty
+
+    def test_finish_after_abort_is_noop(self):
+        session = make_session()
+        session.split.upper_mmap(4 * PAGE_SIZE)
+        image = session.checkpoint(forked=True)
+        writer = session.pending_forks.pop(0)
+        writer.abort()
+        writer.finish(session.process)  # must not resurrect the write
+        assert not image.committed
+        assert writer.aborted
+
+
 class TestForkedWithStore:
     def test_generation_appears_at_finish_not_fork(self):
         session = make_session()

@@ -165,6 +165,122 @@ class TestFaultCampaign:
             run_cli("fault-campaign", "--classes", "gremlins")
 
 
+class TestSpecBench:
+    def test_smoke_writes_report(self, tmp_path):
+        out_path = tmp_path / "BENCH_spec.json"
+        code, text = run_cli(
+            "spec-bench", "--smoke", "--apps", "kmeans", "--scale", "0.1",
+            "--cuts", "1", "--baseline", "-", "--out", str(out_path),
+        )
+        assert code == 0
+        assert "speculative-checkpoint bench" in text
+        assert "forced conflict" in text
+
+        import json
+
+        report = json.loads(out_path.read_text())
+        row = report["apps"]["Kmeans"]
+        assert set(row["modes"]) == {"forked", "speculative"}
+        assert row["digest_equal"]
+        assert row["stall_ratio"] < 0.10
+        assert report["forced_conflict"]["invalidated"] > 0
+        assert report["forced_conflict"]["digest_equal"]
+        assert report["ok"]
+
+    def test_update_baseline_writes_payload(self, tmp_path):
+        baseline_path = tmp_path / "BENCH_spec_baseline.json"
+        code, _ = run_cli(
+            "spec-bench", "--smoke", "--apps", "kmeans", "--scale", "0.1",
+            "--cuts", "1", "--baseline", str(baseline_path),
+            "--update-baseline", "--out", "-",
+        )
+        assert code == 0
+
+        import json
+
+        payload = json.loads(baseline_path.read_text())
+        assert payload["benchmark"] == "spec-baseline"
+        assert "Kmeans" in payload["stall_ratio"]
+
+    def test_unknown_app_rejected(self):
+        with pytest.raises(SystemExit):
+            run_cli("spec-bench", "--apps", "doom")
+
+
+class TestAnalyzeUpdateBaseline:
+    """--update-baseline must refuse missing/placeholder justifications
+    (the old code stamped 'TODO: justify before committing', which the
+    justification audit rejects)."""
+
+    @pytest.fixture
+    def fake_finding_report(self, monkeypatch):
+        from repro.analysis.findings import Finding
+
+        finding = Finding(
+            "wiring", "wiring/test-rule", "repro/fake.py", 1, "planted"
+        )
+        report = {
+            "findings": [finding.to_dict()],
+            "baselined": [],
+            "unused_baseline": [],
+            "counts": {
+                "apis": 0, "modules": 0, "unbaselined": 1, "baselined": 0,
+            },
+            "ok": False,
+        }
+        monkeypatch.setattr(
+            "repro.analysis.engine.analyze_package",
+            lambda *a, **kw: dict(report),
+        )
+        return finding
+
+    def test_missing_justify_refused(self, tmp_path, fake_finding_report):
+        baseline = tmp_path / "baseline.json"
+        code, text = run_cli(
+            "analyze", "--baseline", str(baseline), "--update-baseline",
+            "--out", "-",
+        )
+        assert code == 2
+        assert "--justify" in text
+        assert not baseline.exists(), "refused update still wrote the file"
+
+    @pytest.mark.parametrize("msg", [
+        "TODO: justify before committing",
+        "fixme later",
+        "TBD",
+        "xxx placeholder",
+        "   ",
+    ])
+    def test_placeholder_justify_refused(self, tmp_path, msg,
+                                         fake_finding_report):
+        baseline = tmp_path / "baseline.json"
+        code, _ = run_cli(
+            "analyze", "--baseline", str(baseline), "--update-baseline",
+            "--justify", msg, "--out", "-",
+        )
+        assert code == 2
+        assert not baseline.exists()
+
+    def test_real_justification_accepted(self, tmp_path, fake_finding_report):
+        import json
+
+        baseline = tmp_path / "baseline.json"
+        code, text = run_cli(
+            "analyze", "--baseline", str(baseline), "--update-baseline",
+            "--justify", "planted by the CLI regression test",
+            "--out", "-",
+        )
+        assert code == 0
+        assert "accepted 1 finding(s)" in text
+        entries = json.loads(baseline.read_text())["entries"]
+        assert len(entries) == 1
+        assert entries[0]["justification"] == (
+            "planted by the CLI regression test"
+        )
+        # The committed-baseline audit's own rule: no TODO markers.
+        assert "TODO" not in entries[0]["justification"]
+
+
 class TestVersion:
     def test_version_flag(self):
         with pytest.raises(SystemExit) as exc:
